@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark harnesses.
+ * Each bench binary regenerates one table or figure of the paper,
+ * printing the same rows/series the paper reports (absolute numbers
+ * differ — see EXPERIMENTS.md — but the shape should match).
+ */
+
+#ifndef CABLE_BENCH_BENCH_UTIL_H
+#define CABLE_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <functional>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/memlink.h"
+#include "sim/multichip.h"
+#include "sim/throughput.h"
+
+namespace cable::bench
+{
+
+/** Memory ops per single-threaded ratio run (argv[1] overrides). */
+inline std::uint64_t
+opsArg(int argc, char **argv, std::uint64_t dflt)
+{
+    if (argc > 1)
+        return std::strtoull(argv[1], nullptr, 10);
+    return dflt;
+}
+
+/** Geometric mean (the usual reporting mean for ratios). */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/**
+ * A fixed cross-section of the suite for the sensitivity sweeps:
+ * two of each behavioural group, so sweep averages reflect the
+ * whole suite at a fraction of the cost.
+ */
+inline std::vector<std::string>
+representativeBenchmarks()
+{
+    return {"gcc",   "omnetpp", "dealII", "zeusmp",
+            "perlbench", "bzip2", "soplex", "sphinx3"};
+}
+
+/** Single-threaded memory-link ratio run (functional mode). */
+struct RatioRun
+{
+    double bit_ratio;
+    double eff_ratio;
+    StatSet link_stats;
+};
+
+inline RatioRun
+memlinkRatio(const std::string &bench, const std::string &scheme,
+             std::uint64_t ops,
+             const MemSystemConfig &base = MemSystemConfig{})
+{
+    MemSystemConfig cfg = base;
+    cfg.scheme = scheme;
+    cfg.timing = false;
+    MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
+    sys.run(ops);
+    RatioRun r{sys.bitRatio(), sys.effectiveRatio(),
+               sys.link().stats()};
+    return r;
+}
+
+/** Prints a header row: name column plus one column per scheme. */
+inline void
+printHeader(const char *first,
+            const std::vector<std::string> &columns)
+{
+    std::printf("%-12s", first);
+    for (const auto &c : columns)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &vals,
+         const char *fmt = " %9.2fx")
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+} // namespace cable::bench
+
+#endif // CABLE_BENCH_BENCH_UTIL_H

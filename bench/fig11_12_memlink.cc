@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig 11 & Fig 12 — single-program off-chip memory-link compression:
+ * raw compression ratios per benchmark and scheme (Fig 12) and the
+ * same normalized to CPACK (Fig 11). Zero-dominant benchmarks are
+ * grouped to the right as in the paper; averages are reported for
+ * the whole suite and for the non-trivial subset.
+ *
+ * Paper shape to check: CABLE ~8x raw average, ~80-90% above CPACK;
+ * gzip between CPACK and CABLE, losing to CABLE on
+ * dealII/tonto/zeusmp/gobmk and winning on a few byte-shift-heavy
+ * benchmarks; everyone >= 16x on the zero-dominant group.
+ */
+
+#include "bench_util.h"
+
+using namespace cable;
+using namespace cable::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = opsArg(argc, argv, 800000);
+    const std::vector<std::string> schemes{"bdi",    "cpack",
+                                           "cpack128", "lbe256",
+                                           "gzip",   "cable"};
+
+    std::printf("Fig 12: raw memory-link compression ratios "
+                "(%llu mem ops per benchmark)\n\n",
+                static_cast<unsigned long long>(ops));
+    printHeader("benchmark", schemes);
+
+    std::map<std::string, std::vector<double>> eff; // scheme → per-bench
+    auto benches = spec2006Benchmarks(); // non-trivial first
+    std::size_t nontrivial = nonTrivialBenchmarks().size();
+
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        if (b == nontrivial)
+            std::printf("---- zero/value-dominant group ----\n");
+        std::vector<double> row;
+        for (const auto &scheme : schemes) {
+            RatioRun r = memlinkRatio(benches[b], scheme, ops);
+            row.push_back(r.eff_ratio);
+            eff[scheme].push_back(r.eff_ratio);
+        }
+        printRow(benches[b], row);
+    }
+
+    std::printf("\n");
+    std::vector<double> avg_all, avg_nt;
+    for (const auto &scheme : schemes) {
+        avg_all.push_back(mean(eff[scheme]));
+        avg_nt.push_back(mean({eff[scheme].begin(),
+                               eff[scheme].begin()
+                                   + static_cast<long>(nontrivial)}));
+    }
+    printRow("MEAN(all)", avg_all);
+    printRow("MEAN(non-triv)", avg_nt);
+
+    std::printf("\nFig 11: compression normalized to CPACK\n\n");
+    printHeader("benchmark", schemes);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<double> row;
+        for (const auto &scheme : schemes)
+            row.push_back(eff[scheme][b] / eff["cpack"][b]);
+        printRow(benches[b], row);
+    }
+    std::vector<double> norm_avg;
+    for (const auto &scheme : schemes)
+        norm_avg.push_back(mean(eff[scheme]) / mean(eff["cpack"]));
+    std::printf("\n");
+    printRow("MEAN(all)", norm_avg);
+
+    double cable_gain =
+        (mean(eff["cable"]) / mean(eff["cpack"]) - 1.0) * 100;
+    std::printf("\nheadline: CABLE raw mean %.2fx, CPACK %.2fx "
+                "(+%.0f%%; paper: 8.2x vs 4.5x, +82%%)\n",
+                mean(eff["cable"]), mean(eff["cpack"]), cable_gain);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig 19 — memory-link compression across cache sizes:
+ *
+ *  (a) LLC per thread swept 128KB..8MB with a fixed 1:2 LLC:L4
+ *      ratio — ratios are mostly flat, improving slightly with size;
+ *  (b) LLC fixed at 1MB with the LLC:L4 ratio swept 1:2..1:8 —
+ *      averages move within ~1% because the shared-data window is
+ *      bounded by the smaller cache (§VI-E).
+ */
+
+#include "bench_util.h"
+
+using namespace cable;
+using namespace cable::bench;
+
+namespace
+{
+
+double
+sweepMean(const std::string &scheme, std::uint64_t llc_bytes,
+          std::uint64_t l4_bytes, std::uint64_t ops)
+{
+    std::vector<double> ratios;
+    for (const auto &bench : representativeBenchmarks()) {
+        MemSystemConfig cfg;
+        cfg.scheme = scheme;
+        cfg.timing = false;
+        cfg.llc_bytes_per_thread = llc_bytes;
+        cfg.l4_bytes_per_thread = l4_bytes;
+        MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
+        sys.run(ops);
+        ratios.push_back(sys.effectiveRatio());
+    }
+    return mean(ratios);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = opsArg(argc, argv, 300000);
+    const std::vector<std::string> schemes{"cpack", "gzip", "cable"};
+
+    std::printf("Fig 19a: compression vs LLC size (1:2 LLC:L4, "
+                "%llu ops, representative subset)\n\n",
+                static_cast<unsigned long long>(ops));
+    printHeader("llc", schemes);
+    for (std::uint64_t kb : {128u, 512u, 2048u, 8192u}) {
+        std::vector<double> row;
+        for (const auto &scheme : schemes)
+            row.push_back(
+                sweepMean(scheme, kb << 10, (kb << 10) * 2, ops));
+        printRow(std::to_string(kb) + "KB", row);
+    }
+
+    std::printf("\nFig 19b: compression vs LLC:L4 ratio "
+                "(LLC fixed at 1MB)\n\n");
+    printHeader("ratio", schemes);
+    for (unsigned mult : {2u, 4u, 8u}) {
+        std::vector<double> row;
+        for (const auto &scheme : schemes)
+            row.push_back(sweepMean(scheme, 1u << 20,
+                                    (1ull << 20) * mult, ops));
+        printRow("1:" + std::to_string(mult), row);
+    }
+    std::printf("\nshape check: 19a roughly flat, rising gently "
+                "with LLC size; 19b averages within a few %% — the "
+                "shared-data window is set by the smaller cache.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 21 — hash-table size sensitivity: table sizing swept from 2x
+ * down to 1/2048x of "full-sized" (one LineID slot per home-cache
+ * line), reported relative to the 2x table.
+ *
+ * Paper shape: graceful degradation; 1/8x loses at most a few
+ * percent — smaller tables keep the most recent signatures.
+ */
+
+#include "bench_util.h"
+
+using namespace cable;
+using namespace cable::bench;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = opsArg(argc, argv, 250000);
+    const std::vector<double> factors{2.0,      1.0,      0.5,
+                                      0.125,    1.0 / 64, 1.0 / 512,
+                                      1.0 / 2048};
+
+    std::printf("Fig 21: compression vs hash-table size, relative "
+                "to the 2x table (%llu ops)\n\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("%-12s", "benchmark");
+    for (double f : factors) {
+        char label[16];
+        if (f >= 1.0)
+            std::snprintf(label, sizeof(label), "%.0fx", f);
+        else
+            std::snprintf(label, sizeof(label), "1/%.0fx", 1.0 / f);
+        std::printf(" %10s", label);
+    }
+    std::printf("\n");
+
+    std::vector<std::vector<double>> rel(factors.size());
+    for (const auto &bench : representativeBenchmarks()) {
+        std::vector<double> ratios;
+        for (double f : factors) {
+            MemSystemConfig cfg;
+            cfg.scheme = "cable";
+            cfg.timing = false;
+            cfg.cable.home_ht_factor = f;
+            cfg.cable.remote_ht_factor = f;
+            MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
+            sys.run(ops);
+            ratios.push_back(sys.bitRatio());
+        }
+        std::printf("%-12s", bench.c_str());
+        for (std::size_t i = 0; i < factors.size(); ++i) {
+            double r = ratios[i] / ratios[0];
+            std::printf(" %9.1f%%", r * 100);
+            rel[i].push_back(r);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-12s", "MEAN");
+    for (const auto &col : rel)
+        std::printf(" %9.1f%%", mean(col) * 100);
+    std::printf("\n\nshape check: graceful degradation toward tiny "
+                "tables; 1/8x within a few %% of 2x.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): single-line compression and
+ * decompression throughput of every engine, with and without
+ * reference seeding. Not a paper figure; guards against performance
+ * regressions in the engines the figure harnesses lean on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/factory.h"
+
+using namespace cable;
+
+namespace
+{
+
+std::vector<CacheLine>
+corpus(std::size_t n, double zero_frac, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CacheLine> lines(n);
+    for (auto &l : lines)
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            l.setWord(w, rng.chance(zero_frac)
+                             ? 0
+                             : static_cast<std::uint32_t>(rng.next()));
+    return lines;
+}
+
+void
+BM_Compress(benchmark::State &state, const std::string &name)
+{
+    auto eng = makeCompressor(name);
+    auto lines = corpus(256, 0.4, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eng->compress(lines[i++ % lines.size()], {}));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+void
+BM_RoundTrip(benchmark::State &state, const std::string &name)
+{
+    auto eng = makeCompressor(name);
+    auto lines = corpus(256, 0.4, 2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const CacheLine &l = lines[i++ % lines.size()];
+        BitVec enc = eng->compress(l, {});
+        benchmark::DoNotOptimize(eng->decompress(enc, {}));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+void
+BM_CompressWithRefs(benchmark::State &state, const std::string &name)
+{
+    auto eng = makeCompressor(name);
+    auto lines = corpus(64, 0.3, 3);
+    CacheLine r1 = lines[0], r2 = lines[1], r3 = lines[2];
+    RefList refs{&r1, &r2, &r3};
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            eng->compress(lines[i++ % lines.size()], refs));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kLineBytes);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const std::string name :
+         {"zero", "bdi", "fpc", "cpack", "cpack128", "lbe256",
+          "gzip", "oracle"}) {
+        benchmark::RegisterBenchmark(("compress/" + name).c_str(),
+                                     BM_Compress, name);
+        benchmark::RegisterBenchmark(("roundtrip/" + name).c_str(),
+                                     BM_RoundTrip, name);
+        benchmark::RegisterBenchmark(
+            ("compress_refs/" + name).c_str(), BM_CompressWithRefs,
+            name);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

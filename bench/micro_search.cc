@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): CABLE channel throughput —
+ * full respond() path (signature extraction, hash probe, pre-rank,
+ * CBV ranking, delegation, verification) at different data-access
+ * counts, plus the synchronization-only path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "core/channel.h"
+#include "workload/value_model.h"
+
+using namespace cable;
+
+namespace
+{
+
+struct Rig
+{
+    Cache home{{"home", 4u << 20, 8}};
+    Cache remote{{"remote", 1u << 20, 8}};
+    CableChannel channel;
+    SyntheticMemory mem;
+    Rng rng{1234};
+
+    explicit Rig(unsigned accesses)
+        : channel(home, remote,
+                  [&] {
+                      CableConfig c;
+                      c.data_accesses = accesses;
+                      return c;
+                  }()),
+          mem(
+              [] {
+                  ValueProfile v;
+                  v.zero_line_frac = 0.15;
+                  v.template_count = 64;
+                  v.mutation_rate = 0.06;
+                  return v;
+              }(),
+              0, 77)
+    {
+    }
+
+    void
+    touch(Addr addr)
+    {
+        if (remote.access(addr))
+            return;
+        if (!home.probe(addr))
+            channel.homeInstall(addr, mem.lineAt(addr));
+        channel.remoteFetch(addr, false);
+    }
+};
+
+void
+BM_ChannelFetch(benchmark::State &state)
+{
+    Rig rig(static_cast<unsigned>(state.range(0)));
+    // Warm both caches and hash tables.
+    for (int i = 0; i < 20000; ++i)
+        rig.touch(rig.rng.below(1 << 14) * kLineBytes);
+    for (auto _ : state) {
+        rig.touch(rig.rng.below(1 << 14) * kLineBytes);
+    }
+    state.counters["ratio"] = rig.channel.compressionRatio();
+}
+
+} // namespace
+
+BENCHMARK(BM_ChannelFetch)->Arg(1)->Arg(6)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

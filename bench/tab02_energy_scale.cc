@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tables II, IV and V — the constants of the evaluation: relative
+ * energy scale of operations, the default system configuration, and
+ * the energy-simulation parameters. Printed from the live model
+ * structs so the tables cannot drift from the code.
+ */
+
+#include <cstdio>
+
+#include "sim/energy.h"
+#include "sim/memlink.h"
+
+using namespace cable;
+
+int
+main()
+{
+    EnergyParams p;
+
+    std::printf("Table II: energy scale of operations\n");
+    std::printf("  %-28s %10s %8s\n", "operation", "energy", "scale");
+    double base = 0.05; // CPACK compression, 50 pJ
+    std::printf("  %-28s %8.0fpJ %7.0fx\n", "CPACK compression", 50.0,
+                0.05 / base);
+    std::printf("  %-28s %8.0fpJ %7.0fx\n",
+                "cache access (1MB slice)", p.search_read_pj,
+                p.search_read_pj * 1e-3 / base);
+    std::printf("  %-28s %8.0fnJ %7.0fx\n", "off-chip IO link",
+                p.link_nj_per_64B * 0.6, // ~15nJ in Table II
+                15.0 / base);
+    std::printf("  %-28s %8.1fnJ %7.0fx\n", "DRAM access",
+                p.dram_access_nj, p.dram_access_nj / base);
+
+    MemSystemConfig cfg;
+    std::printf("\nTable IV: default system configuration\n");
+    std::printf("  core                2.0GHz in-order, 1 CPI "
+                "non-memory\n");
+    std::printf("  L1                  %lluKB private, %u-way, "
+                "%llu-cycle\n",
+                (unsigned long long)(cfg.l1_bytes >> 10), cfg.l1_ways,
+                (unsigned long long)cfg.l1_lat);
+    std::printf("  L2                  %lluKB private, %u-way, "
+                "%llu-cycle\n",
+                (unsigned long long)(cfg.l2_bytes >> 10), cfg.l2_ways,
+                (unsigned long long)cfg.l2_lat);
+    std::printf("  LLC                 %lluMB per core, %u-way, "
+                "%llu-cycle, shared inclusive\n",
+                (unsigned long long)(cfg.llc_bytes_per_thread >> 20),
+                cfg.llc_ways, (unsigned long long)cfg.llc_lat);
+    std::printf("  off-chip link       %u-bit @ %.1fGHz (%.1fGB/s), "
+                "%u-cycle setup\n",
+                cfg.link.width_bits, cfg.link.link_ghz,
+                cfg.link.width_bits * cfg.link.link_ghz / 8,
+                cfg.link.setup_cycles);
+    std::printf("  DRAM buffer (L4)    %lluMB per core, %u-way, "
+                "%llu-cycle\n",
+                (unsigned long long)(cfg.l4_bytes_per_thread >> 20),
+                cfg.l4_ways, (unsigned long long)cfg.l4_lat);
+    std::printf("  DRAM                %u channels, FCFS closed page, "
+                "%llu+%llu cycles\n",
+                cfg.dram.channels,
+                (unsigned long long)cfg.dram.access_cycles,
+                (unsigned long long)cfg.dram.burst_cycles);
+    std::printf("  compression latency CPACK 8/8, gzip 64/32, "
+                "CABLE 32/16 cycles (comp/decomp)\n");
+
+    std::printf("\nTable V: energy simulation parameters\n");
+    std::printf("  %-18s %10s %10s\n", "", "static", "dynamic");
+    std::printf("  %-18s %8.1fmW %9.1fpJ\n", "L1", p.l1_static_mw,
+                p.l1_dyn_pj);
+    std::printf("  %-18s %8.1fmW %9.1fpJ\n", "L2", p.l2_static_mw,
+                p.l2_dyn_pj);
+    std::printf("  %-18s %8.1fmW %9.1fpJ\n", "LLC", p.llc_static_mw,
+                p.llc_dyn_pj);
+    std::printf("  %-18s %8.1fmW %9.1fpJ\n", "DRAM buffer",
+                p.l4_static_mw, p.l4_dyn_pj);
+    std::printf("  %-18s %10s %9.0fpJ\n", "CABLE+LBE comp", "-",
+                p.comp_pj);
+    std::printf("  %-18s %10s %9.0fpJ\n", "CABLE+LBE decomp", "-",
+                p.decomp_pj);
+    return 0;
+}

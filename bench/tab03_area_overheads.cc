@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table III — CABLE area overheads, computed from live structure
+ * geometry for the paper's three deployments:
+ *
+ *   off-chip buffer side : 8-way 16MB home (DRAM buffer), half-sized
+ *                          hash table + WMT
+ *   on-chip cache side   : 8-way 8MB LLC, full-sized hash table (the
+ *                          write-back direction; no WMT on chip)
+ *   multi-chip LLCs      : 8-way 1MB LLC pairs, quarter-sized hash
+ *                          tables, three WMTs per processor
+ *
+ * The search-pipeline logic rows are the paper's OpenPiton 32nm
+ * synthesis results, reported as constants (RTL is outside this
+ * reproduction; see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "core/area.h"
+
+using namespace cable;
+
+int
+main()
+{
+    CacheGeometry llc8{8ull << 20, 8};
+    CacheGeometry buf16{16ull << 20, 8};
+    CacheGeometry llc1{1ull << 20, 8};
+
+    AreaReport buffer =
+        sizeCableStructures(buf16, llc8, /*ht_factor=*/0.5);
+    AreaReport onchip =
+        sizeCableStructures(buf16, llc8, /*ht_factor=*/1.0);
+    AreaReport multi =
+        sizeCableStructures(llc1, llc1, /*ht_factor=*/0.25);
+
+    std::printf("Table III: CABLE SRAM overheads\n");
+    std::printf("  %-18s %10s %14s %12s\n", "", "Buffer",
+                "On-chip cache", "Multi-chip");
+    // On-chip hash table sized against the 8MB LLC it serves.
+    AreaReport onchip_llc =
+        sizeCableStructures(llc8, llc8, /*ht_factor=*/1.0);
+    std::printf("  %-18s %9.2f%% %13.2f%% %11.2f%%\n", "hash table",
+                buffer.hash_table_overhead * 100,
+                onchip_llc.hash_table_overhead * 100,
+                multi.hash_table_overhead * 100);
+    // Multi-chip: three WMTs per processor (one per PTP link).
+    std::printf("  %-18s %9.2f%% %13s %11.2f%%\n", "way-map table",
+                buffer.wmt_overhead * 100, "-",
+                3 * multi.wmt_overhead * 100);
+    std::printf("  %-18s %9ub %13ub %11ub\n", "RemoteLID width",
+                buffer.remote_lid_bits, onchip.home_lid_bits,
+                multi.remote_lid_bits);
+    std::printf("  %-18s %9ub %13s %11ub\n", "WMT entry",
+                buffer.wmt_entry_bits, "-", multi.wmt_entry_bits);
+
+    LogicOverheads lo;
+    std::printf("\nsearch logic (paper's OpenPiton 32nm synthesis)\n");
+    std::printf("  %-18s %10s %10s\n", "", "per-L2", "per-tile");
+    std::printf("  %-18s %9.2f%% %9.2f%%\n", "combinational",
+                lo.combinational_per_l2 * 100,
+                lo.combinational_per_l2 * 100 * lo.total_per_tile
+                    / lo.total_per_l2);
+    std::printf("  %-18s %9.2f%% %9.2f%%\n", "buffers",
+                lo.buffers_per_l2 * 100,
+                lo.buffers_per_l2 * 100 * lo.total_per_tile
+                    / lo.total_per_l2);
+    std::printf("  %-18s %9.2f%% %9.2f%%\n", "non-combinational",
+                lo.noncombinational_per_l2 * 100,
+                lo.noncombinational_per_l2 * 100 * lo.total_per_tile
+                    / lo.total_per_l2);
+    std::printf("  %-18s %9.2f%% %9.2f%%\n", "total",
+                lo.total_per_l2 * 100, lo.total_per_tile * 100);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: drive one CABLE channel directly.
+ *
+ * Builds a home cache (think: off-chip DRAM buffer) and a remote
+ * cache (think: on-chip LLC), connects them with a CableChannel, and
+ * streams a synthetic working set with near-duplicate lines through
+ * it. Every response is compressed against references already
+ * resident in both caches and verified to decompress bit-exactly.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "cache/cache.h"
+#include "core/channel.h"
+#include "workload/value_model.h"
+
+using namespace cable;
+
+int
+main()
+{
+    // A 1MB remote cache backed by a 4MB home cache (both 8-way).
+    Cache home({"home-l4", 4u << 20, 8});
+    Cache remote({"remote-llc", 1u << 20, 8});
+
+    CableConfig cfg;
+    cfg.engine = "lbe"; // the paper's best delegate engine
+    CableChannel channel(home, remote, cfg);
+
+    // A value model with strong cross-line similarity: runs of 8
+    // lines share a template with ~6% word mutations.
+    ValueProfile values;
+    values.zero_line_frac = 0.15;
+    values.template_count = 64;
+    values.region_lines = 8;
+    values.mutation_rate = 0.06;
+    SyntheticMemory memory(values, 0, /*value_seed=*/42);
+
+    // Touch 60,000 lines with heavy reuse so both caches warm up and
+    // the hash tables fill with shared references.
+    Rng rng(7);
+    const std::uint64_t ws_lines = 1 << 15; // 2MB working set
+    for (int i = 0; i < 60000; ++i) {
+        Addr addr = rng.below(ws_lines) * kLineBytes;
+        if (remote.access(addr))
+            continue; // LLC hit: no link traffic
+        if (!home.probe(addr))
+            channel.homeInstall(addr, memory.lineAt(addr));
+        channel.remoteFetch(addr, /*store=*/false);
+    }
+
+    const StatSet &s = channel.stats();
+    std::printf("CABLE quickstart (engine=%s)\n",
+                channel.config().engine.c_str());
+    std::printf("  transfers          : %llu\n",
+                static_cast<unsigned long long>(s.get("transfers")));
+    std::printf("  raw payload bits   : %llu\n",
+                static_cast<unsigned long long>(s.get("raw_bits")));
+    std::printf("  wire payload bits  : %llu\n",
+                static_cast<unsigned long long>(s.get("wire_bits")));
+    std::printf("  compression ratio  : %.2fx (bit level)\n",
+                channel.compressionRatio());
+    std::printf("  effective ratio    : %.2fx (16-bit flits)\n",
+                s.ratio("raw_flits16", "wire_flits16"));
+    std::printf("  responses w/ refs  : %llu/%llu/%llu (1/2/3 refs)\n",
+                static_cast<unsigned long long>(s.get("refs_1")),
+                static_cast<unsigned long long>(s.get("refs_2")),
+                static_cast<unsigned long long>(s.get("refs_3")));
+    std::printf("  self-compressed    : %llu\n",
+                static_cast<unsigned long long>(s.get("self_only")));
+    std::printf("  sent raw           : %llu\n",
+                static_cast<unsigned long long>(s.get("raw_sends")));
+    std::printf("Every transfer was decompressed at the remote side "
+                "and verified bit-exact.\n");
+    return 0;
+}

@@ -1,0 +1,194 @@
+#include "cache/cache.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cable
+{
+
+Cache::Cache(const Config &cfg) : cfg_(cfg)
+{
+    if (cfg_.ways == 0)
+        fatal("%s: zero ways", cfg_.name.c_str());
+    std::uint64_t lines = cfg_.size_bytes / kLineBytes;
+    if (lines == 0 || lines % cfg_.ways != 0)
+        fatal("%s: size %llu not divisible into %u ways",
+              cfg_.name.c_str(),
+              static_cast<unsigned long long>(cfg_.size_bytes),
+              cfg_.ways);
+    num_sets_ = static_cast<unsigned>(lines / cfg_.ways);
+    if (!isPow2(num_sets_))
+        fatal("%s: %u sets is not a power of two", cfg_.name.c_str(),
+              num_sets_);
+    set_bits_ = bitsToIndex(num_sets_);
+    slots_.resize(lines);
+}
+
+Cache::Entry &
+Cache::slot(std::uint32_t set, std::uint8_t way)
+{
+    return slots_[std::size_t{set} * cfg_.ways + way];
+}
+
+const Cache::Entry &
+Cache::slot(std::uint32_t set, std::uint8_t way) const
+{
+    return slots_[std::size_t{set} * cfg_.ways + way];
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return find(addr).valid;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    LineID lid = find(addr);
+    if (!lid.valid)
+        return false;
+    slot(lid.set, lid.way).lru = ++lru_clock_;
+    return true;
+}
+
+LineID
+Cache::find(Addr addr) const
+{
+    std::uint32_t set = setOf(addr);
+    Addr tag = lineNumber(addr);
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        const Entry &e = slot(set, static_cast<std::uint8_t>(w));
+        if (e.valid() && e.tag == tag)
+            return LineID(set, static_cast<std::uint8_t>(w));
+    }
+    return kInvalidLineID;
+}
+
+const Cache::Entry &
+Cache::entryAt(LineID lid) const
+{
+    if (!lid.valid)
+        panic("%s: entryAt(invalid)", cfg_.name.c_str());
+    return slot(lid.set, lid.way);
+}
+
+Cache::Entry &
+Cache::entryAt(LineID lid)
+{
+    if (!lid.valid)
+        panic("%s: entryAt(invalid)", cfg_.name.c_str());
+    return slot(lid.set, lid.way);
+}
+
+Addr
+Cache::addrAt(LineID lid) const
+{
+    return entryAt(lid).tag << kLineShift;
+}
+
+std::uint8_t
+Cache::victimWay(Addr addr) const
+{
+    std::uint32_t set = setOf(addr);
+    std::uint8_t victim = 0;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        const Entry &e = slot(set, static_cast<std::uint8_t>(w));
+        if (!e.valid())
+            return static_cast<std::uint8_t>(w);
+        std::uint64_t key;
+        switch (cfg_.policy) {
+          case ReplacementPolicy::FIFO:
+            key = e.installed;
+            break;
+          case ReplacementPolicy::LRU:
+          default:
+            key = e.lru;
+            break;
+        }
+        if (key < best) {
+            best = key;
+            victim = static_cast<std::uint8_t>(w);
+        }
+    }
+    if (cfg_.policy == ReplacementPolicy::Random) {
+        // Deterministic xorshift stream; callers see a stable
+        // victim per (state, addr) because victimWay is consulted
+        // once per install.
+        rand_state_ ^= rand_state_ << 13;
+        rand_state_ ^= rand_state_ >> 7;
+        rand_state_ ^= rand_state_ << 17;
+        victim = static_cast<std::uint8_t>(rand_state_ % cfg_.ways);
+    }
+    return victim;
+}
+
+Eviction
+Cache::install(Addr addr, const CacheLine &data, CoherenceState state,
+               std::uint8_t way)
+{
+    if (way >= cfg_.ways)
+        panic("%s: install way %u out of range", cfg_.name.c_str(), way);
+    std::uint32_t set = setOf(addr);
+    Entry &e = slot(set, way);
+
+    Eviction ev;
+    if (e.valid() && e.tag != lineNumber(addr)) {
+        ev.valid = true;
+        ev.addr = e.tag << kLineShift;
+        ev.data = e.data;
+        ev.dirty = e.dirty();
+        ev.lid = LineID(set, way);
+    }
+
+    e.tag = lineNumber(addr);
+    e.state = state;
+    e.data = data;
+    e.lru = ++lru_clock_;
+    e.installed = e.lru;
+    return ev;
+}
+
+void
+Cache::writeLine(Addr addr, const CacheLine &data, bool mark_dirty)
+{
+    LineID lid = find(addr);
+    if (!lid.valid)
+        panic("%s: writeLine to non-resident %llx", cfg_.name.c_str(),
+              static_cast<unsigned long long>(addr));
+    Entry &e = slot(lid.set, lid.way);
+    e.data = data;
+    if (mark_dirty)
+        e.state = CoherenceState::Modified;
+    e.lru = ++lru_clock_;
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    LineID lid = find(addr);
+    if (!lid.valid)
+        panic("%s: markDirty on non-resident %llx", cfg_.name.c_str(),
+              static_cast<unsigned long long>(addr));
+    slot(lid.set, lid.way).state = CoherenceState::Modified;
+}
+
+LineID
+Cache::invalidate(Addr addr)
+{
+    LineID lid = find(addr);
+    if (lid.valid)
+        slot(lid.set, lid.way).state = CoherenceState::Invalid;
+    return lid;
+}
+
+void
+Cache::clear()
+{
+    for (Entry &e : slots_)
+        e = Entry{};
+    lru_clock_ = 0;
+}
+
+} // namespace cable

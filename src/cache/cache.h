@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, MESI-like line
+ * states and data storage. Used functionally by the compression
+ * studies and as the storage component of the timing simulator.
+ *
+ * Two properties CABLE relies on are modelled faithfully:
+ *
+ *  - victimWay() exposes the replacement way *before* an install, so
+ *    requests can carry way-replacement info the way the UltraSPARC
+ *    T1/T2 do (§II-C); and
+ *  - install() reports the displaced line (non-silent eviction), so
+ *    the home cache can keep its hash table and WMT synchronized.
+ *
+ * Lines are addressed by LineID (set + way) for CABLE's data-array
+ * reads, which need no tag check (§III-C).
+ */
+
+#ifndef CABLE_CACHE_CACHE_H
+#define CABLE_CACHE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/line.h"
+#include "common/types.h"
+
+namespace cable
+{
+
+/** Coherence state of a cached line (MESI minus E for simplicity). */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,   ///< clean, possibly replicated; usable as reference
+    Modified, ///< dirty; never used as reference data (§II-A)
+};
+
+/** Result of an install: the line that was displaced, if any. */
+struct Eviction
+{
+    bool valid = false;
+    Addr addr = 0;
+    CacheLine data;
+    bool dirty = false;
+    LineID lid;
+};
+
+/** Replacement policy for victim selection. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    LRU,    ///< least recently used (default, Table IV)
+    FIFO,   ///< oldest install
+    Random, ///< seeded pseudo-random way
+};
+
+class Cache
+{
+  public:
+    struct Config
+    {
+        std::string name = "cache";
+        std::uint64_t size_bytes = 1 << 20;
+        unsigned ways = 8;
+        /** CABLE is decoupled from replacement policy (§II-C):
+         *  it tracks evictions precisely whatever is chosen. */
+        ReplacementPolicy policy = ReplacementPolicy::LRU;
+    };
+
+    explicit Cache(const Config &cfg);
+
+    /** One cache slot. */
+    struct Entry
+    {
+        Addr tag = 0; ///< full line number (addr >> 6)
+        CoherenceState state = CoherenceState::Invalid;
+        CacheLine data;
+        std::uint64_t lru = 0;      ///< recency stamp (LRU)
+        std::uint64_t installed = 0; ///< install stamp (FIFO)
+
+        bool valid() const { return state != CoherenceState::Invalid; }
+        bool dirty() const { return state == CoherenceState::Modified; }
+    };
+
+    // --- geometry ---------------------------------------------------
+    unsigned numSets() const { return num_sets_; }
+    unsigned numWays() const { return cfg_.ways; }
+    std::uint64_t sizeBytes() const { return cfg_.size_bytes; }
+    std::uint64_t numLines() const
+    {
+        return std::uint64_t{num_sets_} * cfg_.ways;
+    }
+    unsigned setIndexBits() const { return set_bits_; }
+
+    /** Set index of an address. */
+    std::uint32_t
+    setOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(lineNumber(addr)
+                                          & (num_sets_ - 1));
+    }
+
+    // --- lookup -----------------------------------------------------
+    /** Hit check without touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /** Hit check that promotes the line in LRU order. */
+    bool access(Addr addr);
+
+    /** LineID of addr if resident, else invalid. Does not touch LRU. */
+    LineID find(Addr addr) const;
+
+    /** Entry behind a LineID (data-array read; no tag check). */
+    const Entry &entryAt(LineID lid) const;
+    Entry &entryAt(LineID lid);
+
+    /** Address of the line in slot @p lid. */
+    Addr addrAt(LineID lid) const;
+
+    // --- modification -----------------------------------------------
+    /**
+     * The way an install of @p addr would use: an invalid way if one
+     * exists (lowest first), else the LRU way. This is the
+     * "replacement-way info" carried on requests.
+     */
+    std::uint8_t victimWay(Addr addr) const;
+
+    /**
+     * Installs @p data for @p addr in @p way of its set, returning
+     * any displaced line. Also promotes the line in LRU order.
+     */
+    Eviction install(Addr addr, const CacheLine &data,
+                     CoherenceState state, std::uint8_t way);
+
+    /** install() into victimWay(). */
+    Eviction
+    install(Addr addr, const CacheLine &data, CoherenceState state)
+    {
+        return install(addr, data, state, victimWay(addr));
+    }
+
+    /** Overwrites the data of a resident line; optionally dirties. */
+    void writeLine(Addr addr, const CacheLine &data, bool mark_dirty);
+
+    /** Marks a resident line dirty (upgrade). */
+    void markDirty(Addr addr);
+
+    /** Drops a line (snoop/back-invalidation). Returns its LID. */
+    LineID invalidate(Addr addr);
+
+    /** Invalidates everything. */
+    void clear();
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Entry &slot(std::uint32_t set, std::uint8_t way);
+    const Entry &slot(std::uint32_t set, std::uint8_t way) const;
+
+    Config cfg_;
+    unsigned num_sets_;
+    unsigned set_bits_;
+    std::uint64_t lru_clock_ = 0;
+    mutable std::uint64_t rand_state_ = 0x9e3779b97f4a7c15ull;
+    std::vector<Entry> slots_; // set-major layout
+};
+
+} // namespace cable
+
+#endif // CABLE_CACHE_CACHE_H

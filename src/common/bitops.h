@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-manipulation helpers used across the compression engines, the
+ * signature extractor and structure-sizing arithmetic.
+ */
+
+#ifndef CABLE_COMMON_BITOPS_H
+#define CABLE_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstdint>
+
+namespace cable
+{
+
+/** Number of leading zero bits of a 32-bit value (32 for zero). */
+inline unsigned
+leadingZeros32(std::uint32_t v)
+{
+    return static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Number of leading one bits of a 32-bit value (32 for ~0). */
+inline unsigned
+leadingOnes32(std::uint32_t v)
+{
+    return static_cast<unsigned>(std::countl_one(v));
+}
+
+/**
+ * The paper's "trivial" predicate (§III-A): a 32-bit word with 24 or
+ * more leading zeroes or leading ones. Trivial words are skipped when
+ * choosing signature offsets because they carry little identity.
+ *
+ * @param v data word
+ * @param threshold leading-bit threshold, 24 in the paper
+ */
+inline bool
+isTrivialWord(std::uint32_t v, unsigned threshold = 24)
+{
+    return leadingZeros32(v) >= threshold || leadingOnes32(v) >= threshold;
+}
+
+/** ceil(log2(x)); bits needed to index x slots. Returns 0 for x <= 1. */
+inline unsigned
+bitsToIndex(std::uint64_t x)
+{
+    if (x <= 1)
+        return 0;
+    return static_cast<unsigned>(std::bit_width(x - 1));
+}
+
+/** True if x is a power of two (and non-zero). */
+inline bool
+isPow2(std::uint64_t x)
+{
+    return x && std::has_single_bit(x);
+}
+
+/** Integer ceil division. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Population count of a 32-bit mask. */
+inline unsigned
+popcount32(std::uint32_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+} // namespace cable
+
+#endif // CABLE_COMMON_BITOPS_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal logging/error facility following the gem5 split between
+ * panic() (internal invariant violation; aborts) and fatal() (user
+ * configuration error; clean exit), plus warn()/inform().
+ */
+
+#ifndef CABLE_COMMON_LOG_H
+#define CABLE_COMMON_LOG_H
+
+#include <cstdarg>
+
+namespace cable
+{
+
+/** Internal invariant violated — a bug in this library. Aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Unusable user configuration. Exits with status 1. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace cable
+
+#endif // CABLE_COMMON_LOG_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All simulations and
+ * workload generators in this repository are seeded so every run is
+ * reproducible bit-for-bit; we use SplitMix64 for seeding/stateless
+ * hashing and xoshiro256** for streams.
+ */
+
+#ifndef CABLE_COMMON_RNG_H
+#define CABLE_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace cable
+{
+
+/** Stateless SplitMix64 mix step; good avalanche, used as a hash. */
+inline std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xoshiro256** PRNG. Small, fast, deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s_)
+            word = splitMix64(x++);
+    }
+
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cable
+
+#endif // CABLE_COMMON_RNG_H

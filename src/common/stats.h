@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight statistics package: named counters and ratio helpers
+ * with a dump facility, in the spirit of gem5's stats but minimal.
+ */
+
+#ifndef CABLE_COMMON_STATS_H
+#define CABLE_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace cable
+{
+
+/**
+ * A set of named 64-bit counters. Counters auto-register on first
+ * use; dump() prints them sorted by name so output is diff-stable.
+ */
+class StatSet
+{
+  public:
+    /** Returns (creating if needed) the counter named @p name. */
+    std::uint64_t &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Adds @p delta to the counter named @p name. */
+    void
+    add(const std::string &name, std::uint64_t delta)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Returns the counter value, or 0 if never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** num/den as double, 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        auto d = get(den);
+        return d ? static_cast<double>(get(num)) / d : 0.0;
+    }
+
+    void
+    clear()
+    {
+        counters_.clear();
+    }
+
+    void
+    dump(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[name, value] : counters_)
+            os << prefix << name << " " << value << "\n";
+    }
+
+    /** Merge-add every counter from @p other into this set. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace cable
+
+#endif // CABLE_COMMON_STATS_H

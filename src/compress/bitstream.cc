@@ -1,0 +1,28 @@
+#include "compress/bitstream.h"
+
+namespace cable
+{
+
+std::uint64_t
+BitVec::toggleCount(unsigned width) const
+{
+    if (width == 0 || num_bits_ == 0)
+        return 0;
+    // Serialize into width-bit beats (zero-padded tail) and count
+    // per-wire transitions between consecutive beats.
+    std::uint64_t toggles = 0;
+    std::size_t beats = (num_bits_ + width - 1) / width;
+    std::vector<bool> prev(width, false);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (unsigned w = 0; w < width; ++w) {
+            std::size_t i = beat * width + w;
+            bool b = i < num_bits_ ? bit(i) : false;
+            if (beat > 0 && b != prev[w])
+                ++toggles;
+            prev[w] = b;
+        }
+    }
+    return toggles;
+}
+
+} // namespace cable

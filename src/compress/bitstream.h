@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bit-granular streams used by every compression engine. Encoders
+ * emit into a BitWriter; decoders consume from a BitReader. The
+ * backing BitVec records the exact encoded length in bits, which is
+ * what the link model quantizes into flits.
+ */
+
+#ifndef CABLE_COMPRESS_BITSTREAM_H
+#define CABLE_COMPRESS_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace cable
+{
+
+/** A sequence of bits, MSB-first within each stored byte. */
+class BitVec
+{
+  public:
+    std::size_t sizeBits() const { return num_bits_; }
+    bool empty() const { return num_bits_ == 0; }
+
+    bool
+    bit(std::size_t i) const
+    {
+        return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
+    }
+
+    void
+    pushBit(bool b)
+    {
+        if ((num_bits_ & 7) == 0)
+            bytes_.push_back(0);
+        if (b)
+            bytes_.back() |= 1u << (7 - (num_bits_ & 7));
+        ++num_bits_;
+    }
+
+    void
+    clear()
+    {
+        bytes_.clear();
+        num_bits_ = 0;
+    }
+
+    /**
+     * Count of 0→1/1→0 transitions when the stream is serialized over
+     * a @p width bit bus; used for the bit-toggle study (§VI-D).
+     */
+    std::uint64_t toggleCount(unsigned width) const;
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t num_bits_ = 0;
+};
+
+/** Appends fields of up to 64 bits, most significant bit first. */
+class BitWriter
+{
+  public:
+    /** Appends the low @p nbits bits of @p value. */
+    void
+    put(std::uint64_t value, unsigned nbits)
+    {
+        if (nbits > 64)
+            panic("BitWriter::put: nbits=%u", nbits);
+        for (unsigned i = nbits; i-- > 0;)
+            vec_.pushBit((value >> i) & 1);
+    }
+
+    /** Appends every bit of @p other. */
+    void
+    appendBits(const BitVec &other)
+    {
+        for (std::size_t i = 0; i < other.sizeBits(); ++i)
+            vec_.pushBit(other.bit(i));
+    }
+
+    std::size_t sizeBits() const { return vec_.sizeBits(); }
+    const BitVec &bits() const { return vec_; }
+    BitVec take() { return std::move(vec_); }
+
+  private:
+    BitVec vec_;
+};
+
+/** Sequential reader over a BitVec. */
+class BitReader
+{
+  public:
+    explicit BitReader(const BitVec &vec) : vec_(vec) {}
+
+    /** Reads the next @p nbits bits as an unsigned value. */
+    std::uint64_t
+    get(unsigned nbits)
+    {
+        if (pos_ + nbits > vec_.sizeBits())
+            panic("BitReader: read past end (pos=%zu n=%u size=%zu)",
+                  pos_, nbits, vec_.sizeBits());
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < nbits; ++i)
+            v = (v << 1) | static_cast<std::uint64_t>(vec_.bit(pos_++));
+        return v;
+    }
+
+    std::size_t pos() const { return pos_; }
+    bool exhausted() const { return pos_ >= vec_.sizeBits(); }
+    std::size_t remaining() const { return vec_.sizeBits() - pos_; }
+
+  private:
+    const BitVec &vec_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cable
+
+#endif // CABLE_COMPRESS_BITSTREAM_H

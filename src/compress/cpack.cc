@@ -1,0 +1,212 @@
+#include "compress/cpack.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cable
+{
+
+namespace
+{
+
+// Pattern code points.
+constexpr unsigned kCodeZzzz = 0b00; // 2-bit prefix
+constexpr unsigned kCodeXxxx = 0b01; // 2-bit prefix
+constexpr unsigned kCodeMmmm = 0b10; // 2-bit prefix
+constexpr unsigned kCodeMmxx = 0b1100;
+constexpr unsigned kCodeZzzx = 0b1101;
+constexpr unsigned kCodeMmmx = 0b1110;
+
+} // namespace
+
+void
+Cpack::Dict::push(std::uint32_t w)
+{
+    if (capacity == 0)
+        return;
+    if (entries.size() < capacity) {
+        entries.push_back(w);
+    } else {
+        entries[head] = w;
+        head = (head + 1) % capacity;
+    }
+}
+
+int
+Cpack::Dict::bestMatch(std::uint32_t w, std::size_t &index) const
+{
+    int best = -1;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::uint32_t e = entries[i];
+        int quality;
+        if (e == w)
+            quality = 2;
+        else if ((e & 0xffffff00u) == (w & 0xffffff00u))
+            quality = 1;
+        else if ((e & 0xffff0000u) == (w & 0xffff0000u))
+            quality = 0;
+        else
+            continue;
+        if (quality > best) {
+            best = quality;
+            index = i;
+            if (best == 2)
+                break;
+        }
+    }
+    return best;
+}
+
+Cpack::Cpack() : Cpack(Config{}) {}
+
+Cpack::Cpack(const Config &cfg)
+    : cfg_(cfg), idx_bits_(bitsToIndex(cfg.dict_entries)),
+      enc_dict_(cfg.dict_entries), dec_dict_(cfg.dict_entries)
+{
+    if (cfg_.dict_entries == 0)
+        fatal("Cpack: dictionary must have at least one entry");
+}
+
+std::string
+Cpack::name() const
+{
+    std::string n = "cpack";
+    if (cfg_.dict_entries != 16)
+        n += std::to_string(cfg_.dict_entries * 4);
+    return n;
+}
+
+Cpack::Dict
+Cpack::makeSeededDict(const RefList &refs) const
+{
+    Dict d(cfg_.dict_entries);
+    for (const CacheLine *ref : refs)
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            d.push(ref->word(w));
+    return d;
+}
+
+BitVec
+Cpack::encode(const CacheLine &line, Dict &dict) const
+{
+    BitWriter bw;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        std::uint32_t w = line.word(i);
+        if (w == 0) {
+            bw.put(kCodeZzzz, 2);
+            continue;
+        }
+        std::size_t index = 0;
+        int quality = dict.bestMatch(w, index);
+        if (quality == 2) {
+            bw.put(kCodeMmmm, 2);
+            bw.put(index, idx_bits_);
+            continue;
+        }
+        // All remaining patterns insert the word into the dictionary.
+        // Cheapest first: zzzx (12b) beats mmmx (12b + index).
+        if ((w & 0xffffff00u) == 0) {
+            bw.put(kCodeZzzx, 4);
+            bw.put(w & 0xff, 8);
+        } else if (quality == 1) {
+            bw.put(kCodeMmmx, 4);
+            bw.put(index, idx_bits_);
+            bw.put(w & 0xff, 8);
+        } else if (quality == 0) {
+            bw.put(kCodeMmxx, 4);
+            bw.put(index, idx_bits_);
+            bw.put(w & 0xffff, 16);
+        } else {
+            bw.put(kCodeXxxx, 2);
+            bw.put(w, 32);
+        }
+        dict.push(w);
+    }
+    return bw.take();
+}
+
+CacheLine
+Cpack::decode(const BitVec &bits, Dict &dict) const
+{
+    BitReader br(bits);
+    CacheLine line;
+    for (unsigned i = 0; i < kWordsPerLine; ++i) {
+        unsigned p2 = static_cast<unsigned>(br.get(2));
+        std::uint32_t w = 0;
+        bool push = false;
+        if (p2 == kCodeZzzz) {
+            w = 0;
+        } else if (p2 == kCodeXxxx) {
+            w = static_cast<std::uint32_t>(br.get(32));
+            push = true;
+        } else if (p2 == kCodeMmmm) {
+            auto index = br.get(idx_bits_);
+            w = dict.at(index);
+        } else {
+            unsigned p4 = (p2 << 2) | static_cast<unsigned>(br.get(2));
+            if (p4 == kCodeMmxx) {
+                auto index = br.get(idx_bits_);
+                w = (dict.at(index) & 0xffff0000u)
+                    | static_cast<std::uint32_t>(br.get(16));
+            } else if (p4 == kCodeZzzx) {
+                w = static_cast<std::uint32_t>(br.get(8));
+            } else if (p4 == kCodeMmmx) {
+                auto index = br.get(idx_bits_);
+                w = (dict.at(index) & 0xffffff00u)
+                    | static_cast<std::uint32_t>(br.get(8));
+            } else {
+                panic("Cpack::decode: bad pattern code");
+            }
+            push = true;
+        }
+        line.setWord(i, w);
+        if (push)
+            dict.push(w);
+    }
+    return line;
+}
+
+BitVec
+Cpack::compress(const CacheLine &line, const RefList &refs)
+{
+    if (!refs.empty()) {
+        Dict d = makeSeededDict(refs);
+        return encode(line, d);
+    }
+    if (cfg_.persistent)
+        return encode(line, enc_dict_);
+    Dict d(cfg_.dict_entries);
+    return encode(line, d);
+}
+
+CacheLine
+Cpack::decompress(const BitVec &bits, const RefList &refs)
+{
+    if (!refs.empty()) {
+        Dict d = makeSeededDict(refs);
+        return decode(bits, d);
+    }
+    if (cfg_.persistent)
+        return decode(bits, dec_dict_);
+    Dict d(cfg_.dict_entries);
+    return decode(bits, d);
+}
+
+std::size_t
+Cpack::compressedBits(const CacheLine &line, const RefList &refs)
+{
+    if (!refs.empty() || !cfg_.persistent)
+        return compress(line, refs).sizeBits();
+    // Probe without disturbing the streaming dictionary.
+    Dict snapshot = enc_dict_;
+    return encode(line, snapshot).sizeBits();
+}
+
+void
+Cpack::reset()
+{
+    enc_dict_ = Dict(cfg_.dict_entries);
+    dec_dict_ = Dict(cfg_.dict_entries);
+}
+
+} // namespace cable

@@ -1,0 +1,57 @@
+#include "compress/factory.h"
+
+#include "common/log.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+#include "compress/lbe.h"
+#include "compress/lzss.h"
+#include "compress/oracle.h"
+#include "compress/zero_run.h"
+
+namespace cable
+{
+
+CompressorPtr
+makeCompressor(const std::string &name)
+{
+    if (name == "cpack")
+        return std::make_unique<Cpack>();
+    if (name == "cpack128") {
+        Cpack::Config cfg;
+        cfg.dict_entries = 32;
+        cfg.persistent = true;
+        return std::make_unique<Cpack>(cfg);
+    }
+    if (name == "bdi")
+        return std::make_unique<Bdi>();
+    if (name == "fpc")
+        return std::make_unique<Fpc>();
+    if (name == "lbe256") {
+        Lbe::Config cfg;
+        cfg.dict_bytes = 256;
+        cfg.persistent = true;
+        return std::make_unique<Lbe>(cfg);
+    }
+    if (name == "gzip")
+        return std::make_unique<Lzss>();
+    if (name == "lzss") {
+        Lzss::Config cfg;
+        cfg.persistent = false;
+        return std::make_unique<Lzss>(cfg);
+    }
+    if (name == "oracle")
+        return std::make_unique<Oracle>();
+    if (name == "zero")
+        return std::make_unique<ZeroRun>();
+    fatal("unknown compressor '%s'", name.c_str());
+}
+
+std::vector<std::string>
+compressorNames()
+{
+    return {"zero",  "bdi",  "fpc",   "cpack",  "cpack128",
+            "lbe256", "gzip", "lzss", "oracle"};
+}
+
+} // namespace cable

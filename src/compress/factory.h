@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Factory for delegate/baseline compression engines by name. Names
+ * match the labels used in the paper's evaluation:
+ *
+ *   "cpack"     C-PACK, 64B per-line dictionary (non-dictionary class)
+ *   "bdi"       Base-Delta-Immediate
+ *   "cpack128"  C-PACK, 128B persistent FIFO dictionary
+ *   "lbe256"    LBE, 256B persistent FIFO dictionary
+ *   "gzip"      LZSS, 32KB persistent window
+ *   "lzss"      LZSS, per-line (no persistent window)
+ *   "oracle"    optimal byte-granular reference matcher
+ *   "zero"      zero-word flag encoder
+ */
+
+#ifndef CABLE_COMPRESS_FACTORY_H
+#define CABLE_COMPRESS_FACTORY_H
+
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace cable
+{
+
+/** Creates the engine registered under @p name; fatal() if unknown. */
+CompressorPtr makeCompressor(const std::string &name);
+
+/** All registered engine names, in the factory's canonical order. */
+std::vector<std::string> compressorNames();
+
+} // namespace cable
+
+#endif // CABLE_COMPRESS_FACTORY_H

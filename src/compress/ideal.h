@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Idealized word-dictionary encoder for the Fig 3 motivation study:
+ * CPACK "modified with configurable dictionary size *minus symbol
+ * overheads*". Every 32-bit word that hits the FIFO dictionary costs
+ * either nothing but its 2-bit code (count_pointer = false, the
+ * "Ideal" curve) or the code plus a log2-sized pointer
+ * (count_pointer = true, the "Ideal With Pointer" curve). Misses
+ * cost 34 bits, zero words 2 bits. Size-only: this is a ratio model,
+ * not a codec.
+ */
+
+#ifndef CABLE_COMPRESS_IDEAL_H
+#define CABLE_COMPRESS_IDEAL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/line.h"
+
+namespace cable
+{
+
+class IdealDictModel
+{
+  public:
+    /**
+     * @param dict_bytes dictionary capacity in bytes (4 per word)
+     * @param count_pointer charge log2(entries) pointer bits per hit
+     */
+    IdealDictModel(std::size_t dict_bytes, bool count_pointer)
+        : capacity_(dict_bytes / 4), count_pointer_(count_pointer),
+          ptr_bits_(bitsToIndex(capacity_))
+    {
+    }
+
+    /** Sizes one line and updates the FIFO dictionary. */
+    std::size_t
+    sizeLine(const CacheLine &line)
+    {
+        std::size_t bits = 0;
+        for (unsigned i = 0; i < kWordsPerLine; ++i) {
+            std::uint32_t w = line.word(i);
+            if (w == 0) {
+                bits += 2;
+                continue;
+            }
+            if (contains_.count(w)) {
+                bits += 2 + (count_pointer_ ? ptr_bits_ : 0);
+            } else {
+                bits += 34;
+                insert(w);
+            }
+        }
+        return bits;
+    }
+
+    std::size_t capacityWords() const { return capacity_; }
+
+  private:
+    void
+    insert(std::uint32_t w)
+    {
+        if (capacity_ == 0)
+            return;
+        if (fifo_.size() >= capacity_) {
+            std::uint32_t old = fifo_[head_];
+            auto it = contains_.find(old);
+            if (it != contains_.end() && --it->second == 0)
+                contains_.erase(it);
+            fifo_[head_] = w;
+            head_ = (head_ + 1) % capacity_;
+        } else {
+            fifo_.push_back(w);
+        }
+        ++contains_[w];
+    }
+
+    std::size_t capacity_;
+    bool count_pointer_;
+    unsigned ptr_bits_;
+    std::vector<std::uint32_t> fifo_;
+    std::size_t head_ = 0;
+    std::unordered_map<std::uint32_t, unsigned> contains_;
+};
+
+} // namespace cable
+
+#endif // CABLE_COMPRESS_IDEAL_H

@@ -1,0 +1,285 @@
+#include "compress/lzss.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cable
+{
+
+Lzss::Lzss() : Lzss(Config{}) {}
+
+Lzss::Lzss(const Config &cfg) : cfg_(cfg)
+{
+    if (cfg_.window_bytes < kLineBytes)
+        fatal("Lzss: window must be at least one line");
+    if (!isPow2(cfg_.window_bytes))
+        fatal("Lzss: window must be a power of two");
+    dist_bits_ = bitsToIndex(cfg_.window_bytes + 1);
+    head_.assign(std::size_t{1} << kHashBits, kNone);
+    prev_.assign(cfg_.window_bytes, kNone);
+}
+
+std::string
+Lzss::name() const
+{
+    return cfg_.persistent ? "gzip" : "lzss";
+}
+
+std::uint8_t
+Lzss::byteAt(std::uint64_t abs) const
+{
+    return history_[abs - trim_base_];
+}
+
+unsigned
+Lzss::hashAt(std::uint64_t abs) const
+{
+    std::uint32_t v = byteAt(abs)
+        | (static_cast<std::uint32_t>(byteAt(abs + 1)) << 8)
+        | (static_cast<std::uint32_t>(byteAt(abs + 2)) << 16);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void
+Lzss::insertHash(std::uint64_t pos)
+{
+    unsigned h = hashAt(pos);
+    prev_[pos & (cfg_.window_bytes - 1)] = head_[h];
+    head_[h] = pos;
+}
+
+BitVec
+Lzss::encodeStream(const CacheLine &line, bool update)
+{
+    const std::uint64_t start = trim_base_ + history_.size();
+    const std::uint64_t end = start + kLineBytes;
+    history_.insert(history_.end(), line.data(),
+                    line.data() + kLineBytes);
+
+    BitWriter bw;
+    std::uint64_t pos = start;
+    while (pos < end) {
+        unsigned best_len = 0;
+        std::uint64_t best_dist = 0;
+        const unsigned lim = static_cast<unsigned>(
+            std::min<std::uint64_t>(kMaxMatch, end - pos));
+
+        auto consider = [&](std::uint64_t cand) {
+            unsigned len = 0;
+            while (len < lim && byteAt(cand + len) == byteAt(pos + len))
+                ++len;
+            if (len > best_len) {
+                best_len = len;
+                best_dist = pos - cand;
+            }
+        };
+
+        if (lim >= kMinMatch) {
+            // History candidates via the hash chains.
+            unsigned h = hashAt(pos);
+            std::uint64_t cand = head_[h];
+            unsigned chain = 0;
+            while (cand != kNone && cand < pos
+                   && pos - cand <= cfg_.window_bytes
+                   && cand >= trim_base_ && ++chain <= cfg_.max_chain) {
+                consider(cand);
+                if (best_len >= lim)
+                    break;
+                std::uint64_t next = prev_[cand & (cfg_.window_bytes - 1)];
+                if (next == kNone || next >= cand)
+                    break; // stale slot or end of chain
+                cand = next;
+            }
+            if (!update) {
+                // Probe mode leaves the chains untouched, so in-line
+                // self matches are found by brute force instead.
+                for (std::uint64_t c = start; c < pos; ++c)
+                    consider(c);
+            }
+        }
+
+        if (best_len >= kMinMatch) {
+            bw.put(1, 1);
+            bw.put(best_dist, dist_bits_);
+            bw.put(best_len - kMinMatch, 8);
+            if (update) {
+                for (std::uint64_t p = pos; p < pos + best_len; ++p)
+                    if (p + kMinMatch <= end)
+                        insertHash(p);
+            }
+            pos += best_len;
+        } else {
+            bw.put(0, 1);
+            bw.put(byteAt(pos), 8);
+            if (update && pos + kMinMatch <= end)
+                insertHash(pos);
+            ++pos;
+        }
+    }
+
+    if (!update) {
+        history_.resize(history_.size() - kLineBytes);
+    } else if (history_.size() > 2 * cfg_.window_bytes) {
+        std::size_t drop = history_.size() - cfg_.window_bytes;
+        history_.erase(history_.begin(),
+                       history_.begin() + static_cast<long>(drop));
+        trim_base_ += drop;
+    }
+    return bw.take();
+}
+
+BitVec
+Lzss::encodeWithRefs(const CacheLine &line, const RefList &refs,
+                     unsigned dist_bits) const
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(refs.size() * kLineBytes + kLineBytes);
+    for (const CacheLine *ref : refs)
+        buf.insert(buf.end(), ref->data(), ref->data() + kLineBytes);
+    const std::size_t base = buf.size();
+    buf.insert(buf.end(), line.data(), line.data() + kLineBytes);
+
+    BitWriter bw;
+    std::size_t pos = base;
+    while (pos < buf.size()) {
+        unsigned best_len = 0;
+        std::size_t best_dist = 0;
+        unsigned lim = static_cast<unsigned>(
+            std::min<std::size_t>(kMaxMatch, buf.size() - pos));
+        for (std::size_t cand = 0; cand < pos; ++cand) {
+            unsigned len = 0;
+            while (len < lim && buf[cand + len] == buf[pos + len])
+                ++len;
+            if (len > best_len
+                || (len == best_len && best_len > 0
+                    && pos - cand < best_dist)) {
+                best_len = len;
+                best_dist = pos - cand;
+            }
+        }
+        if (best_len >= kMinMatch) {
+            bw.put(1, 1);
+            bw.put(best_dist, dist_bits);
+            bw.put(best_len - kMinMatch, 8);
+            pos += best_len;
+        } else {
+            bw.put(0, 1);
+            bw.put(buf[pos], 8);
+            ++pos;
+        }
+    }
+    return bw.take();
+}
+
+CacheLine
+Lzss::decodeWithRefs(const BitVec &bits, const RefList &refs,
+                     unsigned dist_bits) const
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(refs.size() * kLineBytes + kLineBytes);
+    for (const CacheLine *ref : refs)
+        buf.insert(buf.end(), ref->data(), ref->data() + kLineBytes);
+    const std::size_t base = buf.size();
+
+    BitReader br(bits);
+    while (buf.size() < base + kLineBytes) {
+        if (br.get(1)) {
+            std::size_t dist = br.get(dist_bits);
+            unsigned len = static_cast<unsigned>(br.get(8)) + kMinMatch;
+            if (dist == 0 || dist > buf.size())
+                panic("Lzss::decode: bad distance");
+            std::size_t from = buf.size() - dist;
+            for (unsigned k = 0; k < len; ++k)
+                buf.push_back(buf[from + k]);
+        } else {
+            buf.push_back(static_cast<std::uint8_t>(br.get(8)));
+        }
+    }
+    return CacheLine::fromBytes(buf.data() + base);
+}
+
+BitVec
+Lzss::compress(const CacheLine &line, const RefList &refs)
+{
+    if (!refs.empty()) {
+        unsigned db = bitsToIndex(refs.size() * kLineBytes
+                                  + kLineBytes + 1);
+        return encodeWithRefs(line, refs, db);
+    }
+    BitVec out = encodeStream(line, cfg_.persistent);
+    if (!cfg_.persistent) {
+        // Per-line mode: self-compression only; state already rolled
+        // back by encodeStream(update=false).
+    }
+    return out;
+}
+
+CacheLine
+Lzss::decompress(const BitVec &bits, const RefList &refs)
+{
+    if (!refs.empty()) {
+        unsigned db = bitsToIndex(refs.size() * kLineBytes
+                                  + kLineBytes + 1);
+        return decodeWithRefs(bits, refs, db);
+    }
+
+    CacheLine line;
+    BitReader br(bits);
+    std::size_t produced = 0;
+    while (produced < kLineBytes) {
+        if (br.get(1)) {
+            std::size_t dist = br.get(dist_bits_);
+            unsigned len = static_cast<unsigned>(br.get(8)) + kMinMatch;
+            if (dist == 0 || dist > dec_history_.size() + produced)
+                panic("Lzss::decompress: bad distance");
+            for (unsigned k = 0; k < len; ++k) {
+                std::size_t total = dec_history_.size() + produced;
+                std::size_t from = total - dist;
+                std::uint8_t b = from < dec_history_.size()
+                                     ? dec_history_[from]
+                                     : line.byte(static_cast<unsigned>(
+                                           from - dec_history_.size()));
+                line.setByte(static_cast<unsigned>(produced), b);
+                ++produced;
+            }
+        } else {
+            line.setByte(static_cast<unsigned>(produced),
+                         static_cast<std::uint8_t>(br.get(8)));
+            ++produced;
+        }
+    }
+    if (cfg_.persistent) {
+        dec_history_.insert(dec_history_.end(), line.data(),
+                            line.data() + kLineBytes);
+        if (dec_history_.size() > 2 * cfg_.window_bytes) {
+            std::size_t drop = dec_history_.size() - cfg_.window_bytes;
+            dec_history_.erase(dec_history_.begin(),
+                               dec_history_.begin()
+                                   + static_cast<long>(drop));
+        }
+    }
+    return line;
+}
+
+std::size_t
+Lzss::compressedBits(const CacheLine &line, const RefList &refs)
+{
+    if (!refs.empty())
+        return compress(line, refs).sizeBits();
+    return encodeStream(line, false).sizeBits();
+}
+
+void
+Lzss::reset()
+{
+    history_.clear();
+    dec_history_.clear();
+    trim_base_ = 0;
+    head_.assign(std::size_t{1} << kHashBits, kNone);
+    prev_.assign(cfg_.window_bytes, kNone);
+}
+
+} // namespace cable

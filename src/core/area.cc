@@ -1,0 +1,49 @@
+#include "core/area.h"
+
+#include "common/bitops.h"
+
+namespace cable
+{
+
+AreaReport
+sizeCableStructures(const CacheGeometry &home,
+                    const CacheGeometry &remote, double ht_factor,
+                    unsigned ht_bucket)
+{
+    AreaReport r{};
+
+    unsigned home_set_bits = bitsToIndex(home.sets());
+    unsigned home_way_bits = bitsToIndex(home.ways);
+    if (home_way_bits == 0)
+        home_way_bits = 1;
+    unsigned remote_set_bits = bitsToIndex(remote.sets());
+    unsigned remote_way_bits = bitsToIndex(remote.ways);
+    if (remote_way_bits == 0)
+        remote_way_bits = 1;
+
+    r.home_lid_bits = home_set_bits + home_way_bits;
+    r.remote_lid_bits = remote_set_bits + remote_way_bits;
+
+    // Hash table: a "full-sized" table holds as many LineID slots as
+    // the home cache has lines (§IV-D's 3.5% at 16MB); bucket depth
+    // groups slots but does not change total storage.
+    (void)ht_bucket;
+    std::uint64_t slots = static_cast<std::uint64_t>(
+        ht_factor * static_cast<double>(home.lines()));
+    r.hash_table_bits = slots * (r.home_lid_bits + 1);
+
+    // WMT: one entry per remote slot, each holding a normalized
+    // HomeLID (alias bits + home way) plus a valid bit.
+    unsigned alias_bits = home_set_bits - remote_set_bits;
+    r.wmt_entry_bits = alias_bits + home_way_bits;
+    r.wmt_bits = remote.sets() * remote.ways * (r.wmt_entry_bits + 1);
+
+    double home_data_bits =
+        static_cast<double>(home.size_bytes) * 8.0;
+    r.hash_table_overhead =
+        static_cast<double>(r.hash_table_bits) / home_data_bits;
+    r.wmt_overhead = static_cast<double>(r.wmt_bits) / home_data_bits;
+    return r;
+}
+
+} // namespace cable

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structure sizing / area-overhead model reproducing the arithmetic
+ * behind Table III and §IV-D. SRAM overheads are computed from the
+ * geometry of the hash table and WMT relative to the data-cache
+ * capacity they serve; the search-pipeline logic numbers are the
+ * paper's synthesis results (OpenPiton L2, IBM 32nm SOI), reported
+ * as constants since RTL synthesis is outside this reproduction.
+ */
+
+#ifndef CABLE_CORE_AREA_H
+#define CABLE_CORE_AREA_H
+
+#include <cstdint>
+
+namespace cable
+{
+
+/** Geometry of one cache for sizing purposes. */
+struct CacheGeometry
+{
+    std::uint64_t size_bytes;
+    unsigned ways;
+    unsigned line_bytes = 64;
+
+    std::uint64_t lines() const { return size_bytes / line_bytes; }
+    std::uint64_t sets() const { return lines() / ways; }
+};
+
+/** Sizing report for one CABLE deployment. */
+struct AreaReport
+{
+    std::uint64_t hash_table_bits;
+    std::uint64_t wmt_bits;
+    double hash_table_overhead; ///< fraction of home data capacity
+    double wmt_overhead;        ///< fraction of home data capacity
+    unsigned remote_lid_bits;
+    unsigned home_lid_bits;
+    unsigned wmt_entry_bits;
+};
+
+/**
+ * Sizes CABLE's SRAM structures for a home/remote pair.
+ *
+ * @param home home-cache geometry (owns hash table and WMT)
+ * @param remote remote-cache geometry (WMT mirrors its layout)
+ * @param ht_factor hash-table entries / home-cache lines
+ * @param ht_bucket LineIDs per bucket
+ */
+AreaReport sizeCableStructures(const CacheGeometry &home,
+                               const CacheGeometry &remote,
+                               double ht_factor = 1.0,
+                               unsigned ht_bucket = 2);
+
+/** Paper-reported search-pipeline logic overheads (Table III). */
+struct LogicOverheads
+{
+    double combinational_per_l2 = 0.0071;
+    double buffers_per_l2 = 0.0026;
+    double noncombinational_per_l2 = 0.0051;
+    double total_per_l2 = 0.0148;
+    double total_per_tile = 0.0058;
+};
+
+} // namespace cable
+
+#endif // CABLE_CORE_AREA_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Coverage bit vectors and the reference ranking step (§III-C).
+ *
+ * A CBV has one bit per 32-bit word of the requested line, set where
+ * a candidate reference matches the requested data exactly. The
+ * ranking step greedily selects up to three candidates maximizing
+ * combined coverage; a candidate adding no new coverage is dropped
+ * (the paper's 1100/0110/0011 example).
+ */
+
+#ifndef CABLE_CORE_CBV_H
+#define CABLE_CORE_CBV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/line.h"
+
+namespace cable
+{
+
+/** Word-match coverage of @p candidate against @p wanted. */
+inline std::uint32_t
+coverageVector(const CacheLine &wanted, const CacheLine &candidate)
+{
+    std::uint32_t cbv = 0;
+    for (unsigned i = 0; i < kWordsPerLine; ++i)
+        if (wanted.word(i) == candidate.word(i))
+            cbv |= 1u << i;
+    return cbv;
+}
+
+/**
+ * Greedy maximum-coverage selection: repeatedly picks the candidate
+ * whose CBV adds the most uncovered words, up to @p max_refs picks,
+ * stopping when no candidate adds coverage. Returns indices into
+ * @p cbvs in pick order. Ties break toward the lower index (the
+ * pre-rank order, i.e. the more-duplicated candidate).
+ */
+inline std::vector<unsigned>
+selectByCoverage(const std::vector<std::uint32_t> &cbvs,
+                 unsigned max_refs = 3)
+{
+    std::vector<unsigned> picks;
+    std::uint32_t covered = 0;
+    std::vector<bool> used(cbvs.size(), false);
+    while (picks.size() < max_refs) {
+        unsigned best_gain = 0;
+        unsigned best_idx = 0;
+        for (unsigned i = 0; i < cbvs.size(); ++i) {
+            if (used[i])
+                continue;
+            unsigned gain = popcount32(cbvs[i] & ~covered);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_idx = i;
+            }
+        }
+        if (best_gain == 0)
+            break;
+        used[best_idx] = true;
+        covered |= cbvs[best_idx];
+        picks.push_back(best_idx);
+    }
+    return picks;
+}
+
+} // namespace cable
+
+#endif // CABLE_CORE_CBV_H

@@ -1,0 +1,690 @@
+#include "core/channel.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/lbe.h"
+#include "compress/lzss.h"
+#include "compress/oracle.h"
+#include "core/cbv.h"
+
+namespace cable
+{
+
+CompressorPtr
+makeDelegateEngine(const std::string &name)
+{
+    if (name == "lbe") {
+        Lbe::Config cfg;
+        cfg.dict_bytes = 256;
+        cfg.persistent = false;
+        return std::make_unique<Lbe>(cfg);
+    }
+    if (name == "cpack") {
+        Cpack::Config cfg;
+        cfg.dict_entries = 16;
+        cfg.persistent = false;
+        return std::make_unique<Cpack>(cfg);
+    }
+    if (name == "cpack128") {
+        Cpack::Config cfg;
+        cfg.dict_entries = 32;
+        cfg.persistent = false;
+        return std::make_unique<Cpack>(cfg);
+    }
+    if (name == "gzip" || name == "lzss") {
+        Lzss::Config cfg;
+        cfg.persistent = false;
+        return std::make_unique<Lzss>(cfg);
+    }
+    if (name == "oracle")
+        return std::make_unique<Oracle>();
+    if (name == "bdi")
+        return std::make_unique<Bdi>();
+    fatal("unknown CABLE delegate engine '%s'", name.c_str());
+}
+
+namespace
+{
+
+/**
+ * A "full-sized" table (factor 1.0) has as many LineID slots as the
+ * cache has lines; buckets of depth @p ways group those slots, so
+ * the bucket count is lines/ways.
+ */
+std::uint64_t
+scaledEntries(double factor, std::uint64_t lines, unsigned ways)
+{
+    double e = factor * static_cast<double>(lines)
+               / static_cast<double>(ways ? ways : 1);
+    return e < 1.0 ? 1 : static_cast<std::uint64_t>(e);
+}
+
+} // namespace
+
+CableChannel::CableChannel(Cache &home, Cache &remote,
+                           const CableConfig &cfg)
+    : home_(home), remote_(remote), cfg_(cfg),
+      wmt_({remote.numSets(), remote.numWays(), home.numSets(),
+            home.numWays()}),
+      home_ht_({scaledEntries(cfg.home_ht_factor, home.numLines(),
+                              cfg.ht_bucket),
+                cfg.ht_bucket, cfg.hash_seed}),
+      remote_ht_({scaledEntries(cfg.remote_ht_factor,
+                                remote.numLines(), cfg.ht_bucket),
+                  cfg.ht_bucket, cfg.hash_seed ^ 0x5eed}),
+      evbuf_(16), engine_(makeDelegateEngine(cfg.engine))
+{
+    if (home_.numSets() < remote_.numSets())
+        fatal("CableChannel: home cache smaller than remote cache");
+    unsigned way_bits = bitsToIndex(remote_.numWays());
+    rlid_bits_ = bitsToIndex(remote_.numSets())
+                 + (way_bits ? way_bits : 1);
+}
+
+void
+CableChannel::dropSignatures(SignatureHashTable &table,
+                             const CacheLine &data, LineID lid)
+{
+    for (std::uint32_t sig : extractInsertSignatures(data, cfg_.sig))
+        table.remove(sig, lid);
+}
+
+void
+CableChannel::addSignatures(SignatureHashTable &table,
+                            const CacheLine &data, LineID lid)
+{
+    for (std::uint32_t sig : extractInsertSignatures(data, cfg_.sig))
+        table.insert(sig, lid);
+}
+
+// ---------------------------------------------------------------------
+// Search + compress, home → remote (Fig 8, §III-E)
+// ---------------------------------------------------------------------
+
+BitVec
+CableChannel::bitsOf(const CacheLine &data)
+{
+    BitWriter bw;
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        bw.put(data.byte(i), 8);
+    return bw.take();
+}
+
+void
+CableChannel::accountTransfer(const Transfer &t)
+{
+    stats_.add("transfers", 1);
+    stats_.add("raw_bits", t.raw_bits);
+    stats_.add("wire_bits", t.bits);
+    // 16-bit-link flit quantization, for effective-ratio reporting.
+    stats_.add("raw_flits16", ceilDiv(t.raw_bits, 16));
+    stats_.add("wire_flits16", ceilDiv(t.bits, 16));
+    if (t.writeback) {
+        stats_.add("wb_transfers", 1);
+        stats_.add("wb_raw_bits", t.raw_bits);
+        stats_.add("wb_wire_bits", t.bits);
+    } else {
+        stats_.add("resp_raw_bits", t.raw_bits);
+        stats_.add("resp_wire_bits", t.bits);
+    }
+}
+
+CableChannel::Chosen
+CableChannel::compressForSend(const CacheLine &data, LineID self_home)
+{
+    Chosen chosen;
+    if (!cfg_.compression_enabled) {
+        chosen.raw = true;
+        return chosen;
+    }
+
+    const std::size_t raw_cost = 1 + kLineBytes * 8;
+
+    // Self-compression runs concurrently with the search (§III-E);
+    // a high enough ratio skips the reference path entirely.
+    BitVec self = engine_->compress(data, {});
+    std::size_t self_cost = 3 + self.sizeBits();
+    if (self.sizeBits() > 0
+        && static_cast<double>(kLineBytes * 8)
+                   / static_cast<double>(self.sizeBits())
+               >= cfg_.self_ratio_threshold) {
+        stats_.add("self_threshold_hits", 1);
+        if (self_cost <= raw_cost) {
+            chosen.diff = std::move(self);
+            chosen.self_only = true;
+            return chosen;
+        }
+    }
+
+    // (1) extract search signatures, (2) probe the hash table.
+    stats_.add("searches", 1);
+    std::vector<std::uint32_t> sigs =
+        extractSearchSignatures(data, cfg_.sig);
+    chosen.sigs_used = static_cast<unsigned>(sigs.size());
+    std::vector<LineID> hits;
+    for (std::uint32_t sig : sigs)
+        home_ht_.lookup(sig, hits);
+    stats_.add("ht_hits", hits.size());
+
+    // (3) pre-rank by duplication count (first-seen order breaks
+    // ties), keep the top data_accesses candidates.
+    std::vector<std::pair<LineID, unsigned>> ranked;
+    for (LineID lid : hits) {
+        if (lid == self_home)
+            continue;
+        auto it = std::find_if(ranked.begin(), ranked.end(),
+                               [&](const auto &p) {
+                                   return p.first == lid;
+                               });
+        if (it == ranked.end())
+            ranked.emplace_back(lid, 1);
+        else
+            ++it->second;
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    if (ranked.size() > cfg_.data_accesses)
+        ranked.resize(cfg_.data_accesses);
+
+    // (4) read candidates from the data array, build CBVs, and
+    // greedily select references maximizing coverage. A candidate
+    // must still translate through the WMT (present at the remote).
+    struct Candidate
+    {
+        LineID home_lid;
+        LineID remote_lid;
+        const CacheLine *data;
+    };
+    std::vector<Candidate> cands;
+    std::vector<std::uint32_t> cbvs;
+    for (const auto &[lid, dup] : ranked) {
+        const Cache::Entry &e = home_.entryAt(lid);
+        if (!e.valid())
+            continue;
+        Addr cand_addr = e.tag << kLineShift;
+        std::uint32_t rset = remote_.setOf(cand_addr);
+        auto rway = wmt_.lookupRemoteWay(rset, lid);
+        if (!rway)
+            continue;
+        stats_.add("data_reads", 1);
+        cands.push_back({lid, LineID(rset, *rway), &e.data});
+        cbvs.push_back(coverageVector(data, e.data));
+    }
+    std::vector<unsigned> picks = selectByCoverage(cbvs, cfg_.max_refs);
+
+    Chosen with_refs;
+    with_refs.sigs_used = chosen.sigs_used;
+    for (unsigned idx : picks) {
+        with_refs.ref_rlids.push_back(cands[idx].remote_lid);
+        with_refs.refs.push_back(cands[idx].data);
+    }
+
+    std::size_t refs_cost = raw_cost + 1;
+    if (!with_refs.refs.empty()) {
+        with_refs.diff = engine_->compress(data, with_refs.refs);
+        refs_cost = 3 + with_refs.refs.size() * rlid_bits_
+                    + with_refs.diff.sizeBits();
+    }
+
+    // (5) pick the cheapest representation.
+    if (refs_cost < self_cost && refs_cost < raw_cost)
+        return with_refs;
+    if (self_cost <= raw_cost) {
+        chosen.diff = std::move(self);
+        chosen.self_only = true;
+        return chosen;
+    }
+    chosen.raw = true;
+    return chosen;
+}
+
+// ---------------------------------------------------------------------
+// Search + compress, remote → home (§III-G)
+// ---------------------------------------------------------------------
+
+CableChannel::Chosen
+CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
+{
+    Chosen chosen;
+    if (!cfg_.compression_enabled || !cfg_.writeback_compression) {
+        chosen.raw = true;
+        return chosen;
+    }
+
+    const std::size_t raw_cost = 1 + kLineBytes * 8;
+    BitVec self_bits = engine_->compress(data, {});
+    std::size_t self_cost = 3 + self_bits.sizeBits();
+
+    if (!cfg_.inclusive) {
+        // §IV-C: without inclusivity the remote cannot assume its
+        // lines exist at the home; fall back to non-dictionary
+        // (self) compression for write-backs.
+        if (self_cost <= raw_cost) {
+            chosen.diff = std::move(self_bits);
+            chosen.self_only = true;
+        } else {
+            chosen.raw = true;
+        }
+        return chosen;
+    }
+
+    stats_.add("wb_searches", 1);
+    std::vector<LineID> hits;
+    for (std::uint32_t sig : extractSearchSignatures(data, cfg_.sig))
+        remote_ht_.lookup(sig, hits);
+
+    std::vector<std::pair<LineID, unsigned>> ranked;
+    for (LineID lid : hits) {
+        if (lid == self)
+            continue;
+        auto it = std::find_if(ranked.begin(), ranked.end(),
+                               [&](const auto &p) {
+                                   return p.first == lid;
+                               });
+        if (it == ranked.end())
+            ranked.emplace_back(lid, 1);
+        else
+            ++it->second;
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+    if (ranked.size() > cfg_.data_accesses)
+        ranked.resize(cfg_.data_accesses);
+
+    std::vector<LineID> rlids;
+    std::vector<const CacheLine *> datas;
+    std::vector<std::uint32_t> cbvs;
+    for (const auto &[lid, dup] : ranked) {
+        const Cache::Entry &e = remote_.entryAt(lid);
+        // Only clean shared remote lines are valid references: the
+        // home side must hold the identical data.
+        if (!e.valid() || e.dirty())
+            continue;
+        // The home side will translate through its WMT; skip lines
+        // it is not tracking.
+        if (!wmt_.occupant(lid.set, lid.way))
+            continue;
+        stats_.add("wb_data_reads", 1);
+        rlids.push_back(lid);
+        datas.push_back(&e.data);
+        cbvs.push_back(coverageVector(data, e.data));
+    }
+    std::vector<unsigned> picks = selectByCoverage(cbvs, cfg_.max_refs);
+
+    Chosen with_refs;
+    for (unsigned idx : picks) {
+        with_refs.ref_rlids.push_back(rlids[idx]);
+        with_refs.refs.push_back(datas[idx]);
+    }
+
+    std::size_t refs_cost = raw_cost + 1;
+    if (!with_refs.refs.empty()) {
+        with_refs.diff = engine_->compress(data, with_refs.refs);
+        refs_cost = 3 + with_refs.refs.size() * rlid_bits_
+                    + with_refs.diff.sizeBits();
+    }
+
+    if (refs_cost < self_cost && refs_cost < raw_cost)
+        return with_refs;
+    if (self_cost <= raw_cost) {
+        chosen.diff = std::move(self_bits);
+        chosen.self_only = true;
+        return chosen;
+    }
+    chosen.raw = true;
+    return chosen;
+}
+
+// ---------------------------------------------------------------------
+// Wire packaging & verification
+// ---------------------------------------------------------------------
+
+Transfer
+CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
+{
+    Transfer t;
+    t.writeback = writeback;
+    t.raw_bits = kLineBytes * 8;
+    t.sigs = chosen.sigs_used;
+
+    BitWriter bw;
+    if (!cfg_.compression_enabled) {
+        // Baseline link: data only, no flag bit.
+        bw.appendBits(chosen.payload);
+        t.raw = true;
+    } else if (chosen.raw) {
+        bw.put(0, 1);
+        bw.appendBits(chosen.payload);
+        t.raw = true;
+    } else {
+        bw.put(1, 1);
+        bw.put(chosen.ref_rlids.size(), 2);
+        for (LineID rlid : chosen.ref_rlids) {
+            unsigned way_bits = bitsToIndex(remote_.numWays());
+            if (way_bits == 0)
+                way_bits = 1;
+            bw.put(rlid.set, rlid_bits_ - way_bits);
+            bw.put(rlid.way, way_bits);
+        }
+        bw.appendBits(chosen.diff);
+        t.nrefs = static_cast<unsigned>(chosen.ref_rlids.size());
+        t.self_only = chosen.self_only;
+    }
+    t.wire = bw.take();
+    t.bits = t.wire.sizeBits();
+    return t;
+}
+
+void
+CableChannel::verifyResponse(const Transfer &t, const Chosen &chosen,
+                             const CacheLine &original)
+{
+    if (!cfg_.verify_roundtrip || t.raw)
+        return;
+    // Receiver-side reconstruction: read the references from the
+    // remote cache's own data array.
+    RefList refs;
+    for (LineID rlid : chosen.ref_rlids)
+        refs.push_back(&remote_.entryAt(rlid).data);
+    CacheLine out = engine_->decompress(chosen.diff, refs);
+    if (out != original)
+        panic("CABLE response round-trip mismatch: got %s want %s",
+              out.toString().c_str(), original.toString().c_str());
+}
+
+void
+CableChannel::verifyWriteBack(const Transfer &t, const Chosen &chosen,
+                              const CacheLine &original)
+{
+    if (!cfg_.verify_roundtrip || t.raw)
+        return;
+    // Home-side reconstruction: translate each RemoteLID through the
+    // WMT into a home slot and read the home data array.
+    RefList refs;
+    for (LineID rlid : chosen.ref_rlids) {
+        auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
+        if (!hlid)
+            panic("CABLE write-back references untracked remote line");
+        refs.push_back(&home_.entryAt(*hlid).data);
+    }
+    CacheLine out = engine_->decompress(chosen.diff, refs);
+    if (out != original)
+        panic("CABLE write-back round-trip mismatch");
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+HomeInstallResult
+CableChannel::homeInstall(Addr addr, const CacheLine &data, bool dirty)
+{
+    HomeInstallResult result;
+    if (home_.probe(addr)) {
+        home_.writeLine(addr, data, dirty);
+        return result;
+    }
+
+    std::uint8_t vway = home_.victimWay(addr);
+    // Inspect the victim before overwriting it so CABLE metadata and
+    // inclusivity bookkeeping use the pre-install contents.
+    std::uint32_t hset = home_.setOf(addr);
+    LineID victim_lid(hset, vway);
+    const Cache::Entry &victim = home_.entryAt(victim_lid);
+    if (victim.valid()) {
+        Addr vaddr = victim.tag << kLineShift;
+        // Let the system flush newer private-cache copies into the
+        // remote cache before we tear the line down.
+        if (backinval_hook_ && remote_.probe(vaddr))
+            backinval_hook_(vaddr);
+        dropSignatures(home_ht_, victim.data, victim_lid);
+
+        Eviction mem_wb;
+        mem_wb.valid = true;
+        mem_wb.addr = vaddr;
+        mem_wb.data = victim.data;
+        mem_wb.dirty = victim.dirty();
+        mem_wb.lid = victim_lid;
+
+        // Back-invalidate the remote copy, if any, to preserve
+        // inclusivity. In non-inclusive mode the remote keeps its
+        // copy (the directory still tracks it); only CABLE's
+        // metadata is detached, so the line simply stops serving as
+        // a reference.
+        LineID rlid = remote_.find(vaddr);
+        if (rlid.valid && !cfg_.inclusive) {
+            const Cache::Entry &re = remote_.entryAt(rlid);
+            if (!re.dirty())
+                dropSignatures(remote_ht_, re.data, rlid);
+            wmt_.clear(rlid.set, rlid.way);
+            stats_.add("noninclusive_detaches", 1);
+            if (victim.dirty()) {
+                Eviction mem_only = mem_wb;
+                result.memory_writeback = mem_only;
+            }
+            stats_.add("home_evictions", 1);
+            home_.install(addr, data,
+                          dirty ? CoherenceState::Modified
+                                : CoherenceState::Shared,
+                          vway);
+            return result;
+        }
+        if (rlid.valid) {
+            const Cache::Entry &re = remote_.entryAt(rlid);
+            if (re.dirty()) {
+                // Flush the newer remote data over the link first.
+                Chosen chosen = compressForWriteBack(re.data, rlid);
+                chosen.payload = bitsOf(re.data);
+                Transfer t = packageTransfer(chosen, true);
+                verifyWriteBack(t, chosen, re.data);
+                accountTransfer(t);
+                mem_wb.data = re.data;
+                mem_wb.dirty = true;
+                result.backinval_writeback = t;
+            } else {
+                dropSignatures(remote_ht_, re.data, rlid);
+            }
+            wmt_.clear(rlid.set, rlid.way);
+            evbuf_.push(rlid, remote_.entryAt(rlid).data);
+            remote_.invalidate(vaddr);
+            evbuf_.acknowledge(evbuf_.lastSeq());
+            stats_.add("back_invalidations", 1);
+        }
+        if (mem_wb.dirty)
+            result.memory_writeback = mem_wb;
+        stats_.add("home_evictions", 1);
+    }
+
+    home_.install(addr, data,
+                  dirty ? CoherenceState::Modified
+                        : CoherenceState::Shared,
+                  vway);
+    return result;
+}
+
+std::optional<Transfer>
+CableChannel::remoteEvictSlot(LineID rlid)
+{
+    const Cache::Entry &e = remote_.entryAt(rlid);
+    if (!e.valid())
+        return std::nullopt;
+
+    Addr vaddr = e.tag << kLineShift;
+    CacheLine vdata = e.data;
+    bool was_dirty = e.dirty();
+
+    evbuf_.push(rlid, vdata);
+    if (!was_dirty) {
+        // Shared line: remove its signatures on both sides and its
+        // WMT entry (home data still equals remote data).
+        dropSignatures(remote_ht_, vdata, rlid);
+        auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
+        if (hlid)
+            dropSignatures(home_ht_, home_.entryAt(*hlid).data, *hlid);
+        wmt_.clear(rlid.set, rlid.way);
+    }
+
+    std::optional<Transfer> out;
+    if (was_dirty) {
+        // Dirty victim: compressed write-back (§III-G). Metadata was
+        // already detached at upgrade time.
+        Chosen chosen = compressForWriteBack(vdata, rlid);
+        chosen.payload = bitsOf(vdata);
+        Transfer t = packageTransfer(chosen, true);
+        verifyWriteBack(t, chosen, vdata);
+        accountTransfer(t);
+        if (!home_.probe(vaddr)) {
+            if (cfg_.inclusive)
+                panic("inclusivity violated: dirty remote line %llx "
+                      "not resident at home",
+                      static_cast<unsigned long long>(vaddr));
+            // Non-inclusive: the home agent re-allocates the line.
+            homeInstall(vaddr, vdata, /*dirty=*/true);
+        } else {
+            home_.writeLine(vaddr, vdata, true);
+        }
+        out = t;
+    }
+
+    remote_.invalidate(vaddr);
+    evbuf_.acknowledge(evbuf_.lastSeq());
+    stats_.add(was_dirty ? "remote_evict_dirty" : "remote_evict_clean",
+               1);
+    return out;
+}
+
+Transfer
+CableChannel::respondAndInstall(Addr addr, std::uint8_t vway,
+                                bool store)
+{
+    LineID home_lid = home_.find(addr);
+    if (!home_lid.valid)
+        panic("respondAndInstall: %llx not resident at home",
+              static_cast<unsigned long long>(addr));
+    const CacheLine data = home_.entryAt(home_lid).data;
+
+    Chosen chosen = compressForSend(data, home_lid);
+    chosen.payload = bitsOf(data);
+    Transfer t = packageTransfer(chosen, false);
+    verifyResponse(t, chosen, data);
+    accountTransfer(t);
+
+    std::uint32_t rset = remote_.setOf(addr);
+    if (remote_.entryAt(LineID(rset, vway)).valid())
+        panic("respondAndInstall: remote slot (%u,%u) not vacated",
+              rset, vway);
+    remote_.install(addr, data,
+                    store ? CoherenceState::Modified
+                          : CoherenceState::Shared,
+                    vway);
+
+    if (store) {
+        // The remote copy will diverge silently; the home copy is
+        // stale and must not serve as reference data.
+        home_.markDirty(addr);
+    } else {
+        addSignatures(home_ht_, data, home_lid);
+        addSignatures(remote_ht_, data, LineID(rset, vway));
+        wmt_.set(rset, vway, home_lid);
+    }
+
+    stats_.add("responses", 1);
+    stats_.add(std::string("refs_") + std::to_string(t.nrefs), 1);
+    if (t.self_only)
+        stats_.add("self_only", 1);
+    if (t.raw)
+        stats_.add("raw_sends", 1);
+    return t;
+}
+
+FetchResult
+CableChannel::remoteFetch(Addr addr, bool store)
+{
+    if (remote_.probe(addr))
+        panic("remoteFetch: %llx already resident at remote",
+              static_cast<unsigned long long>(addr));
+
+    FetchResult result;
+    std::uint32_t rset = remote_.setOf(addr);
+    std::uint8_t vway = remote_.victimWay(addr);
+    LineID victim_lid(rset, vway);
+    bool victim_valid = remote_.entryAt(victim_lid).valid();
+    bool victim_dirty =
+        victim_valid && remote_.entryAt(victim_lid).dirty();
+    auto wb = remoteEvictSlot(victim_lid);
+    result.victim_writeback = wb;
+    result.evicted_clean = victim_valid && !victim_dirty;
+    result.response = respondAndInstall(addr, vway, store);
+    return result;
+}
+
+void
+CableChannel::remoteUpgrade(Addr addr)
+{
+    LineID rlid = remote_.find(addr);
+    if (!rlid.valid)
+        panic("remoteUpgrade: %llx not resident at remote",
+              static_cast<unsigned long long>(addr));
+    const Cache::Entry &e = remote_.entryAt(rlid);
+    if (e.dirty())
+        return; // already Modified
+    dropSignatures(remote_ht_, e.data, rlid);
+    auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
+    if (hlid)
+        dropSignatures(home_ht_, home_.entryAt(*hlid).data, *hlid);
+    wmt_.clear(rlid.set, rlid.way);
+    remote_.markDirty(addr);
+    // The home copy is now stale and must stop serving as reference
+    // data. In non-inclusive mode the home may have already dropped
+    // the line entirely.
+    if (home_.probe(addr))
+        home_.markDirty(addr);
+    else if (cfg_.inclusive)
+        panic("remoteUpgrade: inclusivity violated for %llx",
+              static_cast<unsigned long long>(addr));
+    stats_.add("upgrades", 1);
+}
+
+std::optional<Transfer>
+CableChannel::remoteInvalidate(Addr addr)
+{
+    LineID rlid = remote_.find(addr);
+    if (!rlid.valid)
+        return std::nullopt;
+    stats_.add("snoop_invalidations", 1);
+    return remoteEvictSlot(rlid);
+}
+
+Transfer
+CableChannel::writeBack(Addr addr, const CacheLine &data)
+{
+    LineID rlid = remote_.find(addr);
+    if (!rlid.valid)
+        panic("writeBack: %llx not resident at remote",
+              static_cast<unsigned long long>(addr));
+    Chosen chosen = compressForWriteBack(data, rlid);
+    chosen.payload = bitsOf(data);
+    Transfer t = packageTransfer(chosen, true);
+    verifyWriteBack(t, chosen, data);
+    accountTransfer(t);
+    if (!home_.probe(addr)) {
+        if (cfg_.inclusive)
+            panic("writeBack: inclusivity violated for %llx",
+                  static_cast<unsigned long long>(addr));
+        homeInstall(addr, data, /*dirty=*/true);
+    } else {
+        home_.writeLine(addr, data, true);
+    }
+    stats_.add("explicit_writebacks", 1);
+    return t;
+}
+
+} // namespace cable

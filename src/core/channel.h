@@ -1,0 +1,271 @@
+/**
+ * @file
+ * CableChannel: one CABLE-compressed point-to-point link between a
+ * *home* cache (the larger cache that services and compresses
+ * requests — e.g. the off-chip L4/DRAM buffer, or the home node's
+ * LLC in a multi-chip system) and a *remote* cache (the smaller
+ * cache that receives and decompresses — e.g. the on-chip LLC).
+ *
+ * The channel owns all CABLE metadata for the pair:
+ *
+ *  - the home-side signature hash table (request compression),
+ *  - the remote-side signature hash table (write-back compression),
+ *  - the Way-Map Table (HomeLID → RemoteLID translation), and
+ *  - the remote-side eviction buffer (race closure, §IV-A),
+ *
+ * and performs the paper's synchronization rules (§III-F): shared
+ * sends insert signatures on both sides and set the WMT; remote
+ * displacements, snoop invalidations, upgrades and home evictions
+ * remove them. Every compressed transfer is decompressed at the
+ * receiving side from that side's own data and verified against the
+ * original — the end-to-end correctness check runs in every
+ * simulation, not just in tests.
+ *
+ * The channel mutates both caches (installs, invalidations) because
+ * inclusivity and metadata synchronization must stay atomic with
+ * respect to cache state; callers orchestrate *when* lines move and
+ * provide DRAM-side data, the channel enforces *how*.
+ */
+
+#ifndef CABLE_CORE_CHANNEL_H
+#define CABLE_CORE_CHANNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cache/cache.h"
+#include "common/stats.h"
+#include "compress/compressor.h"
+#include "core/eviction_buffer.h"
+#include "core/hash_table.h"
+#include "core/wmt.h"
+
+namespace cable
+{
+
+/** Per-channel configuration (defaults follow Table IV / §VI-A). */
+struct CableConfig
+{
+    /** Delegate engine: "lbe", "cpack128", "gzip", "oracle". */
+    std::string engine = "lbe";
+    /** Candidates surviving pre-rank → data-array reads (§III-C). */
+    unsigned data_accesses = 6;
+    /** Maximum references per DIFF. */
+    unsigned max_refs = 3;
+    /** Home hash table entries / home cache lines ("half-sized"). */
+    double home_ht_factor = 0.5;
+    /** Remote hash table entries / remote cache lines. */
+    double remote_ht_factor = 1.0;
+    /** LineIDs per hash bucket. */
+    unsigned ht_bucket = 2;
+    /** Self-compression ratio that skips the reference search. */
+    double self_ratio_threshold = 16.0;
+    /** Signature extraction parameters. */
+    SignatureConfig sig;
+    /** Compress remote→home write-backs too (§III-G). */
+    bool writeback_compression = true;
+    /**
+     * Inclusive hierarchy (§II-C default). When false, the §IV-C
+     * non-inclusive extension applies: home evictions do not back-
+     * invalidate the remote copy (a directory keeps tracking it, as
+     * in Haswell-EP's home agents); response compression still uses
+     * shared lines opportunistically, but write-back compression is
+     * disabled because a remote line is no longer guaranteed to
+     * exist at the home (the paper's suggested solution).
+     */
+    bool inclusive = true;
+    /** Decompress-and-compare every transfer (cheap; keep on). */
+    bool verify_roundtrip = true;
+    /** Disable all compression (uncompressed baseline). */
+    bool compression_enabled = true;
+    /** H3 seed; vary per channel instance. */
+    std::uint64_t hash_seed = 0xcab1e;
+};
+
+/** One data movement over the link. */
+struct Transfer
+{
+    std::size_t bits = 0;      ///< wire payload bits (after CABLE)
+    std::size_t raw_bits = 0;  ///< uncompressed payload bits (512)
+    unsigned nrefs = 0;        ///< references carried
+    unsigned sigs = 0;         ///< search signatures extracted
+    bool self_only = false;    ///< compressed without references
+    bool raw = false;          ///< sent uncompressed
+    bool writeback = false;    ///< direction: remote → home
+    BitVec wire;               ///< exact wire image (toggle studies)
+};
+
+/** Outcome of a full remote fetch (victim + response). */
+struct FetchResult
+{
+    Transfer response;
+    std::optional<Transfer> victim_writeback;
+    bool evicted_clean = false;
+};
+
+/** Outcome of a home-side install (inclusivity enforcement). */
+struct HomeInstallResult
+{
+    /** Home victim whose dirty data must go to memory. */
+    std::optional<Eviction> memory_writeback;
+    /** Dirty data flushed from the remote by back-invalidation. */
+    std::optional<Transfer> backinval_writeback;
+};
+
+class CableChannel
+{
+  public:
+    CableChannel(Cache &home, Cache &remote, const CableConfig &cfg);
+
+    // ---- orchestration API ------------------------------------------
+
+    /**
+     * Installs @p data for @p addr into the home cache (e.g. a DRAM
+     * fill at the L4), back-invalidating the remote copy of any
+     * displaced line to preserve inclusivity and cleaning up CABLE
+     * metadata for both the displaced home line and its remote copy.
+     */
+    HomeInstallResult homeInstall(Addr addr, const CacheLine &data,
+                                  bool dirty = false);
+
+    /**
+     * Full remote fetch: evicts the victim of @p addr's remote set
+     * (compressed write-back if dirty), then compresses and sends
+     * the home copy of @p addr, installing it at the remote. The
+     * home cache must already hold @p addr — and in non-inclusive
+     * mode a dirty victim's write-back may allocate at the home and
+     * displace it, so non-inclusive callers should sequence
+     * remoteEvictSlot / home fill / respondAndInstall themselves
+     * (as the simulators do).
+     *
+     * @param store install Modified (store miss); the line is then
+     *              excluded from reference tracking.
+     */
+    FetchResult remoteFetch(Addr addr, bool store);
+
+    /**
+     * Evicts the occupant of remote slot @p rlid (if any): removes
+     * its signatures from both tables, clears the WMT entry, pushes
+     * the data into the eviction buffer, and returns the compressed
+     * write-back transfer when it was dirty. Used directly by
+     * multi-cache systems that pick victims across channels.
+     */
+    std::optional<Transfer> remoteEvictSlot(LineID rlid);
+
+    /**
+     * Compresses and sends the home copy of @p addr into the free
+     * remote way @p vway. Precondition: the slot was vacated.
+     */
+    Transfer respondAndInstall(Addr addr, std::uint8_t vway,
+                               bool store);
+
+    /** Store hit on a Shared remote line: S→M upgrade (§III-F). */
+    void remoteUpgrade(Addr addr);
+
+    /**
+     * Snoop invalidation of the remote copy of @p addr (coherence
+     * traffic from another sharer). Returns the write-back transfer
+     * if the copy was dirty.
+     */
+    std::optional<Transfer> remoteInvalidate(Addr addr);
+
+    /**
+     * Remote-initiated write-back of a dirty line that stays
+     * resident (e.g. periodic cleaning). Compresses remote→home.
+     */
+    Transfer writeBack(Addr addr, const CacheLine &data);
+
+    // ---- introspection ----------------------------------------------
+
+    Cache &home() { return home_; }
+    Cache &remote() { return remote_; }
+    const WayMapTable &wmt() const { return wmt_; }
+    const SignatureHashTable &homeTable() const { return home_ht_; }
+    const SignatureHashTable &remoteTable() const { return remote_ht_; }
+    EvictionBuffer &evictionBuffer() { return evbuf_; }
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+    const CableConfig &config() const { return cfg_; }
+
+    /** Runtime on/off switch; metadata tracking continues. */
+    void setCompressionEnabled(bool on) { cfg_.compression_enabled = on; }
+
+    /**
+     * Invoked with the victim's address just before a home eviction
+     * back-invalidates the remote copy, so the surrounding system
+     * can flush dirtier private-cache copies into the remote cache
+     * first (the inclusive-hierarchy merge).
+     */
+    void
+    setBackinvalHook(std::function<void(Addr)> hook)
+    {
+        backinval_hook_ = std::move(hook);
+    }
+
+    /** RemoteLID width on the wire (17b in the paper's configs). */
+    unsigned remoteLidBits() const { return rlid_bits_; }
+
+    /** Serializes a line into a 512-bit payload image. */
+    static BitVec bitsOf(const CacheLine &data);
+
+    /** uncompressed / compressed payload bits so far. */
+    double
+    compressionRatio() const
+    {
+        return stats_.ratio("raw_bits", "wire_bits");
+    }
+
+  private:
+    struct Chosen
+    {
+        BitVec diff;
+        BitVec payload;                // raw 512-bit data image
+        unsigned sigs_used = 0;        // search signatures extracted
+        std::vector<LineID> ref_rlids; // remote LIDs on the wire
+        RefList refs;                  // sender-side data
+        bool self_only = false;
+        bool raw = false;
+    };
+
+    /** Home→remote search (Fig 8) + engine delegation (§III-E). */
+    Chosen compressForSend(const CacheLine &data, LineID self_home);
+    /** Remote→home search for write-back compression (§III-G). */
+    Chosen compressForWriteBack(const CacheLine &data, LineID self);
+
+    Transfer packageTransfer(const Chosen &chosen, bool writeback);
+    void accountTransfer(const Transfer &t);
+    void verifyResponse(const Transfer &t, const Chosen &chosen,
+                        const CacheLine &original);
+    void verifyWriteBack(const Transfer &t, const Chosen &chosen,
+                         const CacheLine &original);
+
+    /** Removes the insert-signatures of (data→lid) from @p table. */
+    void dropSignatures(SignatureHashTable &table,
+                        const CacheLine &data, LineID lid);
+    void addSignatures(SignatureHashTable &table, const CacheLine &data,
+                       LineID lid);
+
+    /** Metadata cleanup for the remote slot @p rlid's occupant. */
+    void detachRemoteSlot(LineID rlid);
+
+    Cache &home_;
+    Cache &remote_;
+    CableConfig cfg_;
+    WayMapTable wmt_;
+    SignatureHashTable home_ht_;
+    SignatureHashTable remote_ht_;
+    EvictionBuffer evbuf_;
+    CompressorPtr engine_;
+    StatSet stats_;
+    unsigned rlid_bits_;
+    std::function<void(Addr)> backinval_hook_;
+};
+
+/** Delegate-engine factory: per-line (non-persistent) variants. */
+CompressorPtr makeDelegateEngine(const std::string &name);
+
+} // namespace cable
+
+#endif // CABLE_CORE_CHANNEL_H

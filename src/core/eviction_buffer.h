@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Eviction buffer (§IV-A): a small remote-side structure holding
+ * copies of evicted lines until the home cache acknowledges that it
+ * has stopped using them as references. Each eviction gets a
+ * sequence number (EvictSeq) that piggybacks on the next request;
+ * the home cache echoes the last EvictSeq it has observed, at which
+ * point all entries at or below that number can be retired.
+ *
+ * This closes the select-while-evicting race even over out-of-order
+ * transports: a compressed response arriving after the reference was
+ * evicted can still read the reference data out of the buffer.
+ */
+
+#ifndef CABLE_CORE_EVICTION_BUFFER_H
+#define CABLE_CORE_EVICTION_BUFFER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/line.h"
+#include "common/types.h"
+
+namespace cable
+{
+
+class EvictionBuffer
+{
+  public:
+    explicit EvictionBuffer(std::size_t capacity = 8)
+        : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Records an eviction from remote slot @p lid and returns its
+     * EvictSeq. If the buffer is full the oldest entry is dropped
+     * (safe only once acknowledged; callers should size the buffer
+     * to the link's round-trip outstanding count).
+     */
+    std::uint64_t
+    push(LineID lid, const CacheLine &data)
+    {
+        if (entries_.size() >= capacity_)
+            entries_.pop_front();
+        std::uint64_t seq = ++seq_clock_;
+        entries_.push_back(Entry{seq, lid, data});
+        return seq;
+    }
+
+    /** Most recent EvictSeq (0 if none ever pushed). */
+    std::uint64_t lastSeq() const { return seq_clock_; }
+
+    /** Retires every entry with seq <= @p acked_seq. */
+    void
+    acknowledge(std::uint64_t acked_seq)
+    {
+        while (!entries_.empty() && entries_.front().seq <= acked_seq)
+            entries_.pop_front();
+    }
+
+    /**
+     * Looks up the data of a recently evicted remote slot; used when
+     * a compressed response references a line that has since left
+     * the cache.
+     */
+    std::optional<CacheLine>
+    find(LineID lid) const
+    {
+        // Newest first: a slot may have been evicted twice.
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+            if (it->lid == lid)
+                return it->data;
+        return std::nullopt;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t seq;
+        LineID lid;
+        CacheLine data;
+    };
+
+    std::size_t capacity_;
+    std::uint64_t seq_clock_ = 0;
+    std::deque<Entry> entries_;
+};
+
+} // namespace cable
+
+#endif // CABLE_CORE_EVICTION_BUFFER_H

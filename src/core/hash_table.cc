@@ -1,0 +1,91 @@
+#include "core/hash_table.h"
+
+#include <bit>
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace cable
+{
+
+SignatureHashTable::SignatureHashTable(const Config &cfg)
+    : cfg_(cfg),
+      hash_(bitsToIndex(std::bit_ceil(cfg.entries ? cfg.entries : 1)),
+            cfg.hash_seed)
+{
+    if (cfg_.bucket_ways == 0)
+        fatal("SignatureHashTable: bucket_ways must be >= 1");
+    std::uint64_t n = std::bit_ceil(cfg.entries ? cfg.entries : 1);
+    buckets_.assign(n, {});
+    for (auto &b : buckets_)
+        b.resize(cfg_.bucket_ways);
+}
+
+void
+SignatureHashTable::insert(std::uint32_t sig, LineID lid)
+{
+    auto &bucket = buckets_[indexOf(sig)];
+    // Refresh an identical mapping.
+    for (Slot &s : bucket) {
+        if (s.lid == lid && s.lid.valid) {
+            s.age = ++age_clock_;
+            return;
+        }
+    }
+    // Free slot, else FIFO-replace the oldest.
+    Slot *victim = &bucket[0];
+    for (Slot &s : bucket) {
+        if (!s.lid.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.age < victim->age)
+            victim = &s;
+    }
+    victim->lid = lid;
+    victim->age = ++age_clock_;
+}
+
+void
+SignatureHashTable::remove(std::uint32_t sig, LineID lid)
+{
+    auto &bucket = buckets_[indexOf(sig)];
+    for (Slot &s : bucket) {
+        if (s.lid.valid && s.lid == lid) {
+            s.lid = kInvalidLineID;
+            s.age = 0;
+        }
+    }
+}
+
+void
+SignatureHashTable::lookup(std::uint32_t sig,
+                           std::vector<LineID> &out) const
+{
+    const auto &bucket = buckets_[indexOf(sig)];
+    for (const Slot &s : bucket)
+        if (s.lid.valid)
+            out.push_back(s.lid);
+}
+
+std::uint64_t
+SignatureHashTable::occupancy() const
+{
+    std::uint64_t n = 0;
+    for (const auto &bucket : buckets_)
+        for (const Slot &s : bucket)
+            if (s.lid.valid)
+                ++n;
+    return n;
+}
+
+void
+SignatureHashTable::clear()
+{
+    for (auto &bucket : buckets_)
+        for (Slot &s : bucket)
+            s = Slot{};
+    age_clock_ = 0;
+}
+
+} // namespace cable

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The signature hash table (§III-B): a standard SRAM key-value
+ * structure mapping hash(signature) → LineIDs of cache lines that
+ * contained that signature when they became shared. Buckets hold two
+ * LineIDs by default with FIFO replacement. The table is inherently
+ * inexact — collisions yield false-positive candidates that the CBV
+ * ranking step later filters by actual data comparison (Fig 7).
+ *
+ * Sizing (§IV-D): "full-sized" means one entry per cache line of the
+ * owning cache; smaller tables degrade gracefully (Fig 21), larger
+ * ones reduce collisions.
+ */
+
+#ifndef CABLE_CORE_HASH_TABLE_H
+#define CABLE_CORE_HASH_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/signature.h"
+
+namespace cable
+{
+
+class SignatureHashTable
+{
+  public:
+    struct Config
+    {
+        /** Number of buckets (rounded up to a power of two). */
+        std::uint64_t entries = 1 << 14;
+        /** LineIDs per bucket. */
+        unsigned bucket_ways = 2;
+        /** H3 seed (distinct per table instance in a system). */
+        std::uint64_t hash_seed = 0xcab1e;
+    };
+
+    explicit SignatureHashTable(const Config &cfg);
+
+    /**
+     * Inserts sig → lid. An existing identical mapping is refreshed;
+     * otherwise the oldest slot of the bucket is replaced (FIFO).
+     */
+    void insert(std::uint32_t sig, LineID lid);
+
+    /** Removes the mapping sig → lid if present. */
+    void remove(std::uint32_t sig, LineID lid);
+
+    /** Appends all LineIDs in sig's bucket to @p out. */
+    void lookup(std::uint32_t sig, std::vector<LineID> &out) const;
+
+    /** Buckets in the table. */
+    std::uint64_t numEntries() const { return buckets_.size(); }
+    unsigned bucketWays() const { return cfg_.bucket_ways; }
+
+    /** Occupied slots, for occupancy stats. */
+    std::uint64_t occupancy() const;
+
+    void clear();
+
+  private:
+    struct Slot
+    {
+        LineID lid;
+        std::uint64_t age = 0;
+    };
+
+    std::size_t
+    indexOf(std::uint32_t sig) const
+    {
+        return hash_(sig) & (buckets_.size() - 1);
+    }
+
+    Config cfg_;
+    H3Hash hash_;
+    std::uint64_t age_clock_ = 0;
+    std::vector<std::vector<Slot>> buckets_;
+};
+
+} // namespace cable
+
+#endif // CABLE_CORE_HASH_TABLE_H

@@ -1,0 +1,63 @@
+#include "core/signature.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace cable
+{
+
+H3Hash::H3Hash(unsigned out_bits, std::uint64_t seed)
+    : out_bits_(out_bits)
+{
+    Rng rng(seed);
+    for (auto &row : rows_)
+        row = static_cast<std::uint32_t>(rng.next());
+    mask_ = out_bits >= 32 ? ~0u : ((1u << out_bits) - 1);
+}
+
+namespace
+{
+
+bool
+containsSig(const std::vector<std::uint32_t> &v, std::uint32_t s)
+{
+    return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+extractInsertSignatures(const CacheLine &line, const SignatureConfig &cfg)
+{
+    std::vector<std::uint32_t> sigs;
+    for (unsigned k = 0; k < cfg.insert_count && k < 2; ++k) {
+        for (unsigned off = cfg.insert_offsets[k]; off < kWordsPerLine;
+             ++off) {
+            std::uint32_t w = line.word(off);
+            if (isTrivialWord(w, cfg.trivial_threshold))
+                continue;
+            if (!containsSig(sigs, w))
+                sigs.push_back(w);
+            break;
+        }
+    }
+    return sigs;
+}
+
+std::vector<std::uint32_t>
+extractSearchSignatures(const CacheLine &line, const SignatureConfig &cfg)
+{
+    std::vector<std::uint32_t> sigs;
+    sigs.reserve(kWordsPerLine);
+    for (unsigned off = 0; off < kWordsPerLine; ++off) {
+        std::uint32_t w = line.word(off);
+        if (isTrivialWord(w, cfg.trivial_threshold))
+            continue;
+        if (!containsSig(sigs, w))
+            sigs.push_back(w);
+    }
+    return sigs;
+}
+
+} // namespace cable

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Signature extraction (§III-A) and the H3 hash family (§IV-D).
+ *
+ * A signature is a 32-bit word sampled from a cache line. Trivial
+ * words (>= 24 leading zeroes or ones) carry little identity, so the
+ * sampling offset moves forward 4 bytes at a time until it lands on a
+ * non-trivial word (Fig 6). Two kinds of extraction are used:
+ *
+ *  - insertion: a small, fixed number of signatures (default 2, from
+ *    default offsets 0 and 8) keyed into the hash table when a line
+ *    becomes shared; keeping this number low limits hash pollution;
+ *  - search: every non-trivial word of the requested line (up to 16),
+ *    deduplicated, used to probe the hash table (Fig 8 step 1).
+ */
+
+#ifndef CABLE_CORE_SIGNATURE_H
+#define CABLE_CORE_SIGNATURE_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/line.h"
+#include "common/rng.h"
+
+namespace cable
+{
+
+/**
+ * H3 universal hash (Carter & Wegman; Ramakrishna et al.): the output
+ * is the XOR of per-input-bit random rows, cheap to build in hardware
+ * as an XOR tree. Output width is configurable per table size.
+ */
+class H3Hash
+{
+  public:
+    /** @param out_bits output width; @param seed row-matrix seed. */
+    explicit H3Hash(unsigned out_bits = 32,
+                    std::uint64_t seed = 0xcab1e);
+
+    std::uint32_t
+    operator()(std::uint32_t x) const
+    {
+        std::uint32_t h = 0;
+        while (x) {
+            unsigned i = static_cast<unsigned>(std::countr_zero(x));
+            h ^= rows_[i];
+            x &= x - 1;
+        }
+        return h & mask_;
+    }
+
+    unsigned outBits() const { return out_bits_; }
+
+  private:
+    std::array<std::uint32_t, 32> rows_;
+    std::uint32_t mask_;
+    unsigned out_bits_;
+};
+
+/** Extraction configuration. */
+struct SignatureConfig
+{
+    /** Leading-zero/one bits that make a word trivial. */
+    unsigned trivial_threshold = 24;
+    /** Signatures inserted per line on synchronization. */
+    unsigned insert_count = 2;
+    /** Base offsets (words) for insertion signatures. */
+    std::array<unsigned, 2> insert_offsets = {0, 8};
+};
+
+/**
+ * Extracts the insertion signatures of a line: for each base offset,
+ * the first non-trivial word at or after it; duplicates removed.
+ * Returns raw 32-bit signature words (unhashed).
+ */
+std::vector<std::uint32_t>
+extractInsertSignatures(const CacheLine &line,
+                        const SignatureConfig &cfg = SignatureConfig{});
+
+/**
+ * Extracts the search signatures of a line: every non-trivial word,
+ * deduplicated, in line order (up to 16).
+ */
+std::vector<std::uint32_t>
+extractSearchSignatures(const CacheLine &line,
+                        const SignatureConfig &cfg = SignatureConfig{});
+
+} // namespace cable
+
+#endif // CABLE_CORE_SIGNATURE_H

@@ -1,0 +1,41 @@
+#include "sim/energy.h"
+
+namespace cable
+{
+
+std::map<std::string, double>
+EnergyModel::breakdown(Cycles elapsed) const
+{
+    std::map<std::string, double> nj;
+
+    double seconds =
+        static_cast<double>(elapsed) / (p_.core_ghz * 1e9);
+    double static_mw = p_.l1_static_mw + p_.l2_static_mw
+                       + p_.llc_static_mw + p_.l4_static_mw;
+    nj["sram_static"] = static_mw * 1e-3 * seconds * 1e9;
+
+    nj["sram_dynamic"] =
+        (static_cast<double>(l1_) * p_.l1_dyn_pj
+         + static_cast<double>(l2_) * p_.l2_dyn_pj
+         + static_cast<double>(llc_) * p_.llc_dyn_pj
+         + static_cast<double>(l4_) * p_.l4_dyn_pj)
+        * 1e-3;
+
+    nj["dram"] = static_cast<double>(dram_) * p_.dram_access_nj;
+    nj["link"] = static_cast<double>(link_bits_) / (kLineBytes * 8.0)
+                 * p_.link_nj_per_64B;
+    nj["comp_engine"] =
+        (static_cast<double>(comp_) * p_.comp_pj
+         + static_cast<double>(decomp_) * p_.decomp_pj)
+        * 1e-3;
+    nj["comp_sram"] =
+        static_cast<double>(search_reads_) * p_.search_read_pj * 1e-3;
+
+    double total = 0;
+    for (const auto &[k, v] : nj)
+        total += v;
+    nj["total"] = total;
+    return nj;
+}
+
+} // namespace cable

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory-subsystem energy model using the paper's published
+ * constants (Table II & Table V; CACTI 5.3 at 32nm, Micron DDR3
+ * power calculator, 25nJ/64B I/O links). Dynamic energy accumulates
+ * per event; static energy is power × elapsed time at report time.
+ * Breakdown categories match Fig 18's stacks: DRAM, LINK, SRAM
+ * (static+dynamic), COMPRESSION ENGINE and COMPRESSION SRAM.
+ */
+
+#ifndef CABLE_SIM_ENERGY_H
+#define CABLE_SIM_ENERGY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace cable
+{
+
+/** Table V / Table II constants. */
+struct EnergyParams
+{
+    // static power, milliwatts
+    double l1_static_mw = 7.0;
+    double l2_static_mw = 20.0;
+    double llc_static_mw = 169.7;
+    double l4_static_mw = 22.0;
+    // dynamic energy per access, picojoules
+    double l1_dyn_pj = 61.0;
+    double l2_dyn_pj = 32.0;
+    double llc_dyn_pj = 92.1;
+    double l4_dyn_pj = 149.4;
+    // compression (CABLE+LBE worst case, Table V)
+    double comp_pj = 1000.0;
+    double decomp_pj = 200.0;
+    // search data-array reads (Table II cache access, 1MB slice)
+    double search_read_pj = 100.0;
+    // off-chip traffic
+    double dram_access_nj = 50.6;
+    double link_nj_per_64B = 25.0;
+    double core_ghz = 2.0;
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &p = EnergyParams{})
+        : p_(p)
+    {
+    }
+
+    // event hooks -----------------------------------------------------
+    void l1Access(std::uint64_t n = 1) { l1_ += n; }
+    void l2Access(std::uint64_t n = 1) { l2_ += n; }
+    void llcAccess(std::uint64_t n = 1) { llc_ += n; }
+    void l4Access(std::uint64_t n = 1) { l4_ += n; }
+    void dramAccess(std::uint64_t n = 1) { dram_ += n; }
+    void linkFlits(std::uint64_t flits, unsigned width_bits)
+    {
+        link_bits_ += flits * width_bits;
+    }
+    void compression(std::uint64_t n = 1) { comp_ += n; }
+    void decompression(std::uint64_t n = 1) { decomp_ += n; }
+    void searchReads(std::uint64_t n = 1) { search_reads_ += n; }
+
+    /**
+     * Energy breakdown in nanojoules over @p elapsed core cycles.
+     * Keys: "dram", "link", "sram_static", "sram_dynamic",
+     * "comp_engine", "comp_sram", "total".
+     */
+    std::map<std::string, double> breakdown(Cycles elapsed) const;
+
+    const EnergyParams &params() const { return p_; }
+
+  private:
+    EnergyParams p_;
+    std::uint64_t l1_ = 0, l2_ = 0, llc_ = 0, l4_ = 0;
+    std::uint64_t dram_ = 0, link_bits_ = 0;
+    std::uint64_t comp_ = 0, decomp_ = 0, search_reads_ = 0;
+};
+
+} // namespace cable
+
+#endif // CABLE_SIM_ENERGY_H

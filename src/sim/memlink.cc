@@ -1,0 +1,485 @@
+#include "sim/memlink.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace cable
+{
+
+MemLinkSystem::MemLinkSystem(const MemSystemConfig &cfg,
+                             const std::vector<WorkloadProfile> &programs,
+                             LinkModel *shared_link)
+    : cfg_(cfg),
+      llc_({"llc", cfg.llc_bytes_per_thread * programs.size(),
+            cfg.llc_ways, cfg.llc_policy}),
+      l4_({"l4", cfg.l4_bytes_per_thread * programs.size(),
+           cfg.l4_ways}),
+      dram_(cfg.dram), lat_(schemeLatency(cfg.scheme)),
+      next_onoff_sample_(cfg.onoff_period)
+{
+    if (programs.empty())
+        fatal("MemLinkSystem: no programs");
+    if (!shared_link) {
+        own_link_ = std::make_unique<LinkModel>(cfg.link);
+        link_ = own_link_.get();
+    } else {
+        link_ = shared_link;
+    }
+    protocol_ = makeLinkProtocol(cfg.scheme, l4_, llc_, cfg.cable);
+    protocol_->setBackinvalHook(
+        [this](Addr addr) { backInvalUpper(addr); });
+
+    Cache::Config l1c{"l1", cfg.l1_bytes, cfg.l1_ways};
+    Cache::Config l2c{"l2", cfg.l2_bytes, cfg.l2_ways};
+    for (unsigned t = 0; t < programs.size(); ++t) {
+        Addr base = (static_cast<Addr>(t) + 1) << kThreadBaseShift;
+        std::uint64_t aseed = splitMix64(cfg.seed ^ (t * 977 + 13));
+        std::uint64_t vseed =
+            cfg.shared_value_seed
+                ? splitMix64(cfg.seed ^ 0x7a1ull)
+                : splitMix64(cfg.seed ^ 0x9191ull ^ (t * 31));
+        threads_.push_back(std::make_unique<Thread>(
+            t, l1c, l2c, programs[t], base, aseed, vseed));
+    }
+}
+
+SyntheticMemory &
+MemLinkSystem::memoryOf(Addr addr)
+{
+    std::size_t t = (addr >> kThreadBaseShift) - 1;
+    if (t >= threads_.size())
+        panic("memoryOf: address %llx has no owner",
+              static_cast<unsigned long long>(addr));
+    return threads_[t]->mem;
+}
+
+void
+MemLinkSystem::backInvalUpper(Addr addr)
+{
+    // Merge the newest dirty copy (L1 wins over L2) into the LLC
+    // before dropping the upper-level lines.
+    for (auto &tp : threads_) {
+        LineID l1id = tp->l1.find(addr);
+        LineID l2id = tp->l2.find(addr);
+        const CacheLine *newest = nullptr;
+        bool dirty = false;
+        if (l2id.valid) {
+            const Cache::Entry &e = tp->l2.entryAt(l2id);
+            if (e.dirty()) {
+                newest = &e.data;
+                dirty = true;
+            }
+        }
+        if (l1id.valid) {
+            const Cache::Entry &e = tp->l1.entryAt(l1id);
+            if (e.dirty()) {
+                newest = &e.data;
+                dirty = true;
+            }
+        }
+        if (dirty && newest)
+            protocol_->dirtyUpdate(addr, *newest);
+        if (l1id.valid)
+            tp->l1.invalidate(addr);
+        if (l2id.valid)
+            tp->l2.invalidate(addr);
+    }
+}
+
+void
+MemLinkSystem::attributeTransfer(Addr addr, const Transfer &t)
+{
+    std::size_t owner = (addr >> kThreadBaseShift) - 1;
+    if (owner < threads_.size()) {
+        threads_[owner]->link_raw_bits += t.raw_bits;
+        threads_[owner]->link_wire_bits += t.bits;
+    }
+}
+
+double
+MemLinkSystem::threadBitRatio(unsigned t) const
+{
+    const Thread &th = *threads_[t];
+    return th.link_wire_bits
+               ? static_cast<double>(th.link_raw_bits)
+                     / static_cast<double>(th.link_wire_bits)
+               : 1.0;
+}
+
+void
+MemLinkSystem::accountLinkTransfer(const Transfer &t, bool critical,
+                                   Cycles &now, Cycles &extra_lat)
+{
+    if (cfg_.count_toggles)
+        link_->countToggles(t.wire);
+    energy_.linkFlits(link_->flitsFor(t.bits),
+                      link_->config().width_bits);
+    if (!t.raw) {
+        energy_.compression();
+        energy_.decompression();
+    }
+    if (cfg_.timing) {
+        Cycles done = link_->acquire(now, t.bits);
+        if (critical)
+            extra_lat += done - now;
+    } else {
+        link_->countOnly(t.bits);
+    }
+}
+
+Cycles
+MemLinkSystem::offChipFill(Thread &, Addr addr, Cycles now)
+{
+    Cycles extra = 0;
+
+    // Victim handling: vacate the LLC slot the fill will use.
+    std::uint8_t vway = llc_.victimWay(addr);
+    LineID vlid(llc_.setOf(addr), vway);
+    const Cache::Entry &victim = llc_.entryAt(vlid);
+    if (victim.valid()) {
+        Addr vaddr = victim.tag << kLineShift;
+        backInvalUpper(vaddr);
+        auto wb = protocol_->evictRemoteSlot(vlid);
+        if (wb) {
+            // Posted write: consumes bandwidth, off the load's
+            // critical path.
+            accountLinkTransfer(*wb, false, now, extra);
+            attributeTransfer(vaddr, *wb);
+            energy_.l4Access();
+        }
+    }
+
+    // Home side: L4 lookup, DRAM on miss.
+    Cycles dram_lat = 0;
+    energy_.l4Access();
+    if (!l4_.probe(addr)) {
+        CacheLine data = memoryOf(addr).lineAt(addr);
+        if (cfg_.timing) {
+            Cycles done = dram_.access(now + cfg_.l4_lat, addr, false);
+            dram_lat = done - (now + cfg_.l4_lat);
+        } else {
+            dram_.access(now, addr, false);
+        }
+        energy_.dramAccess();
+        HomeInstallResult hr = protocol_->homeFill(addr, data);
+        if (hr.backinval_writeback) {
+            accountLinkTransfer(*hr.backinval_writeback, false, now,
+                                extra);
+            attributeTransfer(addr, *hr.backinval_writeback);
+        }
+        if (hr.memory_writeback) {
+            memoryOf(hr.memory_writeback->addr)
+                .storeLine(hr.memory_writeback->addr,
+                           hr.memory_writeback->data);
+            dram_.access(now, hr.memory_writeback->addr, true);
+            energy_.dramAccess();
+        }
+    }
+
+    // Response transfer: on the critical path. Compression latency
+    // is only paid while the (runtime-controllable) compressor is
+    // active; decompression only when the payload actually arrives
+    // compressed.
+    Transfer resp = protocol_->respond(addr, vway);
+    attributeTransfer(addr, resp);
+    Cycles comp_lat = compression_on_ ? lat_.comp : 0;
+    Cycles decomp_lat =
+        (compression_on_ && !resp.raw) ? lat_.decomp : 0;
+    if (cfg_.modeled_latency && compression_on_
+        && cfg_.scheme == "cable") {
+        SearchPipelineModel pipe;
+        comp_lat = pipe.compressionCycles(resp.sigs);
+        if (!resp.raw)
+            decomp_lat = pipe.decompressionCycles();
+    }
+    Cycles ser_start = now + cfg_.l4_lat + dram_lat + comp_lat
+                       + link_->config().setup_cycles;
+    Cycles resp_lat = cfg_.l4_lat + dram_lat + comp_lat
+                      + link_->config().setup_cycles + decomp_lat;
+    if (cfg_.timing) {
+        Cycles done = link_->acquire(ser_start, resp.bits);
+        resp_lat += done - ser_start;
+    } else {
+        link_->countOnly(resp.bits);
+    }
+    if (cfg_.count_toggles)
+        link_->countToggles(resp.wire);
+    energy_.linkFlits(link_->flitsFor(resp.bits),
+                      link_->config().width_bits);
+    if (!resp.raw) {
+        energy_.compression();
+        energy_.decompression();
+    }
+
+    return extra + resp_lat;
+}
+
+void
+MemLinkSystem::prefetch(Thread &t, Addr miss_addr, Cycles now)
+{
+    // Next-N-line prefetcher: fills ride the link off the demand
+    // load's critical path; the returned latency is discarded but
+    // the bandwidth (link busy-until, flits, energy) is charged.
+    Addr ws_base = (miss_addr >> kThreadBaseShift)
+                   << kThreadBaseShift;
+    (void)ws_base;
+    for (unsigned d = 1; d <= cfg_.prefetch_degree; ++d) {
+        Addr p = miss_addr + static_cast<Addr>(d) * kLineBytes;
+        if ((p >> kThreadBaseShift) != (miss_addr >> kThreadBaseShift))
+            break; // never cross into another program's space
+        if (llc_.probe(p))
+            continue;
+        (void)offChipFill(t, p, now);
+        energy_.llcAccess();
+    }
+}
+
+void
+MemLinkSystem::installL2(Thread &t, Addr addr, const CacheLine &data)
+{
+    std::uint8_t vway = t.l2.victimWay(addr);
+    LineID vlid(t.l2.setOf(addr), vway);
+    const Cache::Entry &victim = t.l2.entryAt(vlid);
+    if (victim.valid()) {
+        Addr vaddr = victim.tag << kLineShift;
+        // L2 eviction: collect the newest copy (L1 may be newer).
+        const CacheLine *newest =
+            victim.dirty() ? &victim.data : nullptr;
+        bool dirty = victim.dirty();
+        LineID l1id = t.l1.find(vaddr);
+        if (l1id.valid) {
+            const Cache::Entry &e1 = t.l1.entryAt(l1id);
+            if (e1.dirty()) {
+                newest = &e1.data;
+                dirty = true;
+            }
+            t.l1.invalidate(vaddr);
+        }
+        if (dirty && newest) {
+            protocol_->dirtyUpdate(vaddr, *newest);
+            energy_.llcAccess();
+        }
+    }
+    t.l2.install(addr, data, CoherenceState::Shared, vway);
+}
+
+void
+MemLinkSystem::installL1(Thread &t, Addr addr, const CacheLine &data)
+{
+    std::uint8_t vway = t.l1.victimWay(addr);
+    LineID vlid(t.l1.setOf(addr), vway);
+    const Cache::Entry &victim = t.l1.entryAt(vlid);
+    if (victim.valid() && victim.dirty()) {
+        Addr vaddr = victim.tag << kLineShift;
+        // L1 dirty eviction lands in the (inclusive) L2.
+        if (!t.l2.probe(vaddr))
+            panic("L2 not inclusive of L1 for %llx",
+                  static_cast<unsigned long long>(vaddr));
+        t.l2.writeLine(vaddr, victim.data, true);
+        energy_.l2Access();
+    }
+    t.l1.install(addr, data, CoherenceState::Shared, vway);
+}
+
+Cycles
+MemLinkSystem::access(Thread &t, Addr addr, bool store)
+{
+    Addr la = lineAlign(addr);
+    energy_.l1Access();
+
+    auto mutate = [&](Cache &c) {
+        LineID lid = c.find(la);
+        Cache::Entry &e = c.entryAt(lid);
+        unsigned w = static_cast<unsigned>((addr >> 2)
+                                           & (kWordsPerLine - 1));
+        // Stored values mirror real programs: mostly small integers
+        // and flags, occasionally arbitrary words — which keeps
+        // dirty lines compressible but harder than clean ones
+        // (the Fig 13 "dirty transfers compress worse" effect).
+        std::uint64_t h = splitMix64(addr ^ (t.ops * 0x9e37ull));
+        std::uint32_t v = (h & 1) ? static_cast<std::uint32_t>(
+                                        (h >> 8) & 0xff)
+                                  : static_cast<std::uint32_t>(h >> 32);
+        e.data.setWord(w, v);
+        e.state = CoherenceState::Modified;
+    };
+
+    if (t.l1.access(la)) {
+        if (store)
+            mutate(t.l1);
+        return cfg_.l1_lat;
+    }
+
+    Cycles lat = cfg_.l1_lat + cfg_.l2_lat;
+    energy_.l2Access();
+    CacheLine data;
+    if (t.l2.access(la)) {
+        data = t.l2.entryAt(t.l2.find(la)).data;
+    } else {
+        lat += cfg_.llc_lat;
+        energy_.llcAccess();
+        if (llc_.access(la)) {
+            data = llc_.entryAt(llc_.find(la)).data;
+        } else {
+            lat += offChipFill(t, la, t.time + lat);
+            data = llc_.entryAt(llc_.find(la)).data;
+            if (cfg_.prefetch_degree)
+                prefetch(t, la, t.time + lat);
+        }
+        installL2(t, la, data);
+    }
+    installL1(t, la, data);
+    if (store)
+        mutate(t.l1);
+    return lat;
+}
+
+void
+MemLinkSystem::pollOnOff()
+{
+    if (!cfg_.onoff_control)
+        return;
+    Cycles now = maxTime();
+    if (now < next_onoff_sample_)
+        return;
+    std::uint64_t flits = link_->stats().get("flits");
+    double used_bits = static_cast<double>(flits - flits_at_sample_)
+                       * link_->config().width_bits;
+    double cap = link_->bitsPerCoreCycle()
+                 * static_cast<double>(cfg_.onoff_period);
+    double util = cap > 0 ? used_bits / cap : 0.0;
+    // Utilization of the *compressed* stream understates demand;
+    // compare against effective (post-compression) capacity usage.
+    if (compression_on_ && util < cfg_.onoff_low) {
+        compression_on_ = false;
+        protocol_->setCompressionEnabled(false);
+    } else if (!compression_on_ && util > cfg_.onoff_high) {
+        compression_on_ = true;
+        protocol_->setCompressionEnabled(true);
+    }
+    flits_at_sample_ = flits;
+    next_onoff_sample_ = now + cfg_.onoff_period;
+}
+
+void
+MemLinkSystem::step(Thread &t)
+{
+    MemOp op = t.gen.next();
+    t.time += op.gap; // 1 CPI non-memory instructions
+    t.time += access(t, op.addr, op.store);
+    t.instrs += op.gap + 1;
+    t.ops += 1;
+    pollOnOff();
+}
+
+void
+MemLinkSystem::stepOnce()
+{
+    Thread *earliest = threads_[0].get();
+    for (auto &tp : threads_)
+        if (tp->time < earliest->time)
+            earliest = tp.get();
+    step(*earliest);
+}
+
+Cycles
+MemLinkSystem::nextEventTime() const
+{
+    Cycles m = ~Cycles{0};
+    for (const auto &tp : threads_)
+        m = std::min(m, tp->time);
+    return m;
+}
+
+bool
+MemLinkSystem::allThreadsReached(std::uint64_t ops) const
+{
+    for (const auto &tp : threads_)
+        if (tp->ops - tp->ops0 < ops)
+            return false;
+    return true;
+}
+
+void
+MemLinkSystem::beginMeasurement()
+{
+    for (auto &tp : threads_) {
+        tp->time0 = tp->time;
+        tp->instrs0 = tp->instrs;
+        tp->ops0 = tp->ops;
+    }
+}
+
+void
+MemLinkSystem::run(std::uint64_t ops)
+{
+    if (cfg_.timing) {
+        while (!allThreadsReached(ops))
+            stepOnce();
+    } else {
+        // Functional mode: round-robin interleaving.
+        while (!allThreadsReached(ops))
+            for (auto &tp : threads_)
+                if (tp->ops - tp->ops0 < ops)
+                    step(*tp);
+    }
+    finishEnergyAccounting();
+}
+
+double
+MemLinkSystem::effectiveRatio() const
+{
+    std::uint64_t flits = link_->stats().get("flits");
+    if (!flits)
+        return 1.0;
+    std::uint64_t transfers = link_->stats().get("transfers");
+    std::uint64_t raw_flits =
+        transfers
+        * ceilDiv(kLineBytes * 8, link_->config().width_bits);
+    return static_cast<double>(raw_flits)
+           / static_cast<double>(flits);
+}
+
+double
+MemLinkSystem::aggregateIPC() const
+{
+    double ipc = 0;
+    for (const auto &tp : threads_) {
+        Cycles dt = tp->time - tp->time0;
+        if (dt)
+            ipc += static_cast<double>(tp->instrs - tp->instrs0)
+                   / static_cast<double>(dt);
+    }
+    return ipc;
+}
+
+std::uint64_t
+MemLinkSystem::instructions(unsigned t) const
+{
+    return threads_[t]->instrs;
+}
+
+Cycles
+MemLinkSystem::maxTime() const
+{
+    Cycles m = 0;
+    for (const auto &tp : threads_)
+        m = std::max(m, tp->time);
+    return m;
+}
+
+void
+MemLinkSystem::finishEnergyAccounting()
+{
+    std::uint64_t reads = protocol_->stats().get("data_reads")
+                          + protocol_->stats().get("wb_data_reads");
+    if (reads > search_reads_accounted_) {
+        energy_.searchReads(reads - search_reads_accounted_);
+        search_reads_accounted_ = reads;
+    }
+}
+
+} // namespace cable

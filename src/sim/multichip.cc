@@ -1,0 +1,249 @@
+#include "sim/multichip.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace cable
+{
+
+MultiChipSystem::MultiChipSystem(const MultiChipConfig &cfg,
+                                 const WorkloadProfile &program)
+    : cfg_(cfg), l1_({"l1", cfg.l1_bytes, cfg.l1_ways}),
+      l2_({"l2", cfg.l2_bytes, cfg.l2_ways})
+{
+    if (cfg_.nodes < 2)
+        fatal("MultiChipSystem: need at least 2 nodes");
+    for (unsigned n = 0; n < cfg_.nodes; ++n) {
+        llcs_.push_back(std::make_unique<Cache>(Cache::Config{
+            "llc" + std::to_string(n), cfg_.llc_bytes,
+            cfg_.llc_ways}));
+    }
+    channels_.resize(cfg_.nodes);
+    for (unsigned k = 1; k < cfg_.nodes; ++k) {
+        CableConfig cc = cfg_.cable;
+        cc.hash_seed ^= k * 0x1234567ull;
+        channels_[k] =
+            makeLinkProtocol(cfg_.scheme, *llcs_[k], *llcs_[0], cc);
+        channels_[k]->setBackinvalHook(
+            [this](Addr addr) { backInvalUpper(addr); });
+    }
+
+    Addr base = Addr{1} << 40;
+    gen_ = std::make_unique<AccessGen>(program.access, base,
+                                       splitMix64(cfg_.seed ^ 0xc417ull));
+    mem_ = std::make_unique<SyntheticMemory>(
+        program.value, base, splitMix64(cfg_.seed ^ 0x5151ull));
+}
+
+LinkProtocol &
+MultiChipSystem::channel(unsigned home_node)
+{
+    if (home_node == 0 || home_node >= cfg_.nodes)
+        panic("channel(%u): node 0 has no channel to itself",
+              home_node);
+    return *channels_[home_node];
+}
+
+void
+MultiChipSystem::backInvalUpper(Addr addr)
+{
+    LineID l1id = l1_.find(addr);
+    LineID l2id = l2_.find(addr);
+    const CacheLine *newest = nullptr;
+    bool dirty = false;
+    if (l2id.valid) {
+        const Cache::Entry &e = l2_.entryAt(l2id);
+        if (e.dirty()) {
+            newest = &e.data;
+            dirty = true;
+        }
+    }
+    if (l1id.valid) {
+        const Cache::Entry &e = l1_.entryAt(l1id);
+        if (e.dirty()) {
+            newest = &e.data;
+            dirty = true;
+        }
+    }
+    if (dirty && newest)
+        dirtyToLlc(addr, *newest);
+    if (l1id.valid)
+        l1_.invalidate(addr);
+    if (l2id.valid)
+        l2_.invalidate(addr);
+}
+
+void
+MultiChipSystem::dirtyToLlc(Addr addr, const CacheLine &data)
+{
+    unsigned h = nodeOf(addr);
+    if (h == 0) {
+        llcs_[0]->writeLine(addr, data, true);
+    } else {
+        channels_[h]->dirtyUpdate(addr, data);
+    }
+}
+
+void
+MultiChipSystem::fillLlc(Addr addr)
+{
+    Cache &llc0 = *llcs_[0];
+    std::uint8_t vway = llc0.victimWay(addr);
+    LineID vlid(llc0.setOf(addr), vway);
+    const Cache::Entry &victim = llc0.entryAt(vlid);
+    if (victim.valid()) {
+        Addr vaddr = victim.tag << kLineShift;
+        backInvalUpper(vaddr);
+        unsigned vh = nodeOf(vaddr);
+        if (vh == 0) {
+            // Local line: plain DRAM write-back, no coherence link.
+            if (llc0.entryAt(vlid).dirty())
+                mem_->storeLine(vaddr, llc0.entryAt(vlid).data);
+            llc0.invalidate(vaddr);
+        } else {
+            channels_[vh]->evictRemoteSlot(vlid);
+        }
+    }
+
+    unsigned h = nodeOf(addr);
+    if (h == 0) {
+        llc0.install(addr, mem_->lineAt(addr),
+                     CoherenceState::Shared, vway);
+        return;
+    }
+    LinkProtocol &ch = *channels_[h];
+    if (!ch.home().probe(addr)) {
+        HomeInstallResult hr = ch.homeFill(addr, mem_->lineAt(addr));
+        if (hr.memory_writeback)
+            mem_->storeLine(hr.memory_writeback->addr,
+                            hr.memory_writeback->data);
+    }
+    ch.respond(addr, vway);
+}
+
+void
+MultiChipSystem::installL2(Addr addr, const CacheLine &data)
+{
+    std::uint8_t vway = l2_.victimWay(addr);
+    LineID vlid(l2_.setOf(addr), vway);
+    const Cache::Entry &victim = l2_.entryAt(vlid);
+    if (victim.valid()) {
+        Addr vaddr = victim.tag << kLineShift;
+        const CacheLine *newest =
+            victim.dirty() ? &victim.data : nullptr;
+        bool dirty = victim.dirty();
+        LineID l1id = l1_.find(vaddr);
+        if (l1id.valid) {
+            const Cache::Entry &e1 = l1_.entryAt(l1id);
+            if (e1.dirty()) {
+                newest = &e1.data;
+                dirty = true;
+            }
+            l1_.invalidate(vaddr);
+        }
+        if (dirty && newest)
+            dirtyToLlc(vaddr, *newest);
+    }
+    l2_.install(addr, data, CoherenceState::Shared, vway);
+}
+
+void
+MultiChipSystem::installL1(Addr addr, const CacheLine &data)
+{
+    std::uint8_t vway = l1_.victimWay(addr);
+    LineID vlid(l1_.setOf(addr), vway);
+    const Cache::Entry &victim = l1_.entryAt(vlid);
+    if (victim.valid() && victim.dirty()) {
+        Addr vaddr = victim.tag << kLineShift;
+        if (!l2_.probe(vaddr))
+            panic("MultiChip: L2 not inclusive of L1");
+        l2_.writeLine(vaddr, victim.data, true);
+    }
+    l1_.install(addr, data, CoherenceState::Shared, vway);
+}
+
+void
+MultiChipSystem::access(Addr addr, bool store)
+{
+    Addr la = lineAlign(addr);
+
+    auto mutate = [&](Cache &c) {
+        LineID lid = c.find(la);
+        Cache::Entry &e = c.entryAt(lid);
+        unsigned w = static_cast<unsigned>((addr >> 2)
+                                           & (kWordsPerLine - 1));
+        // Stored values mirror real programs: mostly small integers
+        // and flags, occasionally arbitrary words — which keeps
+        // dirty lines compressible but harder than clean ones
+        // (the Fig 13 "dirty transfers compress worse" effect).
+        std::uint64_t h = splitMix64(addr ^ (op_count_ * 0x9e37ull));
+        std::uint32_t v = (h & 1) ? static_cast<std::uint32_t>(
+                                        (h >> 8) & 0xff)
+                                  : static_cast<std::uint32_t>(h >> 32);
+        e.data.setWord(w, v);
+        e.state = CoherenceState::Modified;
+    };
+
+    if (l1_.access(la)) {
+        if (store)
+            mutate(l1_);
+        return;
+    }
+
+    CacheLine data;
+    if (l2_.access(la)) {
+        data = l2_.entryAt(l2_.find(la)).data;
+    } else {
+        Cache &llc0 = *llcs_[0];
+        if (!llc0.access(la))
+            fillLlc(la);
+        data = llc0.entryAt(llc0.find(la)).data;
+        installL2(la, data);
+    }
+    installL1(la, data);
+    if (store)
+        mutate(l1_);
+}
+
+void
+MultiChipSystem::run(std::uint64_t ops)
+{
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        MemOp op = gen_->next();
+        ++op_count_;
+        access(op.addr, op.store);
+    }
+}
+
+StatSet
+MultiChipSystem::linkStats() const
+{
+    StatSet s;
+    for (unsigned k = 1; k < cfg_.nodes; ++k) {
+        auto &ch = const_cast<MultiChipSystem *>(this)->channels_[k];
+        s.merge(ch->stats());
+    }
+    return s;
+}
+
+double
+MultiChipSystem::bitRatio() const
+{
+    StatSet s = linkStats();
+    return s.ratio("raw_bits", "wire_bits");
+}
+
+double
+MultiChipSystem::effectiveRatio(unsigned link_width_bits) const
+{
+    StatSet s = linkStats();
+    if (link_width_bits == 16 && s.get("wire_flits16"))
+        return s.ratio("raw_flits16", "wire_flits16");
+    double r = s.ratio("raw_bits", "wire_bits");
+    double cap = static_cast<double>(kLineBytes * 8)
+                 / static_cast<double>(link_width_bits);
+    return r > cap ? cap : r;
+}
+
+} // namespace cable

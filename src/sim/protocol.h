@@ -1,0 +1,168 @@
+/**
+ * @file
+ * LinkProtocol: the abstraction the simulators drive one compressed
+ * home↔remote link through. Two implementations:
+ *
+ *  - CableLinkProtocol wraps core::CableChannel (the paper's
+ *    contribution: reference search, WMT, hash tables, DIFFs);
+ *  - StreamLinkProtocol models every baseline scheme: per-line
+ *    engines (CPACK, BDI), persistent-FIFO dictionary engines
+ *    (CPACK128, LBE256), streaming-window gzip, or no compression
+ *    at all ("raw").
+ *
+ * Both enforce the same inclusive hierarchy and move the same data;
+ * only the wire encoding differs, so scheme comparisons are
+ * apples-to-apples.
+ *
+ * Per-scheme compression/decompression latencies follow Table IV.
+ */
+
+#ifndef CABLE_SIM_PROTOCOL_H
+#define CABLE_SIM_PROTOCOL_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/cache.h"
+#include "common/stats.h"
+#include "compress/compressor.h"
+#include "core/channel.h"
+
+namespace cable
+{
+
+/** Table IV compression latencies (core cycles). */
+struct SchemeLatency
+{
+    unsigned comp = 0;
+    unsigned decomp = 0;
+};
+
+/** Latency entry for a scheme name ("raw", "cpack", ..., "cable"). */
+SchemeLatency schemeLatency(const std::string &scheme);
+
+class LinkProtocol
+{
+  public:
+    LinkProtocol(Cache &home, Cache &remote)
+        : home_(home), remote_(remote)
+    {
+    }
+    virtual ~LinkProtocol() = default;
+
+    /** Vacates remote slot @p rlid; write-back transfer if dirty. */
+    virtual std::optional<Transfer> evictRemoteSlot(LineID rlid) = 0;
+
+    /** Sends the home copy of @p addr into vacated way @p vway. */
+    virtual Transfer respond(Addr addr, std::uint8_t vway) = 0;
+
+    /** Dirty data lands in the remote cache (on-chip write). */
+    virtual void dirtyUpdate(Addr addr, const CacheLine &data) = 0;
+
+    /** DRAM fill into the home cache; enforces inclusivity. */
+    virtual HomeInstallResult homeFill(Addr addr,
+                                       const CacheLine &data) = 0;
+
+    /** Runtime on/off switch (the §VI-D control scheme). */
+    virtual void setCompressionEnabled(bool on) = 0;
+
+    /**
+     * Hook invoked with a line address just before homeFill()
+     * back-invalidates that line's remote copy; the system flushes
+     * dirtier private-cache copies into the remote cache here.
+     */
+    virtual void
+    setBackinvalHook(std::function<void(Addr)> hook)
+    {
+        backinval_hook_ = std::move(hook);
+    }
+
+    virtual StatSet &stats() = 0;
+
+    virtual std::string schemeName() const = 0;
+
+    SchemeLatency latency() const { return schemeLatency(schemeName()); }
+
+    Cache &home() { return home_; }
+    Cache &remote() { return remote_; }
+
+    /** uncompressed / wire payload bits (bit-level, pre-flit). */
+    double
+    bitRatio()
+    {
+        return stats().ratio("raw_bits", "wire_bits");
+    }
+
+  protected:
+    Cache &home_;
+    Cache &remote_;
+    std::function<void(Addr)> backinval_hook_;
+};
+
+using LinkProtocolPtr = std::unique_ptr<LinkProtocol>;
+
+/** CABLE protocol wrapping a CableChannel. */
+class CableLinkProtocol : public LinkProtocol
+{
+  public:
+    CableLinkProtocol(Cache &home, Cache &remote,
+                      const CableConfig &cfg);
+
+    std::optional<Transfer> evictRemoteSlot(LineID rlid) override;
+    Transfer respond(Addr addr, std::uint8_t vway) override;
+    void dirtyUpdate(Addr addr, const CacheLine &data) override;
+    HomeInstallResult homeFill(Addr addr,
+                               const CacheLine &data) override;
+    void setCompressionEnabled(bool on) override;
+    void
+    setBackinvalHook(std::function<void(Addr)> hook) override
+    {
+        channel_.setBackinvalHook(std::move(hook));
+    }
+    StatSet &stats() override { return channel_.stats(); }
+    std::string schemeName() const override { return "cable"; }
+
+    CableChannel &channel() { return channel_; }
+
+  private:
+    CableChannel channel_;
+};
+
+/** Baseline protocols: one engine instance per direction. */
+class StreamLinkProtocol : public LinkProtocol
+{
+  public:
+    /** @param scheme "raw", "zero", "bdi", "cpack", "cpack128",
+     *                "lbe256" or "gzip". */
+    StreamLinkProtocol(Cache &home, Cache &remote,
+                       const std::string &scheme);
+
+    std::optional<Transfer> evictRemoteSlot(LineID rlid) override;
+    Transfer respond(Addr addr, std::uint8_t vway) override;
+    void dirtyUpdate(Addr addr, const CacheLine &data) override;
+    HomeInstallResult homeFill(Addr addr,
+                               const CacheLine &data) override;
+    void setCompressionEnabled(bool on) override;
+    StatSet &stats() override { return stats_; }
+    std::string schemeName() const override { return scheme_; }
+
+  private:
+    Transfer encode(const CacheLine &data, Compressor *engine,
+                    bool writeback);
+
+    std::string scheme_;
+    CompressorPtr resp_engine_; // null for "raw"
+    CompressorPtr wb_engine_;
+    bool enabled_ = true;
+    StatSet stats_;
+};
+
+/** Factory: "cable" → CableLinkProtocol, else StreamLinkProtocol. */
+LinkProtocolPtr makeLinkProtocol(const std::string &scheme, Cache &home,
+                                 Cache &remote, const CableConfig &cfg);
+
+} // namespace cable
+
+#endif // CABLE_SIM_PROTOCOL_H

@@ -1,0 +1,98 @@
+#include "workload/access_gen.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cable
+{
+
+AccessGen::AccessGen(const AccessProfile &profile, Addr base,
+                     std::uint64_t seed, std::uint64_t ops_per_phase)
+    : profile_(profile), base_(lineAlign(base)), rng_(seed),
+      ops_per_phase_(ops_per_phase)
+{
+    if (profile_.ws_lines == 0)
+        fatal("AccessGen: empty working set");
+    if (profile_.mem_ratio <= 0.0 || profile_.mem_ratio > 1.0)
+        fatal("AccessGen: mem_ratio out of range");
+    if (profile_.hot_lines == 0 || profile_.hot_lines > profile_.ws_lines)
+        fatal("AccessGen: hot set must be non-empty and fit the "
+              "working set");
+    enterPhase(0);
+}
+
+void
+AccessGen::enterPhase(unsigned phase)
+{
+    phase_ = phase;
+    std::uint64_t h = splitMix64(0xfa5e5ull ^ phase ^ rng_.next());
+    // Perturb the cold mix by up to +/-25% per phase and move the
+    // hot region, SimPoint-phase style.
+    double wiggle =
+        0.75 + 0.5 * (static_cast<double>(h & 0xffff) / 65535.0);
+    seq_frac_ = std::min(1.0, profile_.seq_frac * wiggle);
+    stride_frac_ = std::min(1.0 - seq_frac_,
+                            profile_.stride_frac * (2.0 - wiggle));
+    hot_base_ = splitMix64(h) % profile_.ws_lines;
+    seq_cursor_ = splitMix64(h ^ 1) % profile_.ws_lines;
+    stride_cursor_ = splitMix64(h ^ 2) % profile_.ws_lines;
+    gap_mean_ = (1.0 - profile_.mem_ratio) / profile_.mem_ratio;
+}
+
+std::uint64_t
+AccessGen::hotLine()
+{
+    // Skewed reuse inside the hot set: quadratic concentration makes
+    // the hottest lines L1-resident.
+    double u = rng_.uniform();
+    std::uint64_t off = static_cast<std::uint64_t>(
+        u * u * static_cast<double>(profile_.hot_lines));
+    if (off >= profile_.hot_lines)
+        off = profile_.hot_lines - 1;
+    return (hot_base_ + off) % profile_.ws_lines;
+}
+
+std::uint64_t
+AccessGen::coldLine()
+{
+    double roll = rng_.uniform();
+    if (roll < seq_frac_) {
+        std::uint64_t line = seq_cursor_;
+        seq_cursor_ = (seq_cursor_ + 1) % profile_.ws_lines;
+        return line;
+    }
+    if (roll < seq_frac_ + stride_frac_) {
+        std::uint64_t line = stride_cursor_;
+        stride_cursor_ =
+            (stride_cursor_ + profile_.stride_lines) % profile_.ws_lines;
+        return line;
+    }
+    return rng_.below(profile_.ws_lines);
+}
+
+MemOp
+AccessGen::next()
+{
+    if (ops_per_phase_ && op_count_ && op_count_ % ops_per_phase_ == 0) {
+        unsigned next_phase =
+            (phase_ + 1) % std::max(1u, profile_.phases);
+        enterPhase(next_phase);
+    }
+    ++op_count_;
+
+    MemOp op;
+    // Uniform gap with the right mean keeps the instruction mix at
+    // mem_ratio without a heavy-tailed distribution.
+    op.gap = static_cast<std::uint32_t>(
+        rng_.uniform() * 2.0 * gap_mean_ + 0.5);
+    op.store = rng_.chance(profile_.store_frac);
+
+    std::uint64_t line = rng_.chance(profile_.hot_frac) ? hotLine()
+                                                        : coldLine();
+    unsigned word = static_cast<unsigned>(rng_.below(kWordsPerLine));
+    op.addr = base_ + line * kLineBytes + word * 4;
+    return op;
+}
+
+} // namespace cable

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AccessGen: the memory-reference stream of one synthetic program —
+ * the access-pattern half of the SimPoint-trace substitution. It
+ * emits MemOps (address, load/store, preceding non-memory
+ * instruction gap) drawn from a mix of sequential, strided and
+ * skewed-random components over the profile's working set, with
+ * SimPoint-like phase changes that perturb the mix and move the hot
+ * region periodically.
+ */
+
+#ifndef CABLE_WORKLOAD_ACCESS_GEN_H
+#define CABLE_WORKLOAD_ACCESS_GEN_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "workload/profile.h"
+
+namespace cable
+{
+
+/** One memory operation plus its preceding compute gap. */
+struct MemOp
+{
+    Addr addr = 0;
+    bool store = false;
+    /** Non-memory instructions executed before this op. */
+    std::uint32_t gap = 0;
+};
+
+class AccessGen
+{
+  public:
+    /**
+     * @param profile access knobs
+     * @param base working-set origin (address space placement)
+     * @param seed stream seed (vary per thread for desync)
+     * @param ops_per_phase phase length in memory operations
+     */
+    AccessGen(const AccessProfile &profile, Addr base,
+              std::uint64_t seed, std::uint64_t ops_per_phase = 200000);
+
+    /** Generates the next memory operation. */
+    MemOp next();
+
+    /** Memory operations generated so far. */
+    std::uint64_t opCount() const { return op_count_; }
+
+    Addr base() const { return base_; }
+
+  private:
+    void enterPhase(unsigned phase);
+    std::uint64_t hotLine();
+    std::uint64_t coldLine();
+
+    AccessProfile profile_;
+    Addr base_;
+    Rng rng_;
+    std::uint64_t ops_per_phase_;
+    std::uint64_t op_count_ = 0;
+    unsigned phase_ = 0;
+
+    // per-phase state
+    std::uint64_t seq_cursor_ = 0;
+    std::uint64_t stride_cursor_ = 0;
+    std::uint64_t hot_base_ = 0;
+    double seq_frac_ = 0;
+    double stride_frac_ = 0;
+    double gap_mean_ = 0;
+};
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_ACCESS_GEN_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Workload profiles: the knobs that make a synthetic benchmark look
+ * like a SPEC2006 program to the memory hierarchy and the link
+ * compressors.
+ *
+ * The paper's evaluation depends on two per-benchmark properties:
+ * how much off-chip traffic a program generates (access side), and
+ * the *value structure* of that traffic (value side): zero words and
+ * lines, near-duplicate lines from object arrays ("copies of an
+ * object ... same data layout with minimal modifications", §III-A),
+ * pointer-rich words sharing high bits, byte-shifted duplicates that
+ * only byte-granular engines catch, and incompressible random data.
+ * This module exposes exactly those knobs; per-benchmark values are
+ * calibrated in spec2006.cc to the published qualitative groupings.
+ */
+
+#ifndef CABLE_WORKLOAD_PROFILE_H
+#define CABLE_WORKLOAD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cable
+{
+
+/** Value-structure knobs (what line contents look like). */
+struct ValueProfile
+{
+    /** Fraction of lines that are entirely zero. */
+    double zero_line_frac = 0.1;
+    /** Fraction of template word slots that are zero. */
+    double zero_word_frac = 0.3;
+    /** Template pool size; smaller = more cross-line similarity. */
+    unsigned template_count = 64;
+    /** Lines per region sharing one template (object-array runs). */
+    unsigned region_lines = 8;
+    /** Distinct non-zero words a template draws from; small values
+     *  create intra-line duplication (what C-PACK exploits). */
+    unsigned template_vocab = 6;
+    /** Per-word probability of deviating from the template. */
+    double mutation_rate = 0.1;
+    /** Fraction of non-zero template words that are pointers. */
+    double pointer_frac = 0.2;
+    /** Fraction of non-zero template words that are small ints. */
+    double small_int_frac = 0.3;
+    /** Fraction of lines whose content is byte-shifted (1..3B). */
+    double byte_shift_frac = 0.0;
+    /** Fraction of lines that are fully random (incompressible). */
+    double random_line_frac = 0.05;
+};
+
+/** Access-pattern knobs (where and how often memory is touched). */
+struct AccessProfile
+{
+    /** Fraction of instructions that are memory operations. */
+    double mem_ratio = 0.3;
+    /** Fraction of memory operations that are stores. */
+    double store_frac = 0.2;
+    /** Working-set size in 64-byte lines. */
+    std::uint64_t ws_lines = 1 << 18;
+    /**
+     * Fraction of accesses hitting the hot set (mostly absorbed by
+     * L1/L2); the complement is *cold* traffic that reaches the
+     * off-chip link. mem_ratio × (1 - hot_frac) × 1000 approximates
+     * the benchmark's off-chip MPKI.
+     */
+    double hot_frac = 0.95;
+    /** Hot-set size in lines (sized to fit the private levels). */
+    std::uint64_t hot_lines = 1024;
+    /** Cold mix: sequential streaming component. */
+    double seq_frac = 0.4;
+    /** Cold mix: strided component. */
+    double stride_frac = 0.2;
+    /** Stride in lines for the strided component. */
+    unsigned stride_lines = 4;
+    /** Remaining cold accesses are uniform over the working set. */
+    /** SimPoint-like phases over a run (parameter perturbation). */
+    unsigned phases = 4;
+};
+
+/** A named benchmark: value + access behaviour. */
+struct WorkloadProfile
+{
+    std::string name;
+    ValueProfile value;
+    AccessProfile access;
+    /** Paper's classification: zero/value-dominant traffic. */
+    bool zero_dominant = false;
+};
+
+/** Profile registry for the SPEC2006-like suite. */
+const WorkloadProfile &benchmarkProfile(const std::string &name);
+
+/** Every benchmark name, paper ordering (non-trivial first). */
+std::vector<std::string> spec2006Benchmarks();
+
+/** Benchmarks excluding the zero-dominant group (§VI-E). */
+std::vector<std::string> nonTrivialBenchmarks();
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_PROFILE_H

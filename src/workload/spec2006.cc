@@ -1,0 +1,377 @@
+/**
+ * @file
+ * The SPEC2006-like profile registry. Values are calibrated to the
+ * paper's published qualitative behaviour:
+ *
+ *  - mcf/lbm/libquantum/milc/GemsFDTD/bwaves form the zero/value-
+ *    dominant group (Fig 12's right group, >= 16x for everyone) and
+ *    are also the memory-intensive throughput winners of Fig 14a;
+ *  - dealII/tonto/zeusmp/gobmk carry near-duplicate lines scattered
+ *    far apart (template pools of thousands, one line per region):
+ *    CABLE's cache-sized dictionary reaches them, gzip's 32KB
+ *    window does not (Fig 11/12: CABLE beats gzip);
+ *  - perlbench/h264ref/xalancbmk carry byte-shifted duplicates that
+ *    only byte-granular engines catch (gzip edges out CABLE);
+ *  - namd is dominated by incompressible FP data (everyone loses,
+ *    and Multi4 runs hurt both CABLE and gzip, Fig 15);
+ *  - povray/gamess/sjeng/tonto/gobmk are compute-bound: whatever
+ *    their ratio, little traffic means little speedup (Fig 14a).
+ *
+ * mem_ratio × (1 − hot_frac) × 1000 sets each benchmark's off-chip
+ * traffic intensity (approximate LLC MPKI), spanning ~0.4 (povray)
+ * to ~84 (mcf) like the real suite.
+ */
+
+#include "workload/profile.h"
+
+#include "common/log.h"
+
+namespace cable
+{
+
+namespace
+{
+
+WorkloadProfile
+make(const std::string &name, ValueProfile v, AccessProfile a,
+     bool zero_dominant = false)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.value = v;
+    p.access = a;
+    p.zero_dominant = zero_dominant;
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildRegistry()
+{
+    std::vector<WorkloadProfile> r;
+    const std::uint64_t M = 1 << 20; // lines (64MB of data)
+    const std::uint64_t K = 1 << 10;
+
+    // ---- zero/value-dominant, memory-intensive group ---------------
+    r.push_back(make("mcf",
+        {.zero_line_frac = 0.70, .zero_word_frac = 0.75,
+         .template_count = 32, .region_lines = 16,
+         .template_vocab = 4, .mutation_rate = 0.03,
+         .pointer_frac = 0.30, .small_int_frac = 0.55,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.02},
+        {.mem_ratio = 0.38, .store_frac = 0.25, .ws_lines = 4 * M,
+         .hot_frac = 0.78, .hot_lines = 2048, .seq_frac = 0.10,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4},
+        true));
+    r.push_back(make("lbm",
+        {.zero_line_frac = 0.60, .zero_word_frac = 0.70,
+         .template_count = 16, .region_lines = 64,
+         .template_vocab = 4, .mutation_rate = 0.03,
+         .pointer_frac = 0.05, .small_int_frac = 0.60,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.04},
+        {.mem_ratio = 0.34, .store_frac = 0.45, .ws_lines = 2 * M,
+         .hot_frac = 0.85, .hot_lines = 1024, .seq_frac = 0.70,
+         .stride_frac = 0.15, .stride_lines = 8, .phases = 2},
+        true));
+    r.push_back(make("libquantum",
+        {.zero_line_frac = 0.68, .zero_word_frac = 0.80,
+         .template_count = 4, .region_lines = 256,
+         .template_vocab = 3, .mutation_rate = 0.015,
+         .pointer_frac = 0.0, .small_int_frac = 0.75,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.01},
+        {.mem_ratio = 0.30, .store_frac = 0.30, .ws_lines = 1 * M,
+         .hot_frac = 0.85, .hot_lines = 512, .seq_frac = 0.85,
+         .stride_frac = 0.05, .stride_lines = 2, .phases = 2},
+        true));
+    r.push_back(make("milc",
+        {.zero_line_frac = 0.60, .zero_word_frac = 0.68,
+         .template_count = 24, .region_lines = 32,
+         .template_vocab = 5, .mutation_rate = 0.04,
+         .pointer_frac = 0.05, .small_int_frac = 0.55,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.32, .store_frac = 0.35, .ws_lines = 2 * M,
+         .hot_frac = 0.85, .hot_lines = 1024, .seq_frac = 0.50,
+         .stride_frac = 0.25, .stride_lines = 16, .phases = 3},
+        true));
+    r.push_back(make("GemsFDTD",
+        {.zero_line_frac = 0.58, .zero_word_frac = 0.68,
+         .template_count = 20, .region_lines = 64,
+         .template_vocab = 5, .mutation_rate = 0.04,
+         .pointer_frac = 0.02, .small_int_frac = 0.55,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.33, .store_frac = 0.40, .ws_lines = 2 * M,
+         .hot_frac = 0.86, .hot_lines = 1024, .seq_frac = 0.60,
+         .stride_frac = 0.25, .stride_lines = 32, .phases = 3},
+        true));
+    r.push_back(make("bwaves",
+        {.zero_line_frac = 0.60, .zero_word_frac = 0.72,
+         .template_count = 12, .region_lines = 128,
+         .template_vocab = 4, .mutation_rate = 0.03,
+         .pointer_frac = 0.0, .small_int_frac = 0.62,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.04},
+        {.mem_ratio = 0.31, .store_frac = 0.35, .ws_lines = 2 * M,
+         .hot_frac = 0.86, .hot_lines = 1024, .seq_frac = 0.75,
+         .stride_frac = 0.10, .stride_lines = 4, .phases = 2},
+        true));
+
+    // ---- CABLE-beats-gzip: far-apart near-duplicates ----------------
+    r.push_back(make("dealII",
+        {.zero_line_frac = 0.10, .zero_word_frac = 0.35,
+         .template_count = 2048, .region_lines = 1,
+         .template_vocab = 6, .mutation_rate = 0.05,
+         .pointer_frac = 0.35, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.28, .store_frac = 0.25, .ws_lines = 512 * K,
+         .hot_frac = 0.96, .hot_lines = 1024, .seq_frac = 0.15,
+         .stride_frac = 0.10, .stride_lines = 4, .phases = 4}));
+    r.push_back(make("tonto",
+        {.zero_line_frac = 0.12, .zero_word_frac = 0.30,
+         .template_count = 512, .region_lines = 1,
+         .template_vocab = 6, .mutation_rate = 0.04,
+         .pointer_frac = 0.20, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.18, .store_frac = 0.25, .ws_lines = 128 * K,
+         .hot_frac = 0.998, .hot_lines = 1024, .seq_frac = 0.15,
+         .stride_frac = 0.15, .stride_lines = 8, .phases = 4}));
+    r.push_back(make("zeusmp",
+        {.zero_line_frac = 0.18, .zero_word_frac = 0.40,
+         .template_count = 1536, .region_lines = 2,
+         .template_vocab = 5, .mutation_rate = 0.06,
+         .pointer_frac = 0.05, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.29, .store_frac = 0.35, .ws_lines = 1 * M,
+         .hot_frac = 0.94, .hot_lines = 1024, .seq_frac = 0.35,
+         .stride_frac = 0.25, .stride_lines = 16, .phases = 3}));
+    r.push_back(make("gobmk",
+        {.zero_line_frac = 0.15, .zero_word_frac = 0.38,
+         .template_count = 1024, .region_lines = 1,
+         .template_vocab = 6, .mutation_rate = 0.06,
+         .pointer_frac = 0.30, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.20, .store_frac = 0.30, .ws_lines = 128 * K,
+         .hot_frac = 0.996, .hot_lines = 1024, .seq_frac = 0.10,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4}));
+
+    // ---- gzip-beats-CABLE: byte-shifted duplicates ------------------
+    r.push_back(make("perlbench",
+        {.zero_line_frac = 0.10, .zero_word_frac = 0.30,
+         .template_count = 96, .region_lines = 4,
+         .template_vocab = 6, .mutation_rate = 0.06,
+         .pointer_frac = 0.35, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.45, .random_line_frac = 0.05},
+        {.mem_ratio = 0.26, .store_frac = 0.30, .ws_lines = 256 * K,
+         .hot_frac = 0.97, .hot_lines = 1024, .seq_frac = 0.20,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4}));
+    r.push_back(make("h264ref",
+        {.zero_line_frac = 0.12, .zero_word_frac = 0.32,
+         .template_count = 64, .region_lines = 8,
+         .template_vocab = 6, .mutation_rate = 0.07,
+         .pointer_frac = 0.05, .small_int_frac = 0.35,
+         .byte_shift_frac = 0.50, .random_line_frac = 0.06},
+        {.mem_ratio = 0.26, .store_frac = 0.30, .ws_lines = 128 * K,
+         .hot_frac = 0.975, .hot_lines = 1024, .seq_frac = 0.45,
+         .stride_frac = 0.15, .stride_lines = 2, .phases = 4}));
+    r.push_back(make("xalancbmk",
+        {.zero_line_frac = 0.12, .zero_word_frac = 0.30,
+         .template_count = 128, .region_lines = 4,
+         .template_vocab = 6, .mutation_rate = 0.07,
+         .pointer_frac = 0.45, .small_int_frac = 0.20,
+         .byte_shift_frac = 0.35, .random_line_frac = 0.05},
+        {.mem_ratio = 0.30, .store_frac = 0.25, .ws_lines = 512 * K,
+         .hot_frac = 0.95, .hot_lines = 1024, .seq_frac = 0.15,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4}));
+
+    // ---- hard-to-compress FP ----------------------------------------
+    r.push_back(make("namd",
+        {.zero_line_frac = 0.04, .zero_word_frac = 0.10,
+         .template_count = 512, .region_lines = 2,
+         .template_vocab = 12, .mutation_rate = 0.30,
+         .pointer_frac = 0.05, .small_int_frac = 0.10,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.55},
+        {.mem_ratio = 0.20, .store_frac = 0.25, .ws_lines = 256 * K,
+         .hot_frac = 0.997, .hot_lines = 1024, .seq_frac = 0.30,
+         .stride_frac = 0.20, .stride_lines = 8, .phases = 3}));
+    r.push_back(make("gromacs",
+        {.zero_line_frac = 0.08, .zero_word_frac = 0.15,
+         .template_count = 256, .region_lines = 4,
+         .template_vocab = 10, .mutation_rate = 0.22,
+         .pointer_frac = 0.05, .small_int_frac = 0.15,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.35},
+        {.mem_ratio = 0.22, .store_frac = 0.30, .ws_lines = 256 * K,
+         .hot_frac = 0.995, .hot_lines = 1024, .seq_frac = 0.35,
+         .stride_frac = 0.20, .stride_lines = 4, .phases = 3}));
+    r.push_back(make("calculix",
+        {.zero_line_frac = 0.10, .zero_word_frac = 0.20,
+         .template_count = 384, .region_lines = 4,
+         .template_vocab = 8, .mutation_rate = 0.18,
+         .pointer_frac = 0.10, .small_int_frac = 0.20,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.25},
+        {.mem_ratio = 0.18, .store_frac = 0.30, .ws_lines = 256 * K,
+         .hot_frac = 0.997, .hot_lines = 1024, .seq_frac = 0.30,
+         .stride_frac = 0.25, .stride_lines = 8, .phases = 3}));
+
+    // ---- compute-bound, compress-well --------------------------------
+    r.push_back(make("povray",
+        {.zero_line_frac = 0.25, .zero_word_frac = 0.45,
+         .template_count = 48, .region_lines = 8,
+         .template_vocab = 5, .mutation_rate = 0.05,
+         .pointer_frac = 0.30, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.03},
+        {.mem_ratio = 0.12, .store_frac = 0.25, .ws_lines = 32 * K,
+         .hot_frac = 0.9995, .hot_lines = 1024, .seq_frac = 0.20,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 3}));
+    r.push_back(make("gamess",
+        {.zero_line_frac = 0.20, .zero_word_frac = 0.40,
+         .template_count = 64, .region_lines = 8,
+         .template_vocab = 5, .mutation_rate = 0.06,
+         .pointer_frac = 0.10, .small_int_frac = 0.35,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.13, .store_frac = 0.25, .ws_lines = 32 * K,
+         .hot_frac = 0.9995, .hot_lines = 1024, .seq_frac = 0.30,
+         .stride_frac = 0.15, .stride_lines = 4, .phases = 3}));
+    r.push_back(make("sjeng",
+        {.zero_line_frac = 0.15, .zero_word_frac = 0.35,
+         .template_count = 256, .region_lines = 2,
+         .template_vocab = 6, .mutation_rate = 0.09,
+         .pointer_frac = 0.25, .small_int_frac = 0.35,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.17, .store_frac = 0.25, .ws_lines = 256 * K,
+         .hot_frac = 0.997, .hot_lines = 1024, .seq_frac = 0.10,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4}));
+
+    // ---- middle of the pack ------------------------------------------
+    r.push_back(make("gcc",
+        {.zero_line_frac = 0.22, .zero_word_frac = 0.45,
+         .template_count = 512, .region_lines = 2,
+         .template_vocab = 5, .mutation_rate = 0.07,
+         .pointer_frac = 0.40, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.05, .random_line_frac = 0.05},
+        {.mem_ratio = 0.27, .store_frac = 0.30, .ws_lines = 512 * K,
+         .hot_frac = 0.96, .hot_lines = 1024, .seq_frac = 0.20,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 6}));
+    r.push_back(make("bzip2",
+        {.zero_line_frac = 0.10, .zero_word_frac = 0.25,
+         .template_count = 256, .region_lines = 4,
+         .template_vocab = 8, .mutation_rate = 0.12,
+         .pointer_frac = 0.10, .small_int_frac = 0.35,
+         .byte_shift_frac = 0.15, .random_line_frac = 0.15},
+        {.mem_ratio = 0.28, .store_frac = 0.35, .ws_lines = 512 * K,
+         .hot_frac = 0.96, .hot_lines = 1024, .seq_frac = 0.45,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 4}));
+    r.push_back(make("hmmer",
+        {.zero_line_frac = 0.15, .zero_word_frac = 0.35,
+         .template_count = 96, .region_lines = 8,
+         .template_vocab = 5, .mutation_rate = 0.07,
+         .pointer_frac = 0.10, .small_int_frac = 0.40,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.24, .store_frac = 0.25, .ws_lines = 64 * K,
+         .hot_frac = 0.995, .hot_lines = 1024, .seq_frac = 0.55,
+         .stride_frac = 0.15, .stride_lines = 2, .phases = 3}));
+    r.push_back(make("soplex",
+        {.zero_line_frac = 0.25, .zero_word_frac = 0.45,
+         .template_count = 192, .region_lines = 4,
+         .template_vocab = 5, .mutation_rate = 0.07,
+         .pointer_frac = 0.25, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.30, .store_frac = 0.25, .ws_lines = 1 * M,
+         .hot_frac = 0.92, .hot_lines = 1024, .seq_frac = 0.25,
+         .stride_frac = 0.25, .stride_lines = 8, .phases = 4}));
+    r.push_back(make("omnetpp",
+        {.zero_line_frac = 0.20, .zero_word_frac = 0.40,
+         .template_count = 256, .region_lines = 2,
+         .template_vocab = 6, .mutation_rate = 0.09,
+         .pointer_frac = 0.50, .small_int_frac = 0.20,
+         .byte_shift_frac = 0.10, .random_line_frac = 0.05},
+        {.mem_ratio = 0.31, .store_frac = 0.30, .ws_lines = 1 * M,
+         .hot_frac = 0.93, .hot_lines = 1024, .seq_frac = 0.10,
+         .stride_frac = 0.05, .stride_lines = 2, .phases = 4}));
+    r.push_back(make("astar",
+        {.zero_line_frac = 0.18, .zero_word_frac = 0.40,
+         .template_count = 256, .region_lines = 4,
+         .template_vocab = 6, .mutation_rate = 0.09,
+         .pointer_frac = 0.40, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.06},
+        {.mem_ratio = 0.29, .store_frac = 0.25, .ws_lines = 512 * K,
+         .hot_frac = 0.94, .hot_lines = 1024, .seq_frac = 0.10,
+         .stride_frac = 0.10, .stride_lines = 2, .phases = 3}));
+    r.push_back(make("sphinx3",
+        {.zero_line_frac = 0.20, .zero_word_frac = 0.40,
+         .template_count = 128, .region_lines = 8,
+         .template_vocab = 6, .mutation_rate = 0.09,
+         .pointer_frac = 0.10, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.10},
+        {.mem_ratio = 0.28, .store_frac = 0.20, .ws_lines = 512 * K,
+         .hot_frac = 0.94, .hot_lines = 1024, .seq_frac = 0.50,
+         .stride_frac = 0.15, .stride_lines = 4, .phases = 3}));
+    r.push_back(make("wrf",
+        {.zero_line_frac = 0.25, .zero_word_frac = 0.45,
+         .template_count = 96, .region_lines = 32,
+         .template_vocab = 5, .mutation_rate = 0.07,
+         .pointer_frac = 0.05, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.28, .store_frac = 0.35, .ws_lines = 1 * M,
+         .hot_frac = 0.95, .hot_lines = 1024, .seq_frac = 0.55,
+         .stride_frac = 0.20, .stride_lines = 16, .phases = 3}));
+    r.push_back(make("cactusADM",
+        {.zero_line_frac = 0.22, .zero_word_frac = 0.40,
+         .template_count = 64, .region_lines = 64,
+         .template_vocab = 5, .mutation_rate = 0.08,
+         .pointer_frac = 0.02, .small_int_frac = 0.25,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.10},
+        {.mem_ratio = 0.29, .store_frac = 0.40, .ws_lines = 1 * M,
+         .hot_frac = 0.95, .hot_lines = 1024, .seq_frac = 0.60,
+         .stride_frac = 0.20, .stride_lines = 32, .phases = 2}));
+    r.push_back(make("leslie3d",
+        {.zero_line_frac = 0.28, .zero_word_frac = 0.48,
+         .template_count = 48, .region_lines = 64,
+         .template_vocab = 4, .mutation_rate = 0.07,
+         .pointer_frac = 0.02, .small_int_frac = 0.30,
+         .byte_shift_frac = 0.0, .random_line_frac = 0.08},
+        {.mem_ratio = 0.30, .store_frac = 0.35, .ws_lines = 1 * M,
+         .hot_frac = 0.94, .hot_lines = 1024, .seq_frac = 0.65,
+         .stride_frac = 0.20, .stride_lines = 8, .phases = 2}));
+
+    return r;
+}
+
+const std::vector<WorkloadProfile> &
+registry()
+{
+    static const std::vector<WorkloadProfile> r = buildRegistry();
+    return r;
+}
+
+} // namespace
+
+const WorkloadProfile &
+benchmarkProfile(const std::string &name)
+{
+    for (const WorkloadProfile &p : registry())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<std::string>
+spec2006Benchmarks()
+{
+    std::vector<std::string> names;
+    for (const WorkloadProfile &p : registry())
+        if (!p.zero_dominant)
+            names.push_back(p.name);
+    for (const WorkloadProfile &p : registry())
+        if (p.zero_dominant)
+            names.push_back(p.name);
+    return names;
+}
+
+std::vector<std::string>
+nonTrivialBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const WorkloadProfile &p : registry())
+        if (!p.zero_dominant)
+            names.push_back(p.name);
+    return names;
+}
+
+} // namespace cable

@@ -1,0 +1,91 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace cable
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0xcab1e7cf;
+
+} // namespace
+
+Trace
+recordTrace(AccessGen &gen, const std::string &benchmark,
+            std::uint64_t n)
+{
+    Trace t;
+    t.benchmark = benchmark;
+    t.ops.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        t.ops.push_back(gen.next());
+    return t;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("saveTrace: cannot open %s", path.c_str());
+    std::uint32_t name_len =
+        static_cast<std::uint32_t>(trace.benchmark.size());
+    std::uint64_t count = trace.ops.size();
+    bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1
+              && std::fwrite(&name_len, sizeof(name_len), 1, f) == 1
+              && std::fwrite(trace.benchmark.data(), 1, name_len, f)
+                     == name_len
+              && std::fwrite(&count, sizeof(count), 1, f) == 1;
+    for (const MemOp &op : trace.ops) {
+        if (!ok)
+            break;
+        std::uint8_t store = op.store;
+        ok = std::fwrite(&op.addr, sizeof(op.addr), 1, f) == 1
+             && std::fwrite(&store, 1, 1, f) == 1
+             && std::fwrite(&op.gap, sizeof(op.gap), 1, f) == 1;
+    }
+    std::fclose(f);
+    if (!ok)
+        fatal("saveTrace: short write to %s", path.c_str());
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("loadTrace: cannot open %s", path.c_str());
+    std::uint32_t magic = 0, name_len = 0;
+    std::uint64_t count = 0;
+    Trace t;
+    bool ok = std::fread(&magic, sizeof(magic), 1, f) == 1
+              && magic == kMagic
+              && std::fread(&name_len, sizeof(name_len), 1, f) == 1;
+    if (ok) {
+        t.benchmark.resize(name_len);
+        ok = std::fread(t.benchmark.data(), 1, name_len, f) == name_len
+             && std::fread(&count, sizeof(count), 1, f) == 1;
+    }
+    if (ok) {
+        t.ops.resize(count);
+        for (MemOp &op : t.ops) {
+            std::uint8_t store = 0;
+            ok = std::fread(&op.addr, sizeof(op.addr), 1, f) == 1
+                 && std::fread(&store, 1, 1, f) == 1
+                 && std::fread(&op.gap, sizeof(op.gap), 1, f) == 1;
+            if (!ok)
+                break;
+            op.store = store;
+        }
+    }
+    std::fclose(f);
+    if (!ok)
+        fatal("loadTrace: corrupt trace %s", path.c_str());
+    return t;
+}
+
+} // namespace cable

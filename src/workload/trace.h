@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Materialized trace support: capture an AccessGen stream into a
+ * vector (SimPoint-pinball style) and persist it to a simple binary
+ * format. Streaming generation is preferred in the benches; traces
+ * are used by the examples and for reproducible test fixtures.
+ */
+
+#ifndef CABLE_WORKLOAD_TRACE_H
+#define CABLE_WORKLOAD_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/access_gen.h"
+
+namespace cable
+{
+
+/** A recorded memory trace. */
+struct Trace
+{
+    std::string benchmark;
+    std::vector<MemOp> ops;
+
+    /** Total instructions represented (mem ops + gaps). */
+    std::uint64_t
+    instructionCount() const
+    {
+        std::uint64_t n = 0;
+        for (const MemOp &op : ops)
+            n += 1 + op.gap;
+        return n;
+    }
+};
+
+/** Records @p n memory operations from @p gen. */
+Trace recordTrace(AccessGen &gen, const std::string &benchmark,
+                  std::uint64_t n);
+
+/** Writes a trace to @p path (binary; fatal on I/O error). */
+void saveTrace(const Trace &trace, const std::string &path);
+
+/** Reads a trace written by saveTrace (fatal on I/O error). */
+Trace loadTrace(const std::string &path);
+
+} // namespace cable
+
+#endif // CABLE_WORKLOAD_TRACE_H

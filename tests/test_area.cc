@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structure-sizing tests against the paper's published arithmetic
+ * (§IV-D, Table III): LineID widths, WMT entry widths and SRAM
+ * overhead percentages for the evaluated configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area.h"
+
+using namespace cable;
+
+namespace
+{
+
+CacheGeometry
+geom(std::uint64_t mb, unsigned ways)
+{
+    return CacheGeometry{mb << 20, ways, 64};
+}
+
+} // namespace
+
+TEST(Area, PaperOffChipRemoteLidIs17Bits)
+{
+    // 8-way 8MB LLC: 16384 sets (14b) + 3 way bits = 17 bits.
+    AreaReport r = sizeCableStructures(geom(16, 8), geom(8, 8));
+    EXPECT_EQ(r.remote_lid_bits, 17u);
+    EXPECT_EQ(r.home_lid_bits, 18u);
+}
+
+TEST(Area, PaperWmtEntryIsFourBits)
+{
+    // Table III: 1 alias + 3 associativity bits.
+    AreaReport r = sizeCableStructures(geom(16, 8), geom(8, 8));
+    EXPECT_EQ(r.wmt_entry_bits, 4u);
+}
+
+TEST(Area, WmtOverheadAboutHalfPercent)
+{
+    // Paper: ~0.4% of the home (16MB buffer) for the off-chip case.
+    AreaReport r = sizeCableStructures(geom(16, 8), geom(8, 8));
+    EXPECT_GT(r.wmt_overhead, 0.003);
+    EXPECT_LT(r.wmt_overhead, 0.006);
+}
+
+TEST(Area, FullSizedHashTableAroundThreePercent)
+{
+    // §IV-D: "each full-sized hash table is 3.5% the size of the
+    // data cache (16MB cache, 18-bit HomeLIDs)".
+    AreaReport r =
+        sizeCableStructures(geom(16, 8), geom(8, 8), 1.0, 2);
+    EXPECT_GT(r.hash_table_overhead, 0.025);
+    EXPECT_LT(r.hash_table_overhead, 0.045);
+}
+
+TEST(Area, HalfSizedTableHalvesOverhead)
+{
+    AreaReport full =
+        sizeCableStructures(geom(16, 8), geom(8, 8), 1.0, 2);
+    AreaReport half =
+        sizeCableStructures(geom(16, 8), geom(8, 8), 0.5, 2);
+    EXPECT_NEAR(half.hash_table_overhead,
+                full.hash_table_overhead / 2, 1e-9);
+}
+
+TEST(Area, EqualCachesCoherenceCase)
+{
+    // Multi-chip: equal 1MB LLCs; alias bits are zero so entries are
+    // way bits only.
+    AreaReport r = sizeCableStructures(geom(1, 8), geom(1, 8));
+    EXPECT_EQ(r.wmt_entry_bits, 3u);
+    EXPECT_EQ(r.remote_lid_bits, r.home_lid_bits);
+}
+
+TEST(Area, BucketDepthDoesNotChangeStorage)
+{
+    // Bucket depth groups slots into wider rows; the slot count —
+    // and therefore the SRAM size — is set by the sizing factor.
+    AreaReport two =
+        sizeCableStructures(geom(16, 8), geom(8, 8), 1.0, 2);
+    AreaReport four =
+        sizeCableStructures(geom(16, 8), geom(8, 8), 1.0, 4);
+    EXPECT_EQ(four.hash_table_bits, two.hash_table_bits);
+}
+
+TEST(Area, LogicOverheadConstantsMatchTable3)
+{
+    LogicOverheads lo;
+    EXPECT_NEAR(lo.total_per_l2, 0.0148, 1e-9);
+    EXPECT_NEAR(lo.total_per_tile, 0.0058, 1e-9);
+    EXPECT_NEAR(lo.combinational_per_l2 + lo.buffers_per_l2
+                    + lo.noncombinational_per_l2,
+                lo.total_per_l2, 5e-4);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Cache-model tests: geometry, lookup, LRU replacement, the
+ * replacement-way contract CABLE relies on, installs/evictions,
+ * state transitions and LineID-based data-array reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+using namespace cable;
+
+namespace
+{
+
+Cache
+smallCache()
+{
+    return Cache({"t", 4096, 4}); // 64 lines, 16 sets, 4 ways
+}
+
+CacheLine
+lineOf(std::uint32_t v)
+{
+    return CacheLine::filledWords(v);
+}
+
+} // namespace
+
+TEST(Cache, Geometry)
+{
+    Cache c({"c", 1u << 20, 8});
+    EXPECT_EQ(c.numLines(), (1u << 20) / 64);
+    EXPECT_EQ(c.numSets(), (1u << 20) / 64 / 8);
+    EXPECT_EQ(c.numWays(), 8u);
+    EXPECT_EQ(c.setIndexBits(), 11u);
+}
+
+TEST(Cache, SetIndexUsesLineNumberBits)
+{
+    Cache c = smallCache();
+    EXPECT_EQ(c.setOf(0), 0u);
+    EXPECT_EQ(c.setOf(64), 1u);
+    EXPECT_EQ(c.setOf(16 * 64), 0u); // wraps at 16 sets
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c = smallCache();
+    EXPECT_FALSE(c.probe(0x1000));
+    c.install(0x1000, lineOf(1), CoherenceState::Shared);
+    EXPECT_TRUE(c.probe(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    LineID lid = c.find(0x1000);
+    ASSERT_TRUE(lid.valid);
+    EXPECT_EQ(c.entryAt(lid).data, lineOf(1));
+    EXPECT_EQ(c.addrAt(lid), 0x1000u);
+}
+
+TEST(Cache, VictimPrefersInvalidWays)
+{
+    Cache c = smallCache();
+    Addr base = 0; // set 0
+    EXPECT_EQ(c.victimWay(base), 0);
+    c.install(base, lineOf(1), CoherenceState::Shared, 0);
+    EXPECT_EQ(c.victimWay(base + 16 * 64), 1);
+}
+
+TEST(Cache, LruVictimSelection)
+{
+    Cache c = smallCache();
+    // Fill set 0 (addresses 0, 1K, 2K, 3K map to set 0: stride 16
+    // lines = 1024 bytes).
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(i * 1024, lineOf(i), CoherenceState::Shared);
+    // Touch everything except way 1's line (addr 1024).
+    c.access(0);
+    c.access(2048);
+    c.access(3072);
+    EXPECT_EQ(c.victimWay(4096), 1);
+    // Touch it; way 0's line (touched earliest) becomes victim.
+    c.access(1024);
+    EXPECT_EQ(c.victimWay(4096), 0);
+}
+
+TEST(Cache, InstallReturnsEviction)
+{
+    Cache c = smallCache();
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(i * 1024, lineOf(i), CoherenceState::Shared);
+    Eviction ev = c.install(4096, lineOf(9), CoherenceState::Shared,
+                            c.victimWay(4096));
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0u);
+    EXPECT_EQ(ev.data, lineOf(0));
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(4096));
+}
+
+TEST(Cache, ReinstallSameAddressNoEviction)
+{
+    Cache c = smallCache();
+    c.install(0x1000, lineOf(1), CoherenceState::Shared);
+    LineID lid = c.find(0x1000);
+    Eviction ev =
+        c.install(0x1000, lineOf(2), CoherenceState::Shared, lid.way);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(c.entryAt(c.find(0x1000)).data, lineOf(2));
+}
+
+TEST(Cache, DirtyTracking)
+{
+    Cache c = smallCache();
+    c.install(0x40, lineOf(1), CoherenceState::Shared);
+    EXPECT_FALSE(c.entryAt(c.find(0x40)).dirty());
+    c.markDirty(0x40);
+    EXPECT_TRUE(c.entryAt(c.find(0x40)).dirty());
+    c.writeLine(0x40, lineOf(3), true);
+    Eviction ev = c.install(0x40 + 1024 * 16 * 4, lineOf(7),
+                            CoherenceState::Shared,
+                            c.find(0x40).way);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.data, lineOf(3));
+}
+
+TEST(Cache, WriteLineWithoutDirtying)
+{
+    Cache c = smallCache();
+    c.install(0x80, lineOf(1), CoherenceState::Shared);
+    c.writeLine(0x80, lineOf(2), false);
+    EXPECT_FALSE(c.entryAt(c.find(0x80)).dirty());
+    EXPECT_EQ(c.entryAt(c.find(0x80)).data, lineOf(2));
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c = smallCache();
+    c.install(0xc0, lineOf(1), CoherenceState::Shared);
+    LineID lid = c.invalidate(0xc0);
+    EXPECT_TRUE(lid.valid);
+    EXPECT_FALSE(c.probe(0xc0));
+    EXPECT_FALSE(c.invalidate(0xc0).valid);
+}
+
+TEST(Cache, Clear)
+{
+    Cache c = smallCache();
+    c.install(0x100, lineOf(1), CoherenceState::Shared);
+    c.clear();
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_EQ(c.victimWay(0x100), 0);
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c = smallCache();
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(i * 1024, lineOf(i), CoherenceState::Shared);
+    c.probe(0); // must NOT refresh way 0
+    EXPECT_EQ(c.victimWay(4096), 0);
+}
+
+TEST(Cache, DirectMapped)
+{
+    Cache c({"dm", 1024, 1}); // 16 sets, 1 way
+    c.install(0, lineOf(1), CoherenceState::Shared);
+    Eviction ev =
+        c.install(1024, lineOf(2), CoherenceState::Shared, 0);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.addr, 0u);
+}
+
+TEST(CacheDeath, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(Cache({"bad", 1000, 3}),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(Cache({"bad", 64 * 3, 1}),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(CacheDeath, WriteLineToMissingLinePanics)
+{
+    Cache c = smallCache();
+    EXPECT_DEATH(c.writeLine(0x4000, CacheLine{}, true),
+                 "non-resident");
+}
+
+TEST(CachePolicy, FifoEvictsOldestInstall)
+{
+    Cache c({"fifo", 4096, 4, ReplacementPolicy::FIFO});
+    for (unsigned i = 0; i < 4; ++i)
+        c.install(i * 1024, lineOf(i), CoherenceState::Shared);
+    // Touch way 0's line; FIFO must still evict it (oldest install).
+    c.access(0);
+    c.access(0);
+    EXPECT_EQ(c.victimWay(4096), 0);
+}
+
+TEST(CachePolicy, RandomIsDeterministicPerSequence)
+{
+    Cache a({"r1", 4096, 4, ReplacementPolicy::Random});
+    Cache b({"r2", 4096, 4, ReplacementPolicy::Random});
+    for (unsigned i = 0; i < 4; ++i) {
+        a.install(i * 1024, lineOf(i), CoherenceState::Shared);
+        b.install(i * 1024, lineOf(i), CoherenceState::Shared);
+    }
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.victimWay(4096), b.victimWay(4096));
+}
+
+TEST(CachePolicy, RandomStillPrefersInvalidWays)
+{
+    Cache c({"r", 4096, 4, ReplacementPolicy::Random});
+    c.install(0, lineOf(1), CoherenceState::Shared, 0);
+    c.install(1024, lineOf(2), CoherenceState::Shared, 1);
+    EXPECT_EQ(c.victimWay(2048), 2); // first invalid way
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Coverage-bit-vector and greedy-ranking tests (§III-C), including
+ * the paper's 1100/0110/0011 selection example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cbv.h"
+
+using namespace cable;
+
+TEST(Cbv, CoverageVectorMarksMatchingWords)
+{
+    CacheLine a, b;
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        a.setWord(w, w + 1);
+        b.setWord(w, w % 2 ? w + 1 : 0x9999);
+    }
+    std::uint32_t cbv = coverageVector(a, b);
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        EXPECT_EQ((cbv >> w) & 1, w % 2 ? 1u : 0u);
+}
+
+TEST(Cbv, IdenticalLinesFullCoverage)
+{
+    CacheLine a = CacheLine::filledWords(7);
+    EXPECT_EQ(coverageVector(a, a), 0xffffu);
+}
+
+TEST(Cbv, PaperExampleSelection)
+{
+    // CBVs 1100, 0110, 0011: the greedy pass takes 1100 then 0011,
+    // dropping 0110 because it adds no new coverage (§III-C).
+    std::vector<std::uint32_t> cbvs{0b1100, 0b0110, 0b0011};
+    auto picks = selectByCoverage(cbvs, 3);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 0u);
+    EXPECT_EQ(picks[1], 2u);
+}
+
+TEST(Cbv, MaxRefsLimitsPicks)
+{
+    std::vector<std::uint32_t> cbvs{0b0001, 0b0010, 0b0100, 0b1000};
+    EXPECT_EQ(selectByCoverage(cbvs, 3).size(), 3u);
+    EXPECT_EQ(selectByCoverage(cbvs, 1).size(), 1u);
+    EXPECT_EQ(selectByCoverage(cbvs, 4).size(), 4u);
+}
+
+TEST(Cbv, ZeroGainCandidatesDropped)
+{
+    std::vector<std::uint32_t> cbvs{0xffff, 0x00ff, 0xff00};
+    auto picks = selectByCoverage(cbvs, 3);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0], 0u);
+}
+
+TEST(Cbv, EmptyCandidates)
+{
+    std::vector<std::uint32_t> none;
+    EXPECT_TRUE(selectByCoverage(none, 3).empty());
+    std::vector<std::uint32_t> zeros{0, 0, 0};
+    EXPECT_TRUE(selectByCoverage(zeros, 3).empty());
+}
+
+TEST(Cbv, TieBreaksTowardPreRankOrder)
+{
+    // Equal gain: the earlier (more duplicated in pre-rank) index
+    // wins.
+    std::vector<std::uint32_t> cbvs{0b0011, 0b1100, 0b0011};
+    auto picks = selectByCoverage(cbvs, 2);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 0u);
+    EXPECT_EQ(picks[1], 1u);
+}
+
+TEST(Cbv, GreedyIsMarginalGainDriven)
+{
+    // First pick the 3-word cover, then the candidate contributing
+    // the most *new* words even though its absolute count is lower.
+    std::vector<std::uint32_t> cbvs{
+        0b0000111, // 3 words
+        0b0000110, // 2 words, subset of first
+        0b1110000, // 3 new words
+    };
+    auto picks = selectByCoverage(cbvs, 2);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0], 0u);
+    EXPECT_EQ(picks[1], 2u);
+}

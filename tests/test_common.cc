@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, the CacheLine
+ * value type, bitstreams, deterministic RNG and the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/line.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "compress/bitstream.h"
+
+using namespace cable;
+
+TEST(Bitops, TrivialWordZeros)
+{
+    EXPECT_TRUE(isTrivialWord(0));
+    EXPECT_TRUE(isTrivialWord(0xff));       // 24 leading zeros
+    EXPECT_TRUE(isTrivialWord(0x01));
+    EXPECT_FALSE(isTrivialWord(0x100));     // 23 leading zeros
+    EXPECT_FALSE(isTrivialWord(0x80000000));
+}
+
+TEST(Bitops, TrivialWordOnes)
+{
+    EXPECT_TRUE(isTrivialWord(0xffffffff));
+    EXPECT_TRUE(isTrivialWord(0xffffff00)); // 24 leading ones
+    EXPECT_TRUE(isTrivialWord(0xffffff7f));
+    EXPECT_FALSE(isTrivialWord(0xfffffe00)); // 23 leading ones
+}
+
+TEST(Bitops, TrivialThresholdConfigurable)
+{
+    EXPECT_TRUE(isTrivialWord(0x0000ffff, 16));
+    EXPECT_FALSE(isTrivialWord(0x0000ffff, 24));
+}
+
+TEST(Bitops, BitsToIndex)
+{
+    EXPECT_EQ(bitsToIndex(0), 0u);
+    EXPECT_EQ(bitsToIndex(1), 0u);
+    EXPECT_EQ(bitsToIndex(2), 1u);
+    EXPECT_EQ(bitsToIndex(3), 2u);
+    EXPECT_EQ(bitsToIndex(16), 4u);
+    EXPECT_EQ(bitsToIndex(17), 5u);
+    EXPECT_EQ(bitsToIndex(1u << 20), 20u);
+}
+
+TEST(Bitops, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 16), 0u);
+    EXPECT_EQ(ceilDiv(1, 16), 1u);
+    EXPECT_EQ(ceilDiv(16, 16), 1u);
+    EXPECT_EQ(ceilDiv(17, 16), 2u);
+    EXPECT_EQ(ceilDiv(512, 16), 32u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(1000));
+}
+
+TEST(Types, LineAlign)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(0x12345), 0x12340u);
+    EXPECT_EQ(lineNumber(128), 2u);
+}
+
+TEST(Types, LineIDEquality)
+{
+    LineID a(3, 1), b(3, 1), c(3, 2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, kInvalidLineID);
+    EXPECT_EQ(LineID{}, kInvalidLineID);
+    EXPECT_EQ(a.pack(8), 3u * 8 + 1);
+}
+
+TEST(CacheLine, WordAccessors)
+{
+    CacheLine l;
+    EXPECT_TRUE(l.isZero());
+    l.setWord(3, 0xdeadbeef);
+    EXPECT_EQ(l.word(3), 0xdeadbeefu);
+    EXPECT_FALSE(l.isZero());
+    EXPECT_EQ(l.byte(12), 0xefu); // little-endian
+    l.setWord64(0, 0x0123456789abcdefull);
+    EXPECT_EQ(l.word64(0), 0x0123456789abcdefull);
+    EXPECT_EQ(l.word(0), 0x89abcdefu);
+    EXPECT_EQ(l.word(1), 0x01234567u);
+}
+
+TEST(CacheLine, FilledAndEquality)
+{
+    CacheLine a = CacheLine::filledWords(0x42);
+    CacheLine b = CacheLine::filledWords(0x42);
+    EXPECT_EQ(a, b);
+    b.setByte(0, 0x43);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.contentHash(), b.contentHash());
+}
+
+TEST(CacheLine, FromBytesRoundTrip)
+{
+    std::uint8_t raw[kLineBytes];
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        raw[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    CacheLine l = CacheLine::fromBytes(raw);
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        EXPECT_EQ(l.byte(i), raw[i]);
+}
+
+TEST(CacheLine, ToStringHasAllBytes)
+{
+    CacheLine l = CacheLine::filledWords(0x11223344);
+    std::string s = l.toString();
+    EXPECT_NE(s.find("44332211"), std::string::npos);
+}
+
+TEST(BitStream, WriteReadRoundTrip)
+{
+    BitWriter bw;
+    bw.put(0b101, 3);
+    bw.put(0xdead, 16);
+    bw.put(1, 1);
+    bw.put(0x0123456789abcdefull, 64);
+    BitVec v = bw.take();
+    EXPECT_EQ(v.sizeBits(), 3u + 16 + 1 + 64);
+
+    BitReader br(v);
+    EXPECT_EQ(br.get(3), 0b101u);
+    EXPECT_EQ(br.get(16), 0xdeadu);
+    EXPECT_EQ(br.get(1), 1u);
+    EXPECT_EQ(br.get(64), 0x0123456789abcdefull);
+    EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitStream, AppendBits)
+{
+    BitWriter a;
+    a.put(0b1100, 4);
+    BitWriter b;
+    b.put(0b1010, 4);
+    a.appendBits(b.bits());
+    BitReader br(a.bits());
+    EXPECT_EQ(br.get(8), 0b11001010u);
+}
+
+TEST(BitStream, ZeroLengthVec)
+{
+    BitVec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.toggleCount(16), 0u);
+}
+
+TEST(BitStream, ToggleCount)
+{
+    // Two 4-bit beats: 1111 then 0000 -> 4 toggles.
+    BitWriter bw;
+    bw.put(0b1111, 4);
+    bw.put(0b0000, 4);
+    EXPECT_EQ(bw.bits().toggleCount(4), 4u);
+
+    // Identical beats -> no toggles.
+    BitWriter bw2;
+    bw2.put(0b1010, 4);
+    bw2.put(0b1010, 4);
+    EXPECT_EQ(bw2.bits().toggleCount(4), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        if (a2.next() != c.next())
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_LT(r.below(17), 17u);
+        auto x = r.range(10, 12);
+        EXPECT_GE(x, 10u);
+        EXPECT_LE(x, 12u);
+    }
+}
+
+TEST(Rng, ChanceIsCalibrated)
+{
+    Rng r(99);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitMixAvalanche)
+{
+    // Neighbouring inputs produce very different outputs.
+    std::uint64_t a = splitMix64(1), b = splitMix64(2);
+    EXPECT_NE(a, b);
+    int diff_bits = __builtin_popcountll(a ^ b);
+    EXPECT_GT(diff_bits, 10);
+}
+
+TEST(Stats, CountersAndRatios)
+{
+    StatSet s;
+    s.add("a", 10);
+    s.add("a", 5);
+    s.counter("b") = 3;
+    EXPECT_EQ(s.get("a"), 15u);
+    EXPECT_EQ(s.get("b"), 3u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 5.0);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "missing"), 0.0);
+}
+
+TEST(Stats, MergeAndClear)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+    a.clear();
+    EXPECT_EQ(a.get("x"), 0u);
+}
+
+TEST(Stats, DumpIsSorted)
+{
+    StatSet s;
+    s.add("zz", 1);
+    s.add("aa", 2);
+    std::ostringstream os;
+    s.dump(os, "p.");
+    std::string out = os.str();
+    EXPECT_LT(out.find("p.aa 2"), out.find("p.zz 1"));
+}

@@ -1,0 +1,662 @@
+/**
+ * @file
+ * Compression-engine tests: exact round-trips for every engine over
+ * every data class (property-style, parameterized over engines and
+ * seeds), known-size encodings for CPACK and BDI, dictionary
+ * seeding, streaming-window behaviour and dictionary pollution for
+ * gzip/LZSS, and ORACLE optimality properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/bdi.h"
+#include "compress/cpack.h"
+#include "compress/factory.h"
+#include "compress/fpc.h"
+#include "compress/ideal.h"
+#include "compress/lbe.h"
+#include "compress/lzss.h"
+#include "compress/oracle.h"
+#include "compress/zero_run.h"
+
+using namespace cable;
+
+namespace
+{
+
+CacheLine
+randomLine(Rng &rng)
+{
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine / 2; ++w)
+        l.setWord64(w, rng.next());
+    return l;
+}
+
+CacheLine
+sparseLine(Rng &rng, double zero_frac)
+{
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, rng.chance(zero_frac)
+                         ? 0
+                         : static_cast<std::uint32_t>(rng.next()));
+    return l;
+}
+
+CacheLine
+smallIntLine(Rng &rng)
+{
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, static_cast<std::uint32_t>(rng.below(256)));
+    return l;
+}
+
+/** A near-duplicate of @p base with @p k mutated words. */
+CacheLine
+mutated(const CacheLine &base, Rng &rng, unsigned k)
+{
+    CacheLine l = base;
+    for (unsigned i = 0; i < k; ++i)
+        l.setWord(static_cast<unsigned>(rng.below(kWordsPerLine)),
+                  static_cast<std::uint32_t>(rng.next()));
+    return l;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Parameterized round-trip property over all engines.
+// ---------------------------------------------------------------------
+
+class EngineRoundTrip
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EngineRoundTrip, AllDataClassesSelfCompress)
+{
+    auto eng = makeCompressor(GetParam());
+    Rng rng(42);
+    std::vector<CacheLine> lines;
+    lines.push_back(CacheLine{});                    // zero
+    lines.push_back(CacheLine::filledWords(0x1234)); // repeated
+    for (int i = 0; i < 30; ++i)
+        lines.push_back(randomLine(rng));
+    for (int i = 0; i < 30; ++i)
+        lines.push_back(sparseLine(rng, 0.5));
+    for (int i = 0; i < 10; ++i)
+        lines.push_back(smallIntLine(rng));
+
+    for (const CacheLine &l : lines) {
+        BitVec enc = eng->compress(l, {});
+        CacheLine dec = eng->decompress(enc, {});
+        ASSERT_EQ(dec, l) << GetParam() << " failed on "
+                          << l.toString();
+    }
+}
+
+TEST_P(EngineRoundTrip, RefsSeededRoundTrip)
+{
+    auto eng = makeCompressor(GetParam());
+    Rng rng(7);
+    for (int iter = 0; iter < 25; ++iter) {
+        CacheLine r1 = sparseLine(rng, 0.3);
+        CacheLine r2 = randomLine(rng);
+        CacheLine r3 = mutated(r1, rng, 2);
+        RefList refs{&r1, &r2, &r3};
+        CacheLine target = mutated(r1, rng, 1);
+        BitVec enc = eng->compress(target, refs);
+        CacheLine dec = eng->decompress(enc, refs);
+        ASSERT_EQ(dec, target) << GetParam();
+    }
+}
+
+TEST_P(EngineRoundTrip, PartialRefListsRoundTrip)
+{
+    auto eng = makeCompressor(GetParam());
+    Rng rng(19);
+    CacheLine r1 = sparseLine(rng, 0.4);
+    for (unsigned nrefs = 1; nrefs <= 3; ++nrefs) {
+        RefList refs;
+        std::vector<CacheLine> store;
+        for (unsigned i = 0; i < nrefs; ++i)
+            store.push_back(mutated(r1, rng, i));
+        for (const CacheLine &l : store)
+            refs.push_back(&l);
+        CacheLine target = mutated(r1, rng, 1);
+        BitVec enc = eng->compress(target, refs);
+        ASSERT_EQ(eng->decompress(enc, refs), target)
+            << GetParam() << " nrefs=" << nrefs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineRoundTrip,
+                         ::testing::Values("zero", "bdi", "fpc", "cpack",
+                                           "cpack128", "lbe256",
+                                           "gzip", "lzss", "oracle"));
+
+// ---------------------------------------------------------------------
+// Property sweep: many random seeds per engine.
+// ---------------------------------------------------------------------
+
+class EngineSeedSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(EngineSeedSweep, RandomRoundTrips)
+{
+    auto [name, seed] = GetParam();
+    auto eng = makeCompressor(name);
+    Rng rng(static_cast<std::uint64_t>(seed));
+    for (int i = 0; i < 40; ++i) {
+        CacheLine l = sparseLine(rng, rng.uniform());
+        BitVec enc = eng->compress(l, {});
+        ASSERT_EQ(eng->decompress(enc, {}), l)
+            << name << " seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EngineSeedSweep,
+    ::testing::Combine(::testing::Values("bdi", "fpc", "cpack",
+                                         "cpack128", "lbe256", "gzip",
+                                         "oracle"),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+// ---------------------------------------------------------------------
+// CPACK specifics
+// ---------------------------------------------------------------------
+
+TEST(Cpack, ZeroLineIsTwoBitsPerWord)
+{
+    Cpack c;
+    BitVec enc = c.compress(CacheLine{}, {});
+    EXPECT_EQ(enc.sizeBits(), 2u * kWordsPerLine);
+}
+
+TEST(Cpack, SmallIntsUseZzzx)
+{
+    Cpack c;
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, 0x40 + w); // distinct bytes, three zero bytes
+    BitVec enc = c.compress(l, {});
+    EXPECT_EQ(enc.sizeBits(), 12u * kWordsPerLine);
+}
+
+TEST(Cpack, RepeatedWordUsesDictionary)
+{
+    Cpack c;
+    CacheLine l = CacheLine::filledWords(0xdeadbeef);
+    BitVec enc = c.compress(l, {});
+    // First word uncompressed (34b), fifteen full matches (6b).
+    EXPECT_EQ(enc.sizeBits(), 34u + 15u * 6u);
+}
+
+TEST(Cpack, HighBytesMatchUsesMmmx)
+{
+    Cpack c;
+    CacheLine l;
+    l.setWord(0, 0xcafe1200);
+    for (unsigned w = 1; w < kWordsPerLine; ++w)
+        l.setWord(w, 0xcafe1200 | w); // 3-byte dictionary matches
+    BitVec enc = c.compress(l, {});
+    EXPECT_EQ(enc.sizeBits(), 34u + 15u * (4u + 4u + 8u));
+}
+
+TEST(Cpack, IncompressibleCostsOverheadOnly)
+{
+    Cpack c;
+    Rng rng(3);
+    CacheLine l = randomLine(rng);
+    BitVec enc = c.compress(l, {});
+    // At worst every word is xxxx: 34 bits each.
+    EXPECT_LE(enc.sizeBits(), 34u * kWordsPerLine);
+}
+
+TEST(Cpack, LargerDictionaryWidensIndex)
+{
+    Cpack::Config cfg;
+    cfg.dict_entries = 32;
+    Cpack c(cfg);
+    EXPECT_EQ(c.name(), "cpack128");
+    CacheLine l = CacheLine::filledWords(0xdeadbeef);
+    BitVec enc = c.compress(l, {});
+    EXPECT_EQ(enc.sizeBits(), 34u + 15u * 7u); // 2+5-bit index
+}
+
+TEST(Cpack, PersistentDictionaryCarriesAcrossLines)
+{
+    Cpack::Config cfg;
+    cfg.persistent = true;
+    Cpack enc_side(cfg), dec_side(cfg);
+    Rng rng(11);
+    CacheLine a = sparseLine(rng, 0.2);
+    // Second transmission of similar content should be smaller.
+    std::size_t first = enc_side.compress(a, {}).sizeBits();
+    std::size_t second = enc_side.compress(a, {}).sizeBits();
+    EXPECT_LT(second, first);
+    // And a lock-step decoder still reconstructs both.
+    Cpack enc2(cfg);
+    BitVec e1 = enc2.compress(a, {});
+    BitVec e2 = enc2.compress(a, {});
+    EXPECT_EQ(dec_side.decompress(e1, {}), a);
+    EXPECT_EQ(dec_side.decompress(e2, {}), a);
+}
+
+TEST(Cpack, ProbeDoesNotDisturbStream)
+{
+    Cpack::Config cfg;
+    cfg.persistent = true;
+    Cpack c(cfg);
+    Rng rng(13);
+    CacheLine a = sparseLine(rng, 0.2);
+    c.compress(a, {});
+    CacheLine b = sparseLine(rng, 0.2);
+    std::size_t probe1 = c.compressedBits(b, {});
+    std::size_t probe2 = c.compressedBits(b, {});
+    EXPECT_EQ(probe1, probe2);
+    EXPECT_EQ(c.compress(b, {}).sizeBits(), probe1);
+}
+
+TEST(Cpack, RefSeedingHelps)
+{
+    Cpack c;
+    Rng rng(17);
+    CacheLine ref = randomLine(rng);
+    CacheLine target = mutated(ref, rng, 1);
+    RefList refs{&ref};
+    std::size_t with = c.compress(target, refs).sizeBits();
+    std::size_t without = c.compress(target, {}).sizeBits();
+    EXPECT_LT(with, without);
+}
+
+// ---------------------------------------------------------------------
+// BDI specifics
+// ---------------------------------------------------------------------
+
+TEST(Bdi, ZeroLineIsHeaderOnly)
+{
+    Bdi b;
+    EXPECT_EQ(b.compress(CacheLine{}, {}).sizeBits(), 4u);
+}
+
+TEST(Bdi, RepeatedLineIsBaseOnly)
+{
+    Bdi b;
+    CacheLine l;
+    for (unsigned i = 0; i < 8; ++i)
+        l.setWord64(i, 0x1122334455667788ull);
+    EXPECT_EQ(b.compress(l, {}).sizeBits(), 4u + 64u);
+}
+
+TEST(Bdi, Base8Delta1)
+{
+    Bdi b;
+    CacheLine l;
+    for (unsigned i = 0; i < 8; ++i)
+        l.setWord64(i, 0x7000000000000000ull + i);
+    // header + 8B base + 8 x (flag + 1B delta)
+    EXPECT_EQ(b.compress(l, {}).sizeBits(), 4u + 64u + 8u * 9u);
+    EXPECT_EQ(b.decompress(b.compress(l, {}), {}), l);
+}
+
+TEST(Bdi, ImmediateMixesPointerAndSmallInt)
+{
+    Bdi b;
+    CacheLine l;
+    for (unsigned i = 0; i < 8; ++i)
+        l.setWord64(i, i % 2 ? 0x7fff000000000100ull + i : i);
+    BitVec enc = b.compress(l, {});
+    EXPECT_LT(enc.sizeBits(), 4u + 512u);
+    EXPECT_EQ(b.decompress(enc, {}), l);
+}
+
+TEST(Bdi, NegativeDeltasRoundTrip)
+{
+    Bdi b;
+    CacheLine l;
+    for (unsigned i = 0; i < 8; ++i)
+        l.setWord64(i, 0x8000000000000000ull - i * 3);
+    BitVec enc = b.compress(l, {});
+    EXPECT_EQ(b.decompress(enc, {}), l);
+}
+
+TEST(Bdi, IncompressibleFallsBackToRaw)
+{
+    Bdi b;
+    Rng rng(23);
+    CacheLine l = randomLine(rng);
+    EXPECT_EQ(b.compress(l, {}).sizeBits(), 4u + 512u);
+}
+
+// ---------------------------------------------------------------------
+// LBE specifics
+// ---------------------------------------------------------------------
+
+TEST(Lbe, FullLineCopyIsOneToken)
+{
+    Lbe lbe;
+    Rng rng(31);
+    CacheLine ref = randomLine(rng);
+    RefList refs{&ref};
+    BitVec enc = lbe.compress(ref, refs);
+    // 2-bit op + offset (5 bits: 16-word dict + 16-word self
+    // window) + 4-bit length.
+    EXPECT_EQ(enc.sizeBits(), 2u + 5u + 4u);
+    EXPECT_EQ(lbe.decompress(enc, refs), ref);
+}
+
+TEST(Lbe, ZeroRunsAreCheap)
+{
+    Lbe lbe;
+    BitVec enc = lbe.compress(CacheLine{}, {});
+    EXPECT_EQ(enc.sizeBits(), 6u); // one zero-run token
+}
+
+TEST(Lbe, AlignedBlockCopyBeatsCpackOnNearDuplicates)
+{
+    // The §VI-E insight: LBE copies large aligned blocks cheaply.
+    Lbe lbe;
+    Cpack cpack;
+    Rng rng(37);
+    CacheLine ref = randomLine(rng);
+    CacheLine target = mutated(ref, rng, 1);
+    RefList refs{&ref};
+    EXPECT_LT(lbe.compress(target, refs).sizeBits(),
+              cpack.compress(target, refs).sizeBits());
+}
+
+TEST(Lbe, StreamingDictionaryRoundTrip)
+{
+    Lbe::Config cfg;
+    cfg.persistent = true;
+    Lbe enc_side(cfg), dec_side(cfg);
+    Rng rng(41);
+    CacheLine base = sparseLine(rng, 0.3);
+    for (int i = 0; i < 20; ++i) {
+        CacheLine l = mutated(base, rng, 1);
+        BitVec enc = enc_side.compress(l, {});
+        ASSERT_EQ(dec_side.decompress(enc, {}), l);
+    }
+}
+
+TEST(Lbe, StreamingGetsBetterOnRepeats)
+{
+    Lbe::Config cfg;
+    cfg.persistent = true;
+    Lbe lbe(cfg);
+    Rng rng(43);
+    CacheLine a = randomLine(rng);
+    std::size_t first = lbe.compress(a, {}).sizeBits();
+    std::size_t second = lbe.compress(a, {}).sizeBits();
+    EXPECT_LT(second, first);
+}
+
+// ---------------------------------------------------------------------
+// LZSS / gzip specifics
+// ---------------------------------------------------------------------
+
+TEST(Lzss, StreamingWindowRoundTripManyLines)
+{
+    Lzss enc_side, dec_side;
+    Rng rng(47);
+    CacheLine base = sparseLine(rng, 0.3);
+    for (int i = 0; i < 600; ++i) {
+        CacheLine l = i % 3 ? mutated(base, rng, 2) : randomLine(rng);
+        BitVec enc = enc_side.compress(l, {});
+        ASSERT_EQ(dec_side.decompress(enc, {}), l) << "line " << i;
+    }
+}
+
+TEST(Lzss, WindowFindsOldLines)
+{
+    Lzss lz;
+    Rng rng(53);
+    CacheLine a = randomLine(rng);
+    lz.compress(a, {});
+    // 100 unrelated lines later (well within 32KB = 512 lines), the
+    // duplicate should still compress extremely well.
+    for (int i = 0; i < 100; ++i) {
+        CacheLine f = randomLine(rng);
+        lz.compress(f, {});
+    }
+    std::size_t dup = lz.compressedBits(a, {});
+    EXPECT_LT(dup, 100u);
+}
+
+TEST(Lzss, WindowForgetsBeyondCapacity)
+{
+    Lzss::Config cfg;
+    cfg.window_bytes = 4096; // 64 lines
+    Lzss lz(cfg);
+    Rng rng(59);
+    CacheLine a = randomLine(rng);
+    lz.compress(a, {});
+    for (int i = 0; i < 200; ++i) { // flush the window
+        CacheLine f = randomLine(rng);
+        lz.compress(f, {});
+    }
+    std::size_t dup = lz.compressedBits(a, {});
+    EXPECT_GT(dup, 400u); // no trace of the old duplicate
+}
+
+TEST(Lzss, DictionaryPollutionDegradesInterleavedStreams)
+{
+    // The §VI-C effect: interleave a compressible stream with a
+    // random one and the compressible stream gets worse because the
+    // window is shared.
+    Lzss::Config cfg;
+    cfg.window_bytes = 4096;
+    Rng rng(61);
+    std::vector<CacheLine> pool;
+    CacheLine base = sparseLine(rng, 0.3);
+    for (int i = 0; i < 64; ++i)
+        pool.push_back(mutated(base, rng, 2));
+
+    Lzss alone(cfg);
+    std::size_t alone_bits = 0;
+    for (const CacheLine &l : pool)
+        alone_bits += alone.compress(l, {}).sizeBits();
+
+    Lzss shared(cfg);
+    std::size_t shared_bits = 0;
+    Rng rng2(62);
+    for (const CacheLine &l : pool) {
+        shared_bits += shared.compress(l, {}).sizeBits();
+        for (int k = 0; k < 3; ++k) { // polluting stream
+            CacheLine noise = randomLine(rng2);
+            shared.compress(noise, {});
+        }
+    }
+    EXPECT_GT(shared_bits, alone_bits);
+}
+
+TEST(Lzss, RefSeededCatchesByteShifts)
+{
+    Lzss::Config cfg;
+    cfg.persistent = false;
+    Lzss lz(cfg);
+    Rng rng(67);
+    CacheLine ref = randomLine(rng);
+    CacheLine shifted;
+    for (unsigned b = 0; b < kLineBytes; ++b)
+        shifted.setByte(b, ref.byte((b + 1) % kLineBytes));
+    RefList refs{&ref};
+    std::size_t bits = lz.compress(shifted, refs).sizeBits();
+    EXPECT_LT(bits, 150u); // essentially one long match
+    EXPECT_EQ(lz.decompress(lz.compress(shifted, refs), refs),
+              shifted);
+}
+
+// ---------------------------------------------------------------------
+// Oracle specifics
+// ---------------------------------------------------------------------
+
+TEST(Oracle, NeverWorseThanAllLiterals)
+{
+    Oracle o;
+    Rng rng(71);
+    for (int i = 0; i < 20; ++i) {
+        CacheLine l = randomLine(rng);
+        EXPECT_LE(o.compress(l, {}).sizeBits(), 9u * kLineBytes);
+    }
+}
+
+TEST(Oracle, ExactDuplicateIsOneCopyToken)
+{
+    Oracle o;
+    Rng rng(73);
+    CacheLine ref = randomLine(rng);
+    RefList refs{&ref};
+    BitVec enc = o.compress(ref, refs);
+    // Selector bit plus one copy token, whichever representation
+    // (byte DP or word-aligned) is cheaper.
+    EXPECT_LE(enc.sizeBits(), 16u);
+    EXPECT_EQ(o.decompress(enc, refs), ref);
+}
+
+TEST(Oracle, HandlesUnalignedDuplicates)
+{
+    Oracle o;
+    Lbe lbe;
+    Rng rng(79);
+    CacheLine ref = randomLine(rng);
+    CacheLine shifted;
+    for (unsigned b = 0; b < kLineBytes; ++b)
+        shifted.setByte(b, ref.byte((b + 3) % kLineBytes));
+    RefList refs{&ref};
+    std::size_t oracle_bits = o.compress(shifted, refs).sizeBits();
+    std::size_t lbe_bits = lbe.compress(shifted, refs).sizeBits();
+    EXPECT_LT(oracle_bits, lbe_bits); // word-aligned engines miss it
+    EXPECT_EQ(o.decompress(o.compress(shifted, refs), refs), shifted);
+}
+
+TEST(Oracle, SelfReferencesWithinLine)
+{
+    Oracle o;
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, 0xabcd1234);
+    BitVec enc = o.compress(l, {});
+    // First 4ish literal bytes then long self-copies.
+    EXPECT_LT(enc.sizeBits(), 100u);
+    EXPECT_EQ(o.decompress(enc, {}), l);
+}
+
+// ---------------------------------------------------------------------
+// ZeroRun & factory & ideal model
+// ---------------------------------------------------------------------
+
+TEST(ZeroRun, SizesAreExact)
+{
+    ZeroRun z;
+    EXPECT_EQ(z.compress(CacheLine{}, {}).sizeBits(), kWordsPerLine);
+    CacheLine full = CacheLine::filledWords(5);
+    EXPECT_EQ(z.compress(full, {}).sizeBits(), kWordsPerLine * 33u);
+}
+
+TEST(Factory, AllNamesConstruct)
+{
+    for (const std::string &name : compressorNames()) {
+        auto eng = makeCompressor(name);
+        ASSERT_NE(eng, nullptr);
+        EXPECT_FALSE(eng->name().empty());
+    }
+}
+
+TEST(Factory, UnknownNameDies)
+{
+    EXPECT_EXIT(makeCompressor("nope"),
+                ::testing::ExitedWithCode(1), "unknown compressor");
+}
+
+TEST(IdealModel, HitsAreCheaperWithoutPointerCost)
+{
+    Rng rng(83);
+    std::vector<CacheLine> lines;
+    CacheLine base = sparseLine(rng, 0.2);
+    for (int i = 0; i < 100; ++i)
+        lines.push_back(mutated(base, rng, 1));
+
+    IdealDictModel ideal(1 << 16, false);
+    IdealDictModel with_ptr(1 << 16, true);
+    std::size_t ideal_bits = 0, ptr_bits = 0;
+    for (const CacheLine &l : lines) {
+        ideal_bits += ideal.sizeLine(l);
+        ptr_bits += with_ptr.sizeLine(l);
+    }
+    EXPECT_LT(ideal_bits, ptr_bits);
+}
+
+TEST(IdealModel, BiggerDictionaryNeverHurtsIdealCurve)
+{
+    Rng rng(89);
+    std::vector<CacheLine> lines;
+    for (int i = 0; i < 400; ++i) {
+        CacheLine base = CacheLine::filledWords(
+            static_cast<std::uint32_t>(i % 50 + 0x1000));
+        lines.push_back(mutated(base, rng, 4));
+    }
+    std::size_t small_bits = 0, big_bits = 0;
+    IdealDictModel small(256, false), big(1 << 20, false);
+    for (const CacheLine &l : lines) {
+        small_bits += small.sizeLine(l);
+        big_bits += big.sizeLine(l);
+    }
+    EXPECT_LE(big_bits, small_bits);
+}
+
+// ---------------------------------------------------------------------
+// FPC specifics
+// ---------------------------------------------------------------------
+
+TEST(Fpc, ZeroRunsAreSixBits)
+{
+    Fpc f;
+    // 16 zero words = two 8-word runs of 6 bits each.
+    EXPECT_EQ(f.compress(CacheLine{}, {}).sizeBits(), 12u);
+}
+
+TEST(Fpc, SignExtendedImmediates)
+{
+    Fpc f;
+    CacheLine l;
+    l.setWord(0, 0x00000007);  // 4-bit
+    l.setWord(1, 0xfffffff9);  // 4-bit negative
+    l.setWord(2, 0x0000007f);  // 8-bit
+    l.setWord(3, 0xffffff80);  // 8-bit negative
+    l.setWord(4, 0x00007fff);  // 16-bit
+    l.setWord(5, 0xffff8000);  // 16-bit negative
+    l.setWord(6, 0x12340000);  // halfword padded
+    l.setWord(7, 0x00ffff85);  // none: uncompressed (hi=255)
+    l.setWord(8, 0x00120043);  // two sign-extended halfwords
+    l.setWord(9, 0xababdead);  // uncompressed
+    l.setWord(10, 0x55555555); // repeated bytes
+    BitVec enc = f.compress(l, {});
+    EXPECT_EQ(f.decompress(enc, {}), l);
+    // 2 zero-run tokens for words 11..15 plus one run boundary case:
+    // exact size: words 0..10 plus one 5-word zero run.
+    std::size_t expected = (3 + 4) * 2 + (3 + 8) * 2 + (3 + 16) * 2
+                           + (3 + 16)       // half padded
+                           + (3 + 32)       // 0x00ffff85
+                           + (3 + 16)       // two halfwords
+                           + (3 + 32)       // 0xababdead
+                           + (3 + 8)        // repeated bytes
+                           + 6;             // zero run 11..15
+    EXPECT_EQ(enc.sizeBits(), expected);
+}
+
+TEST(Fpc, NegativeHalfwordsRoundTrip)
+{
+    Fpc f;
+    CacheLine l;
+    l.setWord(0, 0xffaf0011); // hi=-81, lo=17 both 8-bit
+    l.setWord(1, 0x004cffd3); // hi=76, lo=-45
+    BitVec enc = f.compress(l, {});
+    EXPECT_EQ(f.decompress(enc, {}), l);
+}

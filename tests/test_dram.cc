@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DRAM-model tests: channel interleaving, closed-page latency,
+ * posted writes and per-channel FCFS queueing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.h"
+
+using namespace cable;
+
+TEST(Dram, ChannelInterleavesByLine)
+{
+    DramModel d({4, 70, 10});
+    EXPECT_EQ(d.channelOf(0 * 64), 0u);
+    EXPECT_EQ(d.channelOf(1 * 64), 1u);
+    EXPECT_EQ(d.channelOf(4 * 64), 0u);
+}
+
+TEST(Dram, ReadLatency)
+{
+    DramModel d({4, 70, 10});
+    EXPECT_EQ(d.access(100, 0, false), 100u + 70 + 10);
+    EXPECT_EQ(d.stats().get("reads"), 1u);
+}
+
+TEST(Dram, WritesArePosted)
+{
+    DramModel d({4, 70, 10});
+    Cycles t = d.access(100, 0, true);
+    EXPECT_EQ(t, 110u); // occupies the channel but no access wait
+    EXPECT_EQ(d.stats().get("writes"), 1u);
+}
+
+TEST(Dram, SameChannelQueues)
+{
+    DramModel d({4, 70, 10});
+    Cycles t1 = d.access(0, 0, false);
+    Cycles t2 = d.access(0, 4 * 64, false); // same channel 0
+    EXPECT_EQ(t1, 80u);
+    EXPECT_EQ(t2, 10u + 70 + 10); // starts after the first burst
+}
+
+TEST(Dram, DifferentChannelsParallel)
+{
+    DramModel d({4, 70, 10});
+    Cycles t1 = d.access(0, 0 * 64, false);
+    Cycles t2 = d.access(0, 1 * 64, false);
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Dram, SingleChannelConfig)
+{
+    DramModel d({1, 70, 10});
+    EXPECT_EQ(d.channelOf(123456), 0u);
+    d.access(0, 0, false);
+    Cycles t = d.access(0, 999 * 64, false);
+    EXPECT_GT(t, 80u);
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Regression tests for behaviours layered on the baseline design:
+ * LBE's byte-run token and self-window matching, ORACLE's
+ * best-of-two selector and overlapped copies, the throughput
+ * harness's measurement window, per-program link attribution, and
+ * the on/off controller's latency accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lbe.h"
+#include "compress/oracle.h"
+#include "sim/memlink.h"
+#include "sim/throughput.h"
+
+using namespace cable;
+
+TEST(LbeExt, ByteRunEncodesSmallInts)
+{
+    Lbe lbe;
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, 0x10 + w); // distinct small ints
+    BitVec enc = lbe.compress(l, {});
+    // One byte-run token: 2 + 4 + 16*8 = 134 bits, far below
+    // literal runs (16*32 + overhead).
+    EXPECT_EQ(enc.sizeBits(), 2u + 4u + 16u * 8u);
+    EXPECT_EQ(lbe.decompress(enc, {}), l);
+}
+
+TEST(LbeExt, SelfWindowCatchesIntraLineRepeats)
+{
+    Lbe lbe;
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, w < 4 ? 0xdead0000 + w : l.word(w - 4));
+    BitVec enc = lbe.compress(l, {});
+    // 4 literal words then copies out of the line's own prefix.
+    EXPECT_LT(enc.sizeBits(), 4 * 34u + 3 * 16u);
+    EXPECT_EQ(lbe.decompress(enc, {}), l);
+}
+
+TEST(LbeExt, MixedRunsRoundTrip)
+{
+    Lbe lbe;
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        CacheLine l;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            double roll = rng.uniform();
+            if (roll < 0.3)
+                l.setWord(w, 0);
+            else if (roll < 0.6)
+                l.setWord(w, static_cast<std::uint32_t>(
+                                 rng.below(256)));
+            else
+                l.setWord(w, static_cast<std::uint32_t>(rng.next()));
+        }
+        BitVec enc = lbe.compress(l, {});
+        ASSERT_EQ(lbe.decompress(enc, {}), l);
+    }
+}
+
+TEST(OracleExt, NeverWorseThanLbe)
+{
+    Oracle o;
+    Lbe lbe;
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i) {
+        CacheLine ref;
+        for (unsigned w = 0; w < kWordsPerLine; ++w)
+            ref.setWord(w, rng.chance(0.4)
+                               ? 0
+                               : static_cast<std::uint32_t>(
+                                     rng.next()));
+        CacheLine t = ref;
+        t.setWord(static_cast<unsigned>(rng.below(16)),
+                  static_cast<std::uint32_t>(rng.next()));
+        RefList refs{&ref};
+        EXPECT_LE(o.compress(t, refs).sizeBits(),
+                  lbe.compress(t, refs).sizeBits() + 1)
+            << "iteration " << i;
+        ASSERT_EQ(o.decompress(o.compress(t, refs), refs), t);
+    }
+}
+
+TEST(OracleExt, OverlappedCopiesCompressRuns)
+{
+    Oracle o;
+    CacheLine l = CacheLine::filledWords(0xabababab);
+    BitVec enc = o.compress(l, {});
+    // One literal byte + one overlapped copy (plus selector).
+    EXPECT_LE(enc.sizeBits(), 40u);
+    EXPECT_EQ(o.decompress(enc, {}), l);
+
+    CacheLine zero;
+    BitVec zenc = o.compress(zero, {});
+    EXPECT_LE(zenc.sizeBits(), 16u); // LBE zero-run wins via selector
+    EXPECT_EQ(o.decompress(zenc, {}), zero);
+}
+
+TEST(MeasurementWindow, ExcludesWarmup)
+{
+    MemSystemConfig cfg;
+    cfg.scheme = "raw";
+    cfg.timing = true;
+    cfg.l1_bytes = 4 << 10;
+    cfg.l2_bytes = 16 << 10;
+    cfg.llc_bytes_per_thread = 128 << 10;
+    cfg.l4_bytes_per_thread = 512 << 10;
+    MemLinkSystem sys(cfg, {benchmarkProfile("povray")});
+    sys.run(5000); // warm-up (compulsory misses)
+    double cold_ipc = sys.aggregateIPC();
+    sys.beginMeasurement();
+    sys.run(5000); // measured window, hot set resident
+    double warm_ipc = sys.aggregateIPC();
+    EXPECT_GT(warm_ipc, cold_ipc);
+    EXPECT_TRUE(sys.allThreadsReached(5000));
+    EXPECT_FALSE(sys.allThreadsReached(5001));
+}
+
+TEST(ThreadAttribution, SplitsLinkBitsByOwner)
+{
+    MemSystemConfig cfg;
+    cfg.scheme = "cable";
+    cfg.timing = false;
+    cfg.l1_bytes = 4 << 10;
+    cfg.l2_bytes = 16 << 10;
+    cfg.llc_bytes_per_thread = 128 << 10;
+    cfg.l4_bytes_per_thread = 512 << 10;
+    // An easily-compressed program next to a hard one: per-thread
+    // ratios must differ strongly in the same shared system.
+    std::vector<WorkloadProfile> progs{benchmarkProfile("mcf"),
+                                       benchmarkProfile("namd")};
+    MemLinkSystem sys(cfg, progs);
+    sys.run(30000);
+    EXPECT_GT(sys.threadBitRatio(0), 2.0 * sys.threadBitRatio(1));
+}
+
+TEST(OnOffLatency, DisabledCompressionCostsNoCycles)
+{
+    // With the controller forcing compression off for the whole run
+    // (idle link), CABLE's runtime approaches the raw baseline.
+    MemSystemConfig base;
+    base.scheme = "raw";
+    base.timing = true;
+    base.l1_bytes = 4 << 10;
+    base.l2_bytes = 16 << 10;
+    base.llc_bytes_per_thread = 128 << 10;
+    base.l4_bytes_per_thread = 512 << 10;
+    MemLinkSystem raw(base, {benchmarkProfile("tonto")});
+    raw.run(40000);
+
+    MemSystemConfig ctl = base;
+    ctl.scheme = "cable";
+    ctl.onoff_control = true;
+    ctl.onoff_period = 20000;
+    MemLinkSystem cable_ctl(ctl, {benchmarkProfile("tonto")});
+    cable_ctl.run(40000);
+
+    MemSystemConfig always = base;
+    always.scheme = "cable";
+    MemLinkSystem cable(always, {benchmarkProfile("tonto")});
+    cable.run(40000);
+
+    EXPECT_LT(cable_ctl.maxTime(), cable.maxTime());
+    double over_raw = static_cast<double>(cable_ctl.maxTime())
+                      / static_cast<double>(raw.maxTime());
+    EXPECT_LT(over_raw, 1.05);
+}
+
+TEST(HashTableSizing, FullSizedMeansSlotsEqualLines)
+{
+    // A full-sized table with 2-deep buckets has lines/2 buckets.
+    Cache home({"h", 1u << 20, 8});
+    Cache remote({"r", 256u << 10, 8});
+    CableConfig cfg;
+    cfg.home_ht_factor = 1.0;
+    cfg.ht_bucket = 2;
+    CableChannel ch(home, remote, cfg);
+    EXPECT_EQ(ch.homeTable().numEntries() * ch.homeTable().bucketWays(),
+              home.numLines());
+}

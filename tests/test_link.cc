@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Link-model tests: flit quantization (the 32x cap on a 16-bit
+ * link), serialization timing, FCFS busy-until queueing, the packed
+ * transport of Fig 23, toggle counting and utilization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/link.h"
+
+using namespace cable;
+
+namespace
+{
+
+LinkModel::Config
+cfg16()
+{
+    return LinkModel::Config{}; // 16b @ 9.6GHz, 2GHz core
+}
+
+} // namespace
+
+TEST(Link, FlitQuantization)
+{
+    LinkModel l(cfg16());
+    EXPECT_EQ(l.flitsFor(0), 0u);
+    EXPECT_EQ(l.flitsFor(1), 1u);
+    EXPECT_EQ(l.flitsFor(16), 1u);
+    EXPECT_EQ(l.flitsFor(17), 2u);
+    EXPECT_EQ(l.flitsFor(512), 32u);
+}
+
+TEST(Link, MaxCompressionIs32xOn16Bit)
+{
+    // A 1-bit payload still costs one flit: 512/16 = 32x cap.
+    LinkModel l(cfg16());
+    std::uint64_t raw = l.flitsFor(512);
+    std::uint64_t minimum = l.flitsFor(1);
+    EXPECT_EQ(raw / minimum, 32u);
+}
+
+TEST(Link, SerializationTime)
+{
+    LinkModel l(cfg16());
+    // 76.8 bits per core cycle: a raw line (32 flits = 512 bits)
+    // takes ceil(512/76.8) = 7 cycles.
+    EXPECT_EQ(l.serializeCycles(512), 7u);
+    EXPECT_EQ(l.serializeCycles(16), 1u);
+    EXPECT_EQ(l.serializeCycles(0), 0u);
+}
+
+TEST(Link, FcfsQueueing)
+{
+    LinkModel l(cfg16());
+    Cycles t1 = l.acquire(100, 512);
+    EXPECT_EQ(t1, 107u);
+    // Second transfer issued at the same time queues behind.
+    Cycles t2 = l.acquire(100, 512);
+    EXPECT_EQ(t2, 114u);
+    // A transfer after the link drains starts immediately.
+    Cycles t3 = l.acquire(1000, 512);
+    EXPECT_EQ(t3, 1007u);
+    EXPECT_EQ(l.stats().get("transfers"), 3u);
+    EXPECT_EQ(l.stats().get("flits"), 96u);
+}
+
+TEST(Link, CountOnlySkipsTiming)
+{
+    LinkModel l(cfg16());
+    l.countOnly(512);
+    EXPECT_EQ(l.busyUntil(), 0u);
+    EXPECT_EQ(l.stats().get("flits"), 32u);
+}
+
+TEST(Link, WiderLinkWastesMoreOnSmallPayloads)
+{
+    LinkModel::Config wide = cfg16();
+    wide.width_bits = 64;
+    LinkModel l64(wide);
+    LinkModel l16(cfg16());
+    // A 20-bit payload: 2 flits of 16b (32 bits on the wire) versus
+    // 1 flit of 64b.
+    EXPECT_EQ(l16.flitsFor(20) * 16, 32u);
+    EXPECT_EQ(l64.flitsFor(20) * 64, 64u);
+}
+
+TEST(Link, PackedTransportAmortizesPadding)
+{
+    LinkModel::Config pc = cfg16();
+    pc.width_bits = 64;
+    pc.packed = true;
+    LinkModel packed(pc);
+    // Ten 20-bit payloads: packed they cost (20+6)*10 = 260 bits ->
+    // 4 whole 64-bit flits counted (remainder pending), versus 10
+    // unpacked flits.
+    for (int i = 0; i < 10; ++i)
+        packed.countOnly(20);
+    EXPECT_LE(packed.stats().get("flits"), 5u);
+
+    LinkModel::Config uc = cfg16();
+    uc.width_bits = 64;
+    LinkModel unpacked(uc);
+    for (int i = 0; i < 10; ++i)
+        unpacked.countOnly(20);
+    EXPECT_EQ(unpacked.stats().get("flits"), 10u);
+}
+
+TEST(Link, ToggleCounting)
+{
+    LinkModel l(cfg16());
+    // The wire starts all-zero: the first 0xffff beat toggles all
+    // 16 wires, the following 0x0000 beat toggles them back.
+    BitWriter bw;
+    bw.put(0xffff, 16);
+    bw.put(0x0000, 16);
+    l.countToggles(bw.bits());
+    EXPECT_EQ(l.stats().get("toggles"), 32u);
+    // Wire state persists across transfers.
+    BitWriter bw2;
+    bw2.put(0xffff, 16);
+    l.countToggles(bw2.bits());
+    EXPECT_EQ(l.stats().get("toggles"), 48u);
+}
+
+TEST(Link, Utilization)
+{
+    LinkModel l(cfg16());
+    // 7 cycles of traffic in a 70-cycle window ~ 10% utilization
+    // (modulo flit padding).
+    l.acquire(0, 512);
+    double u = l.utilization(70);
+    EXPECT_GT(u, 0.08);
+    EXPECT_LT(u, 0.12);
+    EXPECT_DOUBLE_EQ(l.utilization(0), 0.0);
+}
+
+TEST(Link, BitsPerCoreCycle)
+{
+    LinkModel l(cfg16());
+    EXPECT_NEAR(l.bitsPerCoreCycle(), 76.8, 1e-9);
+    LinkModel::Config slow = cfg16();
+    slow.link_ghz = 2.0;
+    EXPECT_NEAR(LinkModel(slow).bitsPerCoreCycle(), 16.0, 1e-9);
+}

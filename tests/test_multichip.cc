@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MultiChipSystem tests (§V-B): page interleaving, per-link CABLE
+ * endpoints, coherence-traffic accounting, and node-count sweeps.
+ * As everywhere, CABLE self-verifies every transfer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/multichip.h"
+
+using namespace cable;
+
+namespace
+{
+
+MultiChipConfig
+smallCfg(const std::string &scheme, unsigned nodes = 4)
+{
+    MultiChipConfig cfg;
+    cfg.scheme = scheme;
+    cfg.nodes = nodes;
+    cfg.l1_bytes = 4 << 10;
+    cfg.l2_bytes = 16 << 10;
+    cfg.llc_bytes = 128 << 10;
+    // Coherence-link sizing: quarter-sized hash tables (§VI-A).
+    cfg.cable.home_ht_factor = 0.25;
+    cfg.cable.remote_ht_factor = 0.25;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiChip, PageInterleaving)
+{
+    MultiChipSystem sys(smallCfg("cable"),
+                        benchmarkProfile("gcc"));
+    EXPECT_EQ(sys.nodeOf(0), 0u);
+    EXPECT_EQ(sys.nodeOf(4096), 1u);
+    EXPECT_EQ(sys.nodeOf(3 * 4096), 3u);
+    EXPECT_EQ(sys.nodeOf(4 * 4096), 0u);
+    EXPECT_EQ(sys.nodeOf(4095), 0u);
+}
+
+TEST(MultiChip, RunsCleanWithCable)
+{
+    MultiChipSystem sys(smallCfg("cable"),
+                        benchmarkProfile("gcc"));
+    sys.run(30000);
+    StatSet s = sys.linkStats();
+    EXPECT_GT(s.get("transfers"), 0u);
+    EXPECT_GT(sys.bitRatio(), 1.0);
+    EXPECT_LE(sys.effectiveRatio(), 32.0);
+}
+
+TEST(MultiChip, AllSchemesRun)
+{
+    for (const std::string scheme :
+         {"raw", "cpack", "lbe256", "gzip", "cable"}) {
+        MultiChipSystem sys(smallCfg(scheme),
+                            benchmarkProfile("milc"));
+        sys.run(15000);
+        if (scheme == "raw")
+            EXPECT_DOUBLE_EQ(sys.bitRatio(), 1.0);
+        else
+            EXPECT_GE(sys.bitRatio(), 1.0) << scheme;
+    }
+}
+
+TEST(MultiChip, TrafficSpreadsAcrossLinks)
+{
+    MultiChipSystem sys(smallCfg("cable"),
+                        benchmarkProfile("soplex"));
+    sys.run(30000);
+    // Round-robin pages: each of the three remote-home channels
+    // should carry a comparable share.
+    std::uint64_t totals[4] = {0, 0, 0, 0};
+    for (unsigned k = 1; k < 4; ++k)
+        totals[k] = sys.channel(k).stats().get("transfers");
+    for (unsigned k = 1; k < 4; ++k) {
+        EXPECT_GT(totals[k], 0u);
+        for (unsigned j = k + 1; j < 4; ++j) {
+            double r = static_cast<double>(totals[k])
+                       / static_cast<double>(totals[j]);
+            EXPECT_GT(r, 0.5);
+            EXPECT_LT(r, 2.0);
+        }
+    }
+}
+
+TEST(MultiChip, NodeCountSweepRuns)
+{
+    // Fig: NUMA count 2..8 leaves ratios largely unaffected (§VI-E).
+    double ratios[3];
+    int i = 0;
+    for (unsigned nodes : {2u, 4u, 8u}) {
+        MultiChipSystem sys(smallCfg("cable", nodes),
+                            benchmarkProfile("gcc"));
+        sys.run(20000);
+        ratios[i++] = sys.bitRatio();
+    }
+    for (int k = 0; k < 3; ++k)
+        EXPECT_GT(ratios[k], 1.0);
+    // Within a modest band of each other.
+    EXPECT_LT(ratios[0] / ratios[2], 2.0);
+    EXPECT_GT(ratios[0] / ratios[2], 0.5);
+}
+
+TEST(MultiChip, CableBeatsCpackOnCoherenceLinks)
+{
+    WorkloadProfile prof = benchmarkProfile("dealII");
+    prof.access.hot_frac = 0.3;
+    prof.access.ws_lines = 64 << 10;
+    prof.value.template_count = 256;
+    MultiChipConfig cc = smallCfg("cable");
+    cc.llc_bytes = 512 << 10;
+    MultiChipConfig pc = smallCfg("cpack");
+    pc.llc_bytes = 512 << 10;
+    MultiChipSystem cable(cc, prof);
+    MultiChipSystem cpack(pc, prof);
+    cable.run(40000);
+    cpack.run(40000);
+    EXPECT_GT(cable.bitRatio(), cpack.bitRatio());
+}
+
+TEST(MultiChip, WritebacksTravelCompressed)
+{
+    MultiChipConfig cfg = smallCfg("cable");
+    WorkloadProfile prof = benchmarkProfile("lbm"); // store-heavy
+    MultiChipSystem sys(cfg, prof);
+    sys.run(30000);
+    StatSet s = sys.linkStats();
+    EXPECT_GT(s.get("wb_transfers"), 0u);
+    EXPECT_GT(s.get("wb_raw_bits"), s.get("wb_wire_bits"));
+}
+
+TEST(MultiChipDeath, NeedsTwoNodes)
+{
+    MultiChipConfig cfg = smallCfg("cable", 1);
+    EXPECT_EXIT(MultiChipSystem(cfg, benchmarkProfile("gcc")),
+                ::testing::ExitedWithCode(1), "at least 2 nodes");
+}

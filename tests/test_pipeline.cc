@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Search-pipeline latency model tests (§IV-D): the published
+ * worst-case and best-case figures fall out of the model, and the
+ * modelled latency mode speeds up zero-dominant workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "sim/memlink.h"
+
+using namespace cable;
+
+TEST(Pipeline, PaperLatencyFigures)
+{
+    SearchPipelineModel p;
+    // "With 16 signatures and throughput of two signatures per
+    // cycle, the total search latency is 16 cycles."
+    EXPECT_EQ(p.searchCycles(16), 16u);
+    // "...reducing the total search latency to as little as eight."
+    EXPECT_EQ(p.searchCycles(0), 8u);
+    // Table IV: CABLE 32/16 comp/decomp, 48 end-to-end.
+    EXPECT_EQ(p.worstCaseCompression(), 32u);
+    EXPECT_EQ(p.decompressionCycles(), 16u);
+    EXPECT_EQ(p.worstCaseCompression() + p.decompressionCycles(),
+              48u);
+}
+
+TEST(Pipeline, MonotonicInSignatures)
+{
+    SearchPipelineModel p;
+    for (unsigned n = 1; n < 16; ++n)
+        EXPECT_LE(p.searchCycles(n), p.searchCycles(n + 1));
+    EXPECT_LE(p.compressionCycles(3), p.worstCaseCompression());
+}
+
+TEST(Pipeline, BankCountSpeedsIssue)
+{
+    SearchPipelineModel two;
+    SearchPipelineModel four;
+    four.hash_banks = 4;
+    EXPECT_LT(four.searchCycles(16), two.searchCycles(16));
+}
+
+TEST(Pipeline, ModeledLatencyNeverSlowerThanWorstCase)
+{
+    MemSystemConfig worst;
+    worst.scheme = "cable";
+    worst.timing = true;
+    worst.l1_bytes = 4 << 10;
+    worst.l2_bytes = 16 << 10;
+    worst.llc_bytes_per_thread = 128 << 10;
+    worst.l4_bytes_per_thread = 512 << 10;
+    MemSystemConfig modeled = worst;
+    modeled.modeled_latency = true;
+
+    // Zero-dominant workload: few signatures, early-out searches.
+    MemLinkSystem a(worst, {benchmarkProfile("libquantum")});
+    MemLinkSystem b(modeled, {benchmarkProfile("libquantum")});
+    a.run(30000);
+    b.run(30000);
+    EXPECT_LE(b.maxTime(), a.maxTime());
+    EXPECT_DOUBLE_EQ(a.bitRatio(), b.bitRatio()); // timing-only knob
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Cross-cutting property tests: bounds that must hold for every
+ * transfer and every engine regardless of data, and statistical
+ * calibration checks on the synthetic workload suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "compress/factory.h"
+#include "core/channel.h"
+#include "sim/memlink.h"
+#include "workload/value_model.h"
+
+using namespace cable;
+
+TEST(Properties, WireNeverExceedsRawPlusFlag)
+{
+    // The raw fallback bounds every CABLE transfer at 513 bits.
+    Cache home({"h", 512u << 10, 8});
+    Cache remote({"r", 128u << 10, 8});
+    CableChannel channel(home, remote, CableConfig{});
+    ValueProfile v;
+    v.random_line_frac = 0.6; // plenty of incompressible lines
+    v.zero_line_frac = 0.1;
+    SyntheticMemory mem(v, 0, 1);
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        Addr addr = rng.below(8192) * kLineBytes;
+        if (remote.access(addr))
+            continue;
+        if (!home.probe(addr))
+            channel.homeInstall(addr, mem.lineAt(addr));
+        FetchResult r = channel.remoteFetch(addr, rng.chance(0.25));
+        ASSERT_LE(r.response.bits, kLineBytes * 8 + 1);
+        if (r.victim_writeback) {
+            ASSERT_LE(r.victim_writeback->bits,
+                      kLineBytes * 8 + 1);
+        }
+    }
+}
+
+TEST(Properties, EveryEngineBoundedOnRandomData)
+{
+    // No engine may blow up beyond its own worst-case overhead
+    // (<= 9 bits per byte for the byte-granular ones, <= 40 bits
+    // per word for the word-granular ones).
+    Rng rng(3);
+    for (const auto &name : compressorNames()) {
+        auto eng = makeCompressor(name);
+        for (int i = 0; i < 30; ++i) {
+            CacheLine l;
+            for (unsigned w = 0; w < kWordsPerLine / 2; ++w)
+                l.setWord64(w, rng.next());
+            std::size_t bits = eng->compress(l, {}).sizeBits();
+            EXPECT_LE(bits, 40u * kWordsPerLine) << name;
+        }
+    }
+}
+
+TEST(Properties, EnginesAreDeterministic)
+{
+    Rng rng(5);
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, rng.chance(0.4)
+                         ? 0
+                         : static_cast<std::uint32_t>(rng.next()));
+    for (const auto &name : compressorNames()) {
+        auto e1 = makeCompressor(name);
+        auto e2 = makeCompressor(name);
+        EXPECT_EQ(e1->compress(l, {}).sizeBits(),
+                  e2->compress(l, {}).sizeBits())
+            << name;
+    }
+}
+
+TEST(Properties, RefsNeverWorseThanRawForReferenceCopies)
+{
+    // Sending a line that IS one of the references must compress
+    // massively for every dictionary-capable delegate engine.
+    Rng rng(7);
+    CacheLine ref;
+    for (unsigned w = 0; w < kWordsPerLine / 2; ++w)
+        ref.setWord64(w, rng.next());
+    RefList refs{&ref};
+    for (const std::string name : {"lbe", "cpack128", "gzip",
+                                   "oracle"}) {
+        auto eng = makeDelegateEngine(name);
+        std::size_t bits = eng->compress(ref, refs).sizeBits();
+        EXPECT_LT(bits, 128u) << name;
+        EXPECT_EQ(eng->decompress(eng->compress(ref, refs), refs),
+                  ref)
+            << name;
+    }
+}
+
+TEST(Properties, WorkloadMpkiMatchesFormula)
+{
+    // mem_ratio x (1 - hot_frac) x 1000 approximates off-chip MPKI
+    // (plus compulsory warm-up misses); verify order of magnitude
+    // for a heavy and a medium benchmark.
+    for (const char *bench : {"mcf", "soplex"}) {
+        const WorkloadProfile &p = benchmarkProfile(bench);
+        MemSystemConfig cfg;
+        cfg.scheme = "raw";
+        cfg.timing = false;
+        MemLinkSystem sys(cfg, {p});
+        sys.run(300000);
+        double mpki =
+            static_cast<double>(
+                sys.protocol().stats().get("responses"))
+            / (static_cast<double>(sys.instructions(0)) / 1000.0);
+        double predicted =
+            p.access.mem_ratio * (1.0 - p.access.hot_frac) * 1000.0;
+        EXPECT_GT(mpki, predicted * 0.5) << bench;
+        EXPECT_LT(mpki, predicted * 2.5) << bench;
+    }
+}
+
+TEST(Properties, ZeroDominantGroupSeparates)
+{
+    // The paper's grouping: the zero/value-dominant six compress
+    // far better than the hard FP group for every scheme.
+    MemSystemConfig cfg;
+    cfg.scheme = "cpack";
+    cfg.timing = false;
+    MemLinkSystem easy(cfg, {benchmarkProfile("libquantum")});
+    MemLinkSystem hard(cfg, {benchmarkProfile("namd")});
+    easy.run(60000);
+    hard.run(60000);
+    EXPECT_GT(easy.bitRatio(), 2.0 * hard.bitRatio());
+}
+
+TEST(Properties, ChannelStatsMatchCacheState)
+{
+    // Hash-table occupancy never exceeds WMT-tracked lines (every
+    // insertion is paired with a WMT set; collisions only evict).
+    Cache home({"h", 256u << 10, 8});
+    Cache remote({"r", 64u << 10, 8});
+    CableChannel channel(home, remote, CableConfig{});
+    ValueProfile v;
+    SyntheticMemory mem(v, 0, 11);
+    Rng rng(13);
+    for (int i = 0; i < 3000; ++i) {
+        Addr addr = rng.below(4096) * kLineBytes;
+        if (remote.access(addr))
+            continue;
+        if (!home.probe(addr))
+            channel.homeInstall(addr, mem.lineAt(addr));
+        channel.remoteFetch(addr, false);
+    }
+    std::uint64_t tracked = 0;
+    for (std::uint32_t s = 0; s < remote.numSets(); ++s)
+        for (unsigned w = 0; w < remote.numWays(); ++w)
+            if (channel.wmt().occupant(s, static_cast<std::uint8_t>(w)))
+                ++tracked;
+    // <= 2 insertion signatures per tracked line.
+    EXPECT_LE(channel.homeTable().occupancy(), 2 * tracked);
+    EXPECT_GT(tracked, 0u);
+}

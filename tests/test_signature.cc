@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Signature-extraction tests (§III-A): trivial-word skipping, the
+ * two default insertion offsets, search-signature deduplication, and
+ * the H3 hash family's determinism and linearity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/signature.h"
+
+using namespace cable;
+
+TEST(Signature, InsertUsesDefaultOffsets)
+{
+    CacheLine l;
+    l.setWord(0, 0xaabbccdd);
+    l.setWord(8, 0x11223344);
+    auto sigs = extractInsertSignatures(l);
+    ASSERT_EQ(sigs.size(), 2u);
+    EXPECT_EQ(sigs[0], 0xaabbccddu);
+    EXPECT_EQ(sigs[1], 0x11223344u);
+}
+
+TEST(Signature, SkipsTrivialWordsForward)
+{
+    CacheLine l;
+    // Words 0..2 trivial (zero / small / sign-extended small).
+    l.setWord(0, 0);
+    l.setWord(1, 0x7f);
+    l.setWord(2, 0xffffffe1u);
+    l.setWord(3, 0xcafebabe);
+    l.setWord(8, 0x12);       // trivial
+    l.setWord(9, 0xdeadbeef);
+    auto sigs = extractInsertSignatures(l);
+    ASSERT_EQ(sigs.size(), 2u);
+    EXPECT_EQ(sigs[0], 0xcafebabeu); // offset 0 walked to word 3
+    EXPECT_EQ(sigs[1], 0xdeadbeefu); // offset 8 walked to word 9
+}
+
+TEST(Signature, AllTrivialYieldsNoSignatures)
+{
+    CacheLine l; // all zero
+    EXPECT_TRUE(extractInsertSignatures(l).empty());
+    EXPECT_TRUE(extractSearchSignatures(l).empty());
+}
+
+TEST(Signature, InsertDeduplicates)
+{
+    CacheLine l;
+    l.setWord(0, 0xabcd1234);
+    l.setWord(8, 0xabcd1234);
+    auto sigs = extractInsertSignatures(l);
+    EXPECT_EQ(sigs.size(), 1u);
+}
+
+TEST(Signature, SearchExtractsAllNonTrivialDeduplicated)
+{
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, w % 2 ? 0x1000 + w / 2 : 0);
+    auto sigs = extractSearchSignatures(l);
+    EXPECT_EQ(sigs.size(), 8u);
+    std::set<std::uint32_t> uniq(sigs.begin(), sigs.end());
+    EXPECT_EQ(uniq.size(), sigs.size());
+}
+
+TEST(Signature, SearchCapsAtSixteen)
+{
+    CacheLine l;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        l.setWord(w, 0x10000 + w);
+    EXPECT_EQ(extractSearchSignatures(l).size(), kWordsPerLine);
+}
+
+TEST(Signature, ThresholdIsConfigurable)
+{
+    CacheLine l;
+    l.setWord(0, 0x0000ffff); // trivial at threshold 16, not at 24
+    SignatureConfig cfg;
+    cfg.trivial_threshold = 16;
+    EXPECT_TRUE(extractSearchSignatures(l, cfg).empty());
+    cfg.trivial_threshold = 24;
+    EXPECT_EQ(extractSearchSignatures(l, cfg).size(), 1u);
+}
+
+TEST(H3, DeterministicPerSeed)
+{
+    H3Hash h1(16, 1), h2(16, 1), h3(16, 2);
+    bool differs = false;
+    for (std::uint32_t x : {1u, 0xffffu, 0xdeadbeefu, 0x80000000u}) {
+        EXPECT_EQ(h1(x), h2(x));
+        if (h1(x) != h3(x))
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(H3, OutputWidthRespected)
+{
+    H3Hash h(10);
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(h(static_cast<std::uint32_t>(rng.next())), 1u << 10);
+}
+
+TEST(H3, ZeroMapsToZeroAndLinearity)
+{
+    // H3 is linear over GF(2): h(a ^ b) == h(a) ^ h(b).
+    H3Hash h(32, 7);
+    EXPECT_EQ(h(0), 0u);
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        auto a = static_cast<std::uint32_t>(rng.next());
+        auto b = static_cast<std::uint32_t>(rng.next());
+        EXPECT_EQ(h(a ^ b), h(a) ^ h(b));
+    }
+}
+
+TEST(H3, SpreadsBucketsReasonably)
+{
+    H3Hash h(8, 3);
+    std::vector<unsigned> buckets(256, 0);
+    for (std::uint32_t i = 1; i <= 25600; ++i)
+        buckets[h(i * 2654435761u)]++;
+    unsigned max = 0;
+    for (unsigned b : buckets)
+        max = std::max(max, b);
+    EXPECT_LT(max, 200u); // mean 100, no catastrophic skew
+}

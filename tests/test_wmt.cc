@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Way-Map Table tests (§III-D): normalization round-trips, remote-
+ * way lookup (Fig 9), occupancy maintenance, and the Table III entry
+ * width for the paper's off-chip configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/wmt.h"
+
+using namespace cable;
+
+namespace
+{
+
+WayMapTable::Config
+paperOffChip()
+{
+    // 8-way 8MB remote (LLC), 8-way 16MB home (DRAM buffer).
+    WayMapTable::Config c;
+    c.remote_sets = (8u << 20) / 64 / 8; // 16384
+    c.remote_ways = 8;
+    c.home_sets = (16u << 20) / 64 / 8; // 32768
+    c.home_ways = 8;
+    return c;
+}
+
+} // namespace
+
+TEST(Wmt, PaperEntryWidthIsFourBits)
+{
+    WayMapTable wmt(paperOffChip());
+    // 1 alias bit + 3 home-way bits (Table III).
+    EXPECT_EQ(wmt.entryBits(), 4u);
+}
+
+TEST(Wmt, NormalizeDenormalizeRoundTrip)
+{
+    WayMapTable wmt(paperOffChip());
+    for (std::uint32_t hset : {0u, 1u, 16384u, 32767u}) {
+        for (std::uint8_t way : {0, 3, 7}) {
+            LineID hlid(hset, way);
+            std::uint32_t remote_set = hset & (16384 - 1);
+            std::uint32_t norm = wmt.normalize(hlid);
+            EXPECT_EQ(wmt.denormalize(remote_set, norm), hlid);
+        }
+    }
+}
+
+TEST(Wmt, LookupFindsRemoteWay)
+{
+    WayMapTable wmt(paperOffChip());
+    LineID hlid(20000, 5);
+    std::uint32_t rset = 20000 & (16384 - 1);
+    wmt.set(rset, 2, hlid);
+    auto way = wmt.lookupRemoteWay(rset, hlid);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 2);
+}
+
+TEST(Wmt, LookupMissWhenNotTracked)
+{
+    WayMapTable wmt(paperOffChip());
+    EXPECT_FALSE(wmt.lookupRemoteWay(5, LineID(5, 0)).has_value());
+}
+
+TEST(Wmt, AliasDistinguishesHomeSets)
+{
+    WayMapTable wmt(paperOffChip());
+    // Two home sets sharing the same remote set (aliases 0 and 1).
+    LineID a(100, 3), b(100 + 16384, 3);
+    wmt.set(100, 0, a);
+    EXPECT_TRUE(wmt.lookupRemoteWay(100, a).has_value());
+    EXPECT_FALSE(wmt.lookupRemoteWay(100, b).has_value());
+}
+
+TEST(Wmt, OccupantReadback)
+{
+    WayMapTable wmt(paperOffChip());
+    LineID hlid(777, 1);
+    std::uint32_t rset = 777;
+    wmt.set(rset, 4, hlid);
+    auto occ = wmt.occupantHomeLID(rset, 4);
+    ASSERT_TRUE(occ.has_value());
+    EXPECT_EQ(*occ, hlid);
+    EXPECT_FALSE(wmt.occupantHomeLID(rset, 5).has_value());
+}
+
+TEST(Wmt, ClearSlot)
+{
+    WayMapTable wmt(paperOffChip());
+    LineID hlid(777, 1);
+    wmt.set(777, 4, hlid);
+    wmt.clear(777, 4);
+    EXPECT_FALSE(wmt.occupant(777, 4).has_value());
+    EXPECT_FALSE(wmt.lookupRemoteWay(777, hlid).has_value());
+}
+
+TEST(Wmt, ClearByHomeLid)
+{
+    WayMapTable wmt(paperOffChip());
+    LineID hlid(888, 2);
+    wmt.set(888, 1, hlid);
+    wmt.set(888, 3, LineID(888, 5));
+    wmt.clearByHomeLID(888, hlid);
+    EXPECT_FALSE(wmt.lookupRemoteWay(888, hlid).has_value());
+    EXPECT_TRUE(wmt.occupant(888, 3).has_value());
+}
+
+TEST(Wmt, OverwriteSlot)
+{
+    WayMapTable wmt(paperOffChip());
+    wmt.set(9, 0, LineID(9, 1));
+    wmt.set(9, 0, LineID(9 + 16384, 2));
+    EXPECT_FALSE(wmt.lookupRemoteWay(9, LineID(9, 1)).has_value());
+    auto way = wmt.lookupRemoteWay(9, LineID(9 + 16384, 2));
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 0);
+}
+
+TEST(Wmt, EqualSizedCachesHaveZeroAliasBits)
+{
+    WayMapTable::Config c;
+    c.remote_sets = 2048;
+    c.remote_ways = 8;
+    c.home_sets = 2048;
+    c.home_ways = 8;
+    WayMapTable wmt(c);
+    EXPECT_EQ(wmt.entryBits(), 3u); // way bits only
+    LineID hlid(2000, 6);
+    wmt.set(2000, 7, hlid);
+    auto way = wmt.lookupRemoteWay(2000, hlid);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(*way, 7);
+}
+
+TEST(Wmt, StorageBitsMatchGeometry)
+{
+    WayMapTable wmt(paperOffChip());
+    EXPECT_EQ(wmt.storageBits(), 16384ull * 8 * (4 + 1));
+}
+
+TEST(WmtDeath, HomeSmallerThanRemoteIsFatal)
+{
+    WayMapTable::Config c;
+    c.remote_sets = 4096;
+    c.remote_ways = 8;
+    c.home_sets = 2048;
+    c.home_ways = 8;
+    EXPECT_EXIT(WayMapTable{c}, ::testing::ExitedWithCode(1),
+                "at least as many sets");
+}

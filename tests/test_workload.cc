@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Workload-generator tests: determinism, calibration of the access
+ * mix (mem ratio, store fraction, hot/cold split), value-model
+ * properties (zero lines, template similarity, byte shifts, shared
+ * value seeds for SPECrate copies), trace recording and the profile
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/bitops.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+#include "workload/value_model.h"
+
+using namespace cable;
+
+TEST(Profiles, RegistryIsPopulated)
+{
+    auto all = spec2006Benchmarks();
+    EXPECT_GE(all.size(), 25u);
+    auto nontrivial = nonTrivialBenchmarks();
+    EXPECT_LT(nontrivial.size(), all.size());
+    // Zero-dominant group matches the paper's easy-to-compress set.
+    std::set<std::string> nt(nontrivial.begin(), nontrivial.end());
+    for (const char *b : {"mcf", "lbm", "libquantum"})
+        EXPECT_EQ(nt.count(b), 0u) << b;
+    for (const char *b : {"gcc", "dealII", "namd"})
+        EXPECT_EQ(nt.count(b), 1u) << b;
+}
+
+TEST(Profiles, LookupByName)
+{
+    const WorkloadProfile &p = benchmarkProfile("mcf");
+    EXPECT_EQ(p.name, "mcf");
+    EXPECT_TRUE(p.zero_dominant);
+    EXPECT_EXIT(benchmarkProfile("quake3"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Profiles, AllProfilesAreSane)
+{
+    for (const auto &name : spec2006Benchmarks()) {
+        const WorkloadProfile &p = benchmarkProfile(name);
+        EXPECT_GT(p.access.mem_ratio, 0.0) << name;
+        EXPECT_LE(p.access.mem_ratio, 1.0) << name;
+        EXPECT_GT(p.access.ws_lines, p.access.hot_lines) << name;
+        EXPECT_GE(p.access.hot_frac, 0.5) << name;
+        double fracs = p.value.zero_line_frac
+                       + p.value.random_line_frac
+                       + p.value.byte_shift_frac;
+        EXPECT_LE(fracs, 1.0) << name;
+        EXPECT_GE(p.value.template_count, 1u) << name;
+        EXPECT_GE(p.value.template_vocab, 1u) << name;
+    }
+}
+
+TEST(AccessGen, Deterministic)
+{
+    const WorkloadProfile &p = benchmarkProfile("gcc");
+    AccessGen a(p.access, 1 << 20, 99);
+    AccessGen b(p.access, 1 << 20, 99);
+    for (int i = 0; i < 2000; ++i) {
+        MemOp x = a.next(), y = b.next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.store, y.store);
+        EXPECT_EQ(x.gap, y.gap);
+    }
+}
+
+TEST(AccessGen, SeedChangesStream)
+{
+    const WorkloadProfile &p = benchmarkProfile("gcc");
+    AccessGen a(p.access, 1 << 20, 99);
+    AccessGen b(p.access, 1 << 20, 100);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i)
+        if (a.next().addr != b.next().addr)
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(AccessGen, MemRatioCalibrated)
+{
+    const WorkloadProfile &p = benchmarkProfile("mcf");
+    AccessGen g(p.access, 0, 7);
+    std::uint64_t instrs = 0, ops = 0;
+    for (int i = 0; i < 50000; ++i) {
+        MemOp op = g.next();
+        instrs += op.gap + 1;
+        ops += 1;
+    }
+    double ratio = static_cast<double>(ops)
+                   / static_cast<double>(instrs);
+    EXPECT_NEAR(ratio, p.access.mem_ratio, 0.04);
+}
+
+TEST(AccessGen, StoreFractionCalibrated)
+{
+    const WorkloadProfile &p = benchmarkProfile("lbm");
+    AccessGen g(p.access, 0, 7);
+    int stores = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        stores += g.next().store;
+    EXPECT_NEAR(static_cast<double>(stores) / n,
+                p.access.store_frac, 0.02);
+}
+
+TEST(AccessGen, AddressesStayInWorkingSet)
+{
+    const WorkloadProfile &p = benchmarkProfile("povray");
+    Addr base = Addr{3} << 40;
+    AccessGen g(p.access, base, 1);
+    for (int i = 0; i < 20000; ++i) {
+        Addr a = g.next().addr;
+        EXPECT_GE(a, base);
+        EXPECT_LT(a, base + p.access.ws_lines * kLineBytes);
+    }
+}
+
+TEST(AccessGen, HotSetConcentratesAccesses)
+{
+    // With hot_frac = 0.95, unique lines touched are far fewer than
+    // ops; a cold-only stream touches many more.
+    AccessProfile hot;
+    hot.ws_lines = 1 << 20;
+    hot.hot_frac = 0.95;
+    hot.hot_lines = 512;
+    AccessProfile cold = hot;
+    cold.hot_frac = 0.0;
+
+    std::set<std::uint64_t> hot_lines, cold_lines;
+    AccessGen gh(hot, 0, 5), gc(cold, 0, 5);
+    for (int i = 0; i < 20000; ++i) {
+        hot_lines.insert(lineNumber(gh.next().addr));
+        cold_lines.insert(lineNumber(gc.next().addr));
+    }
+    EXPECT_LT(hot_lines.size() * 4, cold_lines.size());
+}
+
+TEST(AccessGen, PhasesMoveTheHotSet)
+{
+    AccessProfile p;
+    p.ws_lines = 1 << 20;
+    p.hot_frac = 1.0;
+    p.hot_lines = 64;
+    p.phases = 4;
+    AccessGen g(p, 0, 9, /*ops_per_phase=*/1000);
+    std::set<std::uint64_t> phase0, phase1;
+    for (int i = 0; i < 1000; ++i)
+        phase0.insert(lineNumber(g.next().addr));
+    for (int i = 0; i < 1000; ++i)
+        phase1.insert(lineNumber(g.next().addr));
+    // Hot windows of different phases should barely overlap.
+    unsigned common = 0;
+    for (auto l : phase1)
+        common += phase0.count(l);
+    EXPECT_LT(common, phase1.size() / 2);
+}
+
+TEST(ValueModel, Deterministic)
+{
+    ValueProfile v;
+    SyntheticMemory a(v, 0, 42), b(v, 0, 42);
+    for (Addr addr = 0; addr < 100 * kLineBytes; addr += kLineBytes)
+        EXPECT_EQ(a.lineAt(addr), b.lineAt(addr));
+}
+
+TEST(ValueModel, ZeroLineFractionCalibrated)
+{
+    ValueProfile v;
+    v.zero_line_frac = 0.4;
+    SyntheticMemory m(v, 0, 1);
+    int zeros = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        zeros += m.lineAt(static_cast<Addr>(i) * kLineBytes).isZero();
+    EXPECT_NEAR(static_cast<double>(zeros) / n, 0.4, 0.05);
+}
+
+TEST(ValueModel, RegionLinesShareTemplates)
+{
+    ValueProfile v;
+    v.zero_line_frac = 0.0;
+    v.random_line_frac = 0.0;
+    v.region_lines = 8;
+    v.mutation_rate = 0.05;
+    SyntheticMemory m(v, 0, 2);
+    // Lines 0 and 1 are in the same region: mostly equal words.
+    CacheLine a = m.lineAt(0), b = m.lineAt(kLineBytes);
+    unsigned same = 0;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        same += a.word(w) == b.word(w);
+    EXPECT_GE(same, 12u);
+}
+
+TEST(ValueModel, SameSeedSameContentAcrossAddressSpaces)
+{
+    // The SPECrate property behind Fig 15: two copies with the same
+    // value seed carry identical data at the same offsets.
+    ValueProfile v;
+    SyntheticMemory a(v, Addr{1} << 40, 7);
+    SyntheticMemory b(v, Addr{2} << 40, 7);
+    for (unsigned i = 0; i < 200; ++i) {
+        Addr off = static_cast<Addr>(i) * kLineBytes;
+        EXPECT_EQ(a.lineAt((Addr{1} << 40) + off),
+                  b.lineAt((Addr{2} << 40) + off));
+    }
+}
+
+TEST(ValueModel, DifferentSeedsDiffer)
+{
+    ValueProfile v;
+    v.zero_line_frac = 0.0;
+    SyntheticMemory a(v, 0, 7), b(v, 0, 8);
+    unsigned equal = 0;
+    for (unsigned i = 0; i < 100; ++i) {
+        Addr addr = static_cast<Addr>(i) * kLineBytes;
+        equal += a.lineAt(addr) == b.lineAt(addr);
+    }
+    EXPECT_LT(equal, 20u);
+}
+
+TEST(ValueModel, StoreOverridesPersist)
+{
+    ValueProfile v;
+    SyntheticMemory m(v, 0, 3);
+    CacheLine modified = CacheLine::filledWords(0x5555);
+    m.storeLine(0x100, modified);
+    EXPECT_EQ(m.lineAt(0x100), modified);
+    EXPECT_EQ(m.lineAt(0x140), m.generate(lineNumber(0x140)));
+}
+
+TEST(ValueModel, ByteShiftLinesAreRotations)
+{
+    ValueProfile v;
+    v.zero_line_frac = 0.0;
+    v.random_line_frac = 0.0;
+    v.byte_shift_frac = 1.0;
+    v.mutation_rate = 0.0;
+    v.region_lines = 1024; // one template for everything
+    SyntheticMemory m(v, 0, 4);
+    // All lines are rotations of one template: any two lines should
+    // match under some rotation.
+    CacheLine a = m.lineAt(0);
+    CacheLine b = m.lineAt(kLineBytes);
+    bool rotation_found = false;
+    for (unsigned s = 0; s < kLineBytes && !rotation_found; ++s) {
+        bool all = true;
+        for (unsigned i = 0; i < kLineBytes; ++i) {
+            if (a.byte((i + s) % kLineBytes) != b.byte(i)) {
+                all = false;
+                break;
+            }
+        }
+        rotation_found = all;
+    }
+    EXPECT_TRUE(rotation_found);
+}
+
+TEST(Trace, RecordSaveLoadRoundTrip)
+{
+    const WorkloadProfile &p = benchmarkProfile("hmmer");
+    AccessGen g(p.access, 1 << 30, 5);
+    Trace t = recordTrace(g, "hmmer", 5000);
+    EXPECT_EQ(t.ops.size(), 5000u);
+    EXPECT_GT(t.instructionCount(), 5000u);
+
+    std::string path = ::testing::TempDir() + "/cable_trace.bin";
+    saveTrace(t, path);
+    Trace u = loadTrace(path);
+    EXPECT_EQ(u.benchmark, "hmmer");
+    ASSERT_EQ(u.ops.size(), t.ops.size());
+    for (std::size_t i = 0; i < t.ops.size(); ++i) {
+        EXPECT_EQ(u.ops[i].addr, t.ops[i].addr);
+        EXPECT_EQ(u.ops[i].store, t.ops[i].store);
+        EXPECT_EQ(u.ops[i].gap, t.ops[i].gap);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::string path = ::testing::TempDir() + "/cable_garbage.bin";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "corrupt");
+    std::remove(path.c_str());
+}

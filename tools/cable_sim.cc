@@ -1,0 +1,270 @@
+/**
+ * @file
+ * cable_sim: command-line driver for custom experiments, the
+ * front door for users who want numbers without writing C++.
+ *
+ *   cable_sim list
+ *   cable_sim ratio <benchmark> [options]
+ *   cable_sim throughput <benchmark> [options]
+ *   cable_sim coherence <benchmark> [options]
+ *   cable_sim numa <benchmark> [options]
+ *
+ * Common options:
+ *   --scheme S      raw|zero|bdi|fpc|cpack|cpack128|lbe256|gzip|cable
+ *   --ops N         memory operations (per thread)
+ *   --seed N        simulation seed
+ * ratio options:
+ *   --llc-kb N --l4-kb N --engine E --accesses N --max-refs N
+ *   --ht-factor F --link-bits N --timing --stats --prefetch N
+ * throughput options:
+ *   --threads N --group N --warmup N
+ * coherence/numa options:
+ *   --nodes N
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/memlink.h"
+#include "sim/multichip.h"
+#include "sim/numa.h"
+#include "sim/throughput.h"
+
+using namespace cable;
+
+namespace
+{
+
+struct Args
+{
+    std::string command;
+    std::string benchmark;
+    std::map<std::string, std::string> flags;
+
+    bool
+    has(const std::string &k) const
+    {
+        return flags.count(k) > 0;
+    }
+
+    std::string
+    str(const std::string &k, const std::string &dflt) const
+    {
+        auto it = flags.find(k);
+        return it == flags.end() ? dflt : it->second;
+    }
+
+    std::uint64_t
+    num(const std::string &k, std::uint64_t dflt) const
+    {
+        auto it = flags.find(k);
+        return it == flags.end()
+                   ? dflt
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    real(const std::string &k, double dflt) const
+    {
+        auto it = flags.find(k);
+        return it == flags.end() ? dflt
+                                 : std::strtod(it->second.c_str(),
+                                               nullptr);
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    if (argc >= 2)
+        a.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        a.benchmark = argv[i++];
+    for (; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag.rfind("--", 0) != 0)
+            fatal("unexpected argument '%s'", flag.c_str());
+        flag = flag.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            a.flags[flag] = argv[++i];
+        else
+            a.flags[flag] = "1";
+    }
+    return a;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cable_sim <list|ratio|throughput|coherence|numa> "
+        "[benchmark] [--flag value ...]\n"
+        "run 'cable_sim list' for benchmarks and schemes.\n");
+    return 2;
+}
+
+MemSystemConfig
+memCfg(const Args &a)
+{
+    MemSystemConfig cfg;
+    cfg.scheme = a.str("scheme", "cable");
+    cfg.seed = a.num("seed", 1);
+    cfg.llc_bytes_per_thread = a.num("llc-kb", 1024) << 10;
+    cfg.l4_bytes_per_thread = a.num("l4-kb", 4096) << 10;
+    cfg.link.width_bits =
+        static_cast<unsigned>(a.num("link-bits", 16));
+    cfg.cable.engine = a.str("engine", "lbe");
+    cfg.cable.data_accesses =
+        static_cast<unsigned>(a.num("accesses", 6));
+    cfg.cable.max_refs = static_cast<unsigned>(a.num("max-refs", 3));
+    cfg.cable.home_ht_factor = a.real("ht-factor", 0.5);
+    cfg.cable.remote_ht_factor = a.real("ht-factor", 1.0);
+    cfg.prefetch_degree =
+        static_cast<unsigned>(a.num("prefetch", 0));
+    cfg.timing = a.has("timing");
+    return cfg;
+}
+
+int
+cmdList()
+{
+    std::printf("benchmarks (zero/value-dominant marked *):\n ");
+    for (const auto &name : spec2006Benchmarks())
+        std::printf(" %s%s", name.c_str(),
+                    benchmarkProfile(name).zero_dominant ? "*" : "");
+    std::printf("\n\nschemes:\n  raw zero bdi fpc cpack cpack128 "
+                "lbe256 gzip cable\n");
+    std::printf("\ncable delegate engines (--engine):\n  lbe cpack "
+                "cpack128 gzip oracle bdi\n");
+    return 0;
+}
+
+int
+cmdRatio(const Args &a)
+{
+    MemSystemConfig cfg = memCfg(a);
+    std::uint64_t ops = a.num("ops", 400000);
+    MemLinkSystem sys(cfg, {benchmarkProfile(a.benchmark)});
+    sys.run(ops);
+    std::printf("benchmark          %s\n", a.benchmark.c_str());
+    std::printf("scheme             %s\n", cfg.scheme.c_str());
+    std::printf("memory ops         %llu\n",
+                static_cast<unsigned long long>(ops));
+    std::printf("bit ratio          %.3fx\n", sys.bitRatio());
+    std::printf("effective ratio    %.3fx (%u-bit flits)\n",
+                sys.effectiveRatio(), cfg.link.width_bits);
+    if (cfg.timing) {
+        std::printf("cycles             %llu\n",
+                    static_cast<unsigned long long>(sys.maxTime()));
+        std::printf("IPC                %.4f\n", sys.aggregateIPC());
+        auto e = sys.energy().breakdown(sys.maxTime());
+        std::printf("energy             %.2f uJ\n",
+                    e["total"] * 1e-3);
+    }
+    if (a.has("stats")) {
+        std::printf("--- protocol stats ---\n");
+        sys.protocol().stats().dump(std::cout, "  ");
+    }
+    return 0;
+}
+
+int
+cmdThroughput(const Args &a)
+{
+    MemSystemConfig cfg = memCfg(a);
+    cfg.timing = true;
+    unsigned threads = static_cast<unsigned>(a.num("threads", 2048));
+    unsigned group = static_cast<unsigned>(a.num("group", 8));
+    std::uint64_t ops = a.num("ops", 3000);
+    std::uint64_t warmup = a.num("warmup", 4 * ops);
+
+    ThroughputSim sim(cfg, benchmarkProfile(a.benchmark), threads,
+                      group);
+    sim.run(ops, warmup);
+    std::printf("benchmark          %s\n", a.benchmark.c_str());
+    std::printf("scheme             %s\n", cfg.scheme.c_str());
+    std::printf("threads            %u (group of %u simulated)\n",
+                threads, group);
+    std::printf("group bandwidth    %.3f GB/s\n",
+                sim.groupBandwidthGBs());
+    std::printf("aggregate IPC      %.4f\n", sim.aggregateIPC());
+    return 0;
+}
+
+int
+cmdCoherence(const Args &a)
+{
+    MultiChipConfig cfg;
+    cfg.scheme = a.str("scheme", "cable");
+    cfg.nodes = static_cast<unsigned>(a.num("nodes", 4));
+    cfg.seed = a.num("seed", 1);
+    cfg.cable.home_ht_factor = 0.25;
+    cfg.cable.remote_ht_factor = 0.25;
+    std::uint64_t ops = a.num("ops", 400000);
+    MultiChipSystem sys(cfg, benchmarkProfile(a.benchmark));
+    sys.run(ops);
+    std::printf("benchmark          %s\n", a.benchmark.c_str());
+    std::printf("scheme             %s, %u nodes\n",
+                cfg.scheme.c_str(), cfg.nodes);
+    std::printf("bit ratio          %.3fx\n", sys.bitRatio());
+    std::printf("effective ratio    %.3fx\n", sys.effectiveRatio());
+    std::printf("link transfers     %llu\n",
+                static_cast<unsigned long long>(
+                    sys.linkStats().get("transfers")));
+    return 0;
+}
+
+int
+cmdNuma(const Args &a)
+{
+    NumaConfig cfg;
+    cfg.scheme = a.str("scheme", "cable");
+    cfg.nodes = static_cast<unsigned>(a.num("nodes", 4));
+    cfg.seed = a.num("seed", 1);
+    cfg.cable.home_ht_factor = 0.25;
+    cfg.cable.remote_ht_factor = 0.25;
+    std::uint64_t ops = a.num("ops", 40000);
+    NumaSystem sys(cfg, benchmarkProfile(a.benchmark));
+    sys.run(ops);
+    std::printf("benchmark          %s\n", a.benchmark.c_str());
+    std::printf("scheme             %s, %u nodes, 1 thread/node\n",
+                cfg.scheme.c_str(), cfg.nodes);
+    std::printf("bit ratio          %.3fx\n", sys.bitRatio());
+    std::printf("effective ratio    %.3fx\n", sys.effectiveRatio());
+    std::printf("shared lines       %llu\n",
+                static_cast<unsigned long long>(
+                    sys.activelySharedLines()));
+    std::printf("invalidations      %llu\n",
+                static_cast<unsigned long long>(
+                    sys.invalidations()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parse(argc, argv);
+    if (a.command == "list")
+        return cmdList();
+    if (a.command.empty() || a.benchmark.empty())
+        return usage();
+    if (a.command == "ratio")
+        return cmdRatio(a);
+    if (a.command == "throughput")
+        return cmdThroughput(a);
+    if (a.command == "coherence")
+        return cmdCoherence(a);
+    if (a.command == "numa")
+        return cmdNuma(a);
+    return usage();
+}
