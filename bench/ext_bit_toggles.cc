@@ -29,8 +29,16 @@ run(const std::string &bench, const std::string &scheme,
     cfg.count_toggles = true;
     MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
     sys.run(ops);
-    return {static_cast<double>(sys.link().stats().get("toggles"))
-            / static_cast<double>(ops)};
+    double toggles =
+        static_cast<double>(sys.link().stats().get("toggles"));
+    return {ops ? toggles / static_cast<double>(ops) : 0.0};
+}
+
+/** Fractional reduction vs baseline; 0 when the baseline is silent. */
+double
+reduction(double baseline, double value)
+{
+    return baseline > 0.0 ? 1.0 - value / baseline : 0.0;
 }
 
 } // namespace
@@ -50,9 +58,9 @@ main(int argc, char **argv)
         double cp = run(bench, "cpack", ops).toggles_per_op;
         double cb = run(bench, "cable", ops).toggles_per_op;
         std::printf("%-12s %9.1f%% %9.1f%%\n", bench.c_str(),
-                    (1 - cp / raw) * 100, (1 - cb / raw) * 100);
-        cpack_red.push_back(1 - cp / raw);
-        cable_red.push_back(1 - cb / raw);
+                    reduction(raw, cp) * 100, reduction(raw, cb) * 100);
+        cpack_red.push_back(reduction(raw, cp));
+        cable_red.push_back(reduction(raw, cb));
     }
     std::printf("\nMEAN reduction: CPACK %.1f%%, CABLE %.1f%% "
                 "(paper: CABLE ~30%%, ~17%% beyond CPACK)\n",

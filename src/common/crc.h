@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cyclic-redundancy checks for link-frame integrity. CABLE's
+ * correctness depends on every compressed packet decoding against
+ * bit-identical reference data, so a flipped wire bit silently
+ * corrupts the reconstruction; the channel therefore appends a
+ * CRC-8 (ATM HEC, poly 0x07) or CRC-16 (CCITT, poly 0x1021) to each
+ * frame and the receiver NACKs on mismatch (DESIGN.md "Fault model
+ * & recovery").
+ *
+ * The computation is bit-serial over a BitVec because frames are
+ * bit-granular (compressed payloads rarely end on byte boundaries).
+ * Bit-serial CRC is the hardware-natural formulation (one XOR tree
+ * per link cycle) and costs nothing at simulation scale.
+ */
+
+#ifndef CABLE_COMMON_CRC_H
+#define CABLE_COMMON_CRC_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/log.h"
+#include "compress/bitstream.h"
+
+namespace cable
+{
+
+/** CRC-8, polynomial x^8+x^2+x+1 (0x07), init 0. */
+inline std::uint8_t
+crc8Bits(const BitVec &v, std::size_t begin, std::size_t end)
+{
+    std::uint8_t crc = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        bool msb = (crc ^ (v.bit(i) ? 0x80u : 0u)) & 0x80u;
+        crc = static_cast<std::uint8_t>(crc << 1);
+        if (msb)
+            crc ^= 0x07;
+    }
+    return crc;
+}
+
+/** CRC-16-CCITT, polynomial 0x1021, init 0xffff. */
+inline std::uint16_t
+crc16Bits(const BitVec &v, std::size_t begin, std::size_t end)
+{
+    std::uint16_t crc = 0xffff;
+    for (std::size_t i = begin; i < end; ++i) {
+        bool msb = (crc ^ (v.bit(i) ? 0x8000u : 0u)) & 0x8000u;
+        crc = static_cast<std::uint16_t>(crc << 1);
+        if (msb)
+            crc ^= 0x1021;
+    }
+    return crc;
+}
+
+/** Frame CRC of width 8 or 16 over bits [begin, end). */
+inline std::uint16_t
+frameCrc(const BitVec &v, std::size_t begin, std::size_t end,
+         unsigned crc_bits)
+{
+    if (crc_bits == 8)
+        return crc8Bits(v, begin, end);
+    if (crc_bits == 16)
+        return crc16Bits(v, begin, end);
+    panic("frameCrc: unsupported CRC width %u", crc_bits);
+}
+
+/** Appends the frame CRC of @p bw's current contents to @p bw. */
+inline void
+appendFrameCrc(BitWriter &bw, unsigned crc_bits)
+{
+    std::uint16_t crc = frameCrc(bw.bits(), 0, bw.sizeBits(), crc_bits);
+    bw.put(crc, crc_bits);
+}
+
+/**
+ * Verifies a frame whose last @p crc_bits bits are its CRC.
+ * Returns false on truncated frames (shorter than the CRC itself),
+ * which a burst error can produce in principle.
+ */
+inline bool
+checkFrameCrc(const BitVec &frame, unsigned crc_bits)
+{
+    if (frame.sizeBits() < crc_bits)
+        return false;
+    std::size_t body = frame.sizeBits() - crc_bits;
+    std::uint16_t want = frameCrc(frame, 0, body, crc_bits);
+    std::uint16_t got = 0;
+    for (std::size_t i = body; i < frame.sizeBits(); ++i)
+        got = static_cast<std::uint16_t>((got << 1)
+                                         | (frame.bit(i) ? 1 : 0));
+    return want == got;
+}
+
+} // namespace cable
+
+#endif // CABLE_COMMON_CRC_H

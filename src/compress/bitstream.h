@@ -41,6 +41,16 @@ class BitVec
         ++num_bits_;
     }
 
+    /** Inverts bit @p i; used by the link fault injector. */
+    void
+    flipBit(std::size_t i)
+    {
+        if (i >= num_bits_)
+            panic("BitVec::flipBit: index %zu out of %zu", i,
+                  num_bits_);
+        bytes_[i >> 3] ^= static_cast<std::uint8_t>(1u << (7 - (i & 7)));
+    }
+
     void
     clear()
     {

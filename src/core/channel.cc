@@ -1,8 +1,10 @@
 #include "core/channel.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/bitops.h"
+#include "common/crc.h"
 #include "common/log.h"
 #include "compress/bdi.h"
 #include "compress/cpack.h"
@@ -65,6 +67,25 @@ scaledEntries(double factor, std::uint64_t lines, unsigned ways)
 
 } // namespace
 
+CableDesyncError::CableDesyncError(Addr addr_in, bool writeback_in,
+                                   std::vector<LineID> refs_in,
+                                   unsigned mismatch_word_in,
+                                   const std::string &detail)
+    : addr(addr_in), writeback(writeback_in), refs(std::move(refs_in)),
+      mismatch_word(mismatch_word_in)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "CABLE desync on %s of %llx (refs=%zu, word=%d): %s",
+                  writeback ? "write-back" : "response",
+                  static_cast<unsigned long long>(addr), refs.size(),
+                  mismatch_word == kNoWord
+                      ? -1
+                      : static_cast<int>(mismatch_word),
+                  detail.c_str());
+    what_ = buf;
+}
+
 CableChannel::CableChannel(Cache &home, Cache &remote,
                            const CableConfig &cfg)
     : home_(home), remote_(remote), cfg_(cfg),
@@ -120,6 +141,12 @@ CableChannel::accountTransfer(const Transfer &t)
     stats_.add("transfers", 1);
     stats_.add("raw_bits", t.raw_bits);
     stats_.add("wire_bits", t.bits);
+    // Integrity framing and recovery overhead, kept out of the
+    // payload counters so compression ratios stay comparable to a
+    // CRC-less link while the wire-level cost stays visible.
+    stats_.add("crc_overhead_bits", t.crc_bits);
+    stats_.add("retrans_bits", t.retrans_bits);
+    stats_.add("retry_backoff_cycles", t.retry_cycles);
     // 16-bit-link flit quantization, for effective-ratio reporting.
     stats_.add("raw_flits16", ceilDiv(t.raw_bits, 16));
     stats_.add("wire_flits16", ceilDiv(t.bits, 16));
@@ -136,6 +163,7 @@ CableChannel::accountTransfer(const Transfer &t)
 CableChannel::Chosen
 CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 {
+    maybeCorruptMetadata();
     Chosen chosen;
     if (!cfg_.compression_enabled) {
         chosen.raw = true;
@@ -158,6 +186,20 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
             chosen.self_only = true;
             return chosen;
         }
+    }
+
+    // Degraded mode: the metadata just resynchronized after a
+    // desync; hold off on reference compression until a healthy
+    // window passes (health-state machine, DESIGN.md).
+    if (health_ == Health::Degraded) {
+        stats_.add("degraded_self_only", 1);
+        if (self_cost <= raw_cost) {
+            chosen.diff = std::move(self);
+            chosen.self_only = true;
+        } else {
+            chosen.raw = true;
+        }
+        return chosen;
     }
 
     // (1) extract search signatures, (2) probe the hash table.
@@ -251,6 +293,7 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 CableChannel::Chosen
 CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 {
+    maybeCorruptMetadata();
     Chosen chosen;
     if (!cfg_.compression_enabled || !cfg_.writeback_compression) {
         chosen.raw = true;
@@ -260,6 +303,19 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     const std::size_t raw_cost = 1 + kLineBytes * 8;
     BitVec self_bits = engine_->compress(data, {});
     std::size_t self_cost = 3 + self_bits.sizeBits();
+
+    // Degraded mode: reference compression is disarmed while the
+    // metadata rebuilds after a desync (see compressForSend).
+    if (health_ == Health::Degraded) {
+        stats_.add("degraded_self_only", 1);
+        if (self_cost <= raw_cost) {
+            chosen.diff = std::move(self_bits);
+            chosen.self_only = true;
+        } else {
+            chosen.raw = true;
+        }
+        return chosen;
+    }
 
     if (!cfg_.inclusive) {
         // §IV-C: without inclusivity the remote cannot assume its
@@ -378,16 +434,39 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
         t.nrefs = static_cast<unsigned>(chosen.ref_rlids.size());
         t.self_only = chosen.self_only;
     }
+    // The payload counter excludes the CRC so compression ratios stay
+    // comparable to a CRC-less link; the framing cost rides in
+    // crc_bits and shows up in wireBits().
+    std::size_t payload_bits = bw.sizeBits();
+    if (cfg_.frame_crc_bits > 0) {
+        appendFrameCrc(bw, cfg_.frame_crc_bits);
+        t.crc_bits = cfg_.frame_crc_bits;
+    }
     t.wire = bw.take();
-    t.bits = t.wire.sizeBits();
+    t.bits = payload_bits;
     return t;
 }
 
-void
-CableChannel::verifyResponse(const Transfer &t, const Chosen &chosen,
-                             const CacheLine &original)
+namespace
 {
-    if (!cfg_.verify_roundtrip || t.raw)
+
+/** First differing 32-bit word between two lines, or kNoWord. */
+unsigned
+firstMismatchWord(const CacheLine &a, const CacheLine &b)
+{
+    for (unsigned i = 0; i < kLineBytes; ++i)
+        if (a.byte(i) != b.byte(i))
+            return i / 4;
+    return CableDesyncError::kNoWord;
+}
+
+} // namespace
+
+void
+CableChannel::verifyResponse(const Chosen &chosen,
+                             const CacheLine &original, Addr addr)
+{
+    if (!cfg_.verify_roundtrip || chosen.raw)
         return;
     // Receiver-side reconstruction: read the references from the
     // remote cache's own data array.
@@ -396,15 +475,17 @@ CableChannel::verifyResponse(const Transfer &t, const Chosen &chosen,
         refs.push_back(&remote_.entryAt(rlid).data);
     CacheLine out = engine_->decompress(chosen.diff, refs);
     if (out != original)
-        panic("CABLE response round-trip mismatch: got %s want %s",
-              out.toString().c_str(), original.toString().c_str());
+        throw CableDesyncError(addr, /*writeback=*/false,
+                               chosen.ref_rlids,
+                               firstMismatchWord(out, original),
+                               "decoded line differs from original");
 }
 
 void
-CableChannel::verifyWriteBack(const Transfer &t, const Chosen &chosen,
-                              const CacheLine &original)
+CableChannel::verifyWriteBack(const Chosen &chosen,
+                              const CacheLine &original, Addr addr)
 {
-    if (!cfg_.verify_roundtrip || t.raw)
+    if (!cfg_.verify_roundtrip || chosen.raw)
         return;
     // Home-side reconstruction: translate each RemoteLID through the
     // WMT into a home slot and read the home data array.
@@ -412,12 +493,262 @@ CableChannel::verifyWriteBack(const Transfer &t, const Chosen &chosen,
     for (LineID rlid : chosen.ref_rlids) {
         auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
         if (!hlid)
-            panic("CABLE write-back references untracked remote line");
+            throw CableDesyncError(
+                addr, /*writeback=*/true, chosen.ref_rlids,
+                CableDesyncError::kNoWord,
+                "reference to untracked remote line");
         refs.push_back(&home_.entryAt(*hlid).data);
     }
     CacheLine out = engine_->decompress(chosen.diff, refs);
     if (out != original)
-        panic("CABLE write-back round-trip mismatch");
+        throw CableDesyncError(addr, /*writeback=*/true,
+                               chosen.ref_rlids,
+                               firstMismatchWord(out, original),
+                               "decoded line differs from original");
+}
+
+// ---------------------------------------------------------------------
+// Transmission: ARQ, raw fallback, desync recovery (fault tolerance)
+// ---------------------------------------------------------------------
+
+Transfer
+CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
+                       const CacheLine &original)
+{
+    Transfer t = packageTransfer(chosen, writeback);
+    deliver(t, chosen, writeback, addr, original);
+    accountTransfer(t);
+    trackHealth(t);
+    return t;
+}
+
+void
+CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
+                      Addr addr, const CacheLine &original)
+{
+    if (fault_ && cfg_.frame_crc_bits > 0) {
+        // Receiver-side ARQ: corrupt a copy of the wire image, check
+        // the frame CRC, NACK and retransmit with exponential backoff
+        // until clean or the retry budget runs out.
+        unsigned attempt = 0;
+        while (true) {
+            BitVec received = t.wire;
+            unsigned flips = fault_->corruptPacket(received);
+            bool crc_ok = checkFrameCrc(received, cfg_.frame_crc_bits);
+            if (flips == 0 && crc_ok)
+                break;
+            if (crc_ok) {
+                // Corruption the CRC cannot see (aliased syndrome).
+                // Modeled as caught by the end-to-end decode check,
+                // which forces the uncompressed escape hatch.
+                stats_.add("crc_undetected", 1);
+                rawFallbackResend(t, chosen.payload);
+                return;
+            }
+            stats_.add("crc_detected", 1);
+            if (attempt >= cfg_.max_retries) {
+                // Retry budget exhausted: stop resending the fragile
+                // compressed frame and fall back to raw.
+                rawFallbackResend(t, chosen.payload);
+                return;
+            }
+            ++attempt;
+            t.retries += 1;
+            stats_.add("retransmits", 1);
+            t.retrans_bits += t.bits + t.crc_bits;
+            t.retry_cycles += cfg_.retry_backoff_cycles
+                              << std::min(attempt - 1, 16u);
+        }
+    }
+
+    if (t.raw)
+        return;
+    try {
+        if (writeback)
+            verifyWriteBack(chosen, original, addr);
+        else
+            verifyResponse(chosen, original, addr);
+    } catch (const CableDesyncError &) {
+        // Without a fault model a failed decode is a genuine bug —
+        // let it propagate. Under injection it is the expected
+        // consequence of a lost sync message or a metadata soft
+        // error: recover and deliver the line uncompressed.
+        if (!fault_)
+            throw;
+        stats_.add("desyncs_detected", 1);
+        recoverFromDesync();
+        rawFallbackResend(t, chosen.payload);
+    }
+}
+
+void
+CableChannel::rawFallbackResend(Transfer &t, const BitVec &payload)
+{
+    t.raw_fallback = true;
+    stats_.add("raw_fallbacks", 1);
+
+    BitWriter bw;
+    if (cfg_.compression_enabled)
+        bw.put(0, 1); // raw flag
+    bw.appendBits(payload);
+    if (cfg_.frame_crc_bits > 0)
+        appendFrameCrc(bw, cfg_.frame_crc_bits);
+    BitVec frame = bw.take();
+
+    for (unsigned attempt = 0;; ++attempt) {
+        t.retrans_bits += frame.sizeBits();
+        BitVec received = frame;
+        unsigned flips = fault_ ? fault_->corruptPacket(received) : 0;
+        if (flips == 0)
+            break;
+        if (attempt + 1 >= kRawResendCap) {
+            // Past this point a real link would escalate to physical-
+            // layer retraining/FEC; model that as a final clean
+            // delivery and leave a counter so sweeps can see it.
+            stats_.add("raw_resend_cap_hits", 1);
+            break;
+        }
+        stats_.add("retransmits", 1);
+        t.retries += 1;
+        t.retry_cycles += cfg_.retry_backoff_cycles
+                          << std::min(attempt, 16u);
+    }
+}
+
+void
+CableChannel::recoverFromDesync()
+{
+    stats_.add("desync_recoveries", 1);
+    flushMetadata();
+    stats_.add("resync_lines", resynchronize());
+    if (health_ != Health::Degraded) {
+        health_ = Health::Degraded;
+        stats_.add("degraded_entries", 1);
+    }
+    healthy_streak_ = 0;
+}
+
+void
+CableChannel::trackHealth(const Transfer &t)
+{
+    if (health_ != Health::Degraded)
+        return;
+    stats_.add("degraded_transfers", 1);
+    if (t.retries == 0 && !t.raw_fallback) {
+        if (++healthy_streak_ >= cfg_.rearm_window) {
+            health_ = Health::Healthy;
+            healthy_streak_ = 0;
+            stats_.add("rearms", 1);
+        }
+    } else {
+        healthy_streak_ = 0;
+    }
+}
+
+void
+CableChannel::maybeCorruptMetadata()
+{
+    if (!fault_ || !fault_->corruptMetadata())
+        return;
+    if (fault_->pick(2) == 0) {
+        // Repoint a random WMT slot at a random home line — the
+        // damaging class: a later reference translated through this
+        // slot decodes against the wrong home data, caught by the
+        // end-to-end verify or the periodic audit.
+        std::uint32_t rset = static_cast<std::uint32_t>(
+            fault_->pick(remote_.numSets()));
+        std::uint8_t rway = static_cast<std::uint8_t>(
+            fault_->pick(remote_.numWays()));
+        std::uint32_t hset = static_cast<std::uint32_t>(
+            fault_->pick(home_.numSets()));
+        std::uint8_t hway = static_cast<std::uint8_t>(
+            fault_->pick(home_.numWays()));
+        wmt_.set(rset, rway, LineID(hset, hway));
+        stats_.add("meta_faults_wmt", 1);
+    } else {
+        // Insert a bogus signature → LineID binding. Benign by
+        // construction (§III-B calls the table inherently inexact):
+        // the candidate either fails WMT translation or loses the
+        // data-comparison ranking, so this exercises the filter.
+        std::uint32_t sig =
+            static_cast<std::uint32_t>(fault_->pick(1ull << 32));
+        std::uint32_t hset = static_cast<std::uint32_t>(
+            fault_->pick(home_.numSets()));
+        std::uint8_t hway = static_cast<std::uint8_t>(
+            fault_->pick(home_.numWays()));
+        home_ht_.insert(sig, LineID(hset, hway));
+        stats_.add("meta_faults_ht", 1);
+    }
+}
+
+bool
+CableChannel::syncMessageLost()
+{
+    return fault_ && fault_->dropSyncMessage();
+}
+
+unsigned
+CableChannel::auditInvariant()
+{
+    stats_.add("audits", 1);
+    unsigned mismatches = 0;
+    for (std::uint32_t set = 0; set < remote_.numSets(); ++set) {
+        for (unsigned way = 0; way < remote_.numWays(); ++way) {
+            std::uint8_t w = static_cast<std::uint8_t>(way);
+            auto hlid = wmt_.occupantHomeLID(set, w);
+            if (!hlid)
+                continue;
+            const Cache::Entry &re = remote_.entryAt(LineID(set, w));
+            const Cache::Entry &he = home_.entryAt(*hlid);
+            // §III-F invariant for a tracked pair: both resident and
+            // clean, same address, bit-identical data.
+            bool ok = re.valid() && he.valid() && !re.dirty()
+                      && !he.dirty() && he.tag == re.tag
+                      && !(he.data != re.data);
+            if (!ok)
+                ++mismatches;
+        }
+    }
+    if (mismatches > 0) {
+        stats_.add("audit_failures", 1);
+        stats_.add("audit_mismatched_slots", mismatches);
+        recoverFromDesync();
+    }
+    return mismatches;
+}
+
+void
+CableChannel::flushMetadata()
+{
+    home_ht_.clear();
+    remote_ht_.clear();
+    wmt_.clearAll();
+}
+
+unsigned
+CableChannel::resynchronize()
+{
+    unsigned relinked = 0;
+    for (std::uint32_t set = 0; set < remote_.numSets(); ++set) {
+        for (unsigned way = 0; way < remote_.numWays(); ++way) {
+            LineID rlid(set, static_cast<std::uint8_t>(way));
+            const Cache::Entry &re = remote_.entryAt(rlid);
+            if (!re.valid() || re.dirty())
+                continue;
+            Addr vaddr = re.tag << kLineShift;
+            LineID hlid = home_.find(vaddr);
+            if (!hlid.valid)
+                continue;
+            const Cache::Entry &he = home_.entryAt(hlid);
+            if (he.dirty() || he.data != re.data)
+                continue;
+            wmt_.set(set, static_cast<std::uint8_t>(way), hlid);
+            addSignatures(home_ht_, he.data, hlid);
+            addSignatures(remote_ht_, re.data, rlid);
+            ++relinked;
+        }
+    }
+    return relinked;
 }
 
 // ---------------------------------------------------------------------
@@ -483,9 +814,7 @@ CableChannel::homeInstall(Addr addr, const CacheLine &data, bool dirty)
                 // Flush the newer remote data over the link first.
                 Chosen chosen = compressForWriteBack(re.data, rlid);
                 chosen.payload = bitsOf(re.data);
-                Transfer t = packageTransfer(chosen, true);
-                verifyWriteBack(t, chosen, re.data);
-                accountTransfer(t);
+                Transfer t = transmit(chosen, true, vaddr, re.data);
                 mem_wb.data = re.data;
                 mem_wb.dirty = true;
                 result.backinval_writeback = t;
@@ -524,12 +853,20 @@ CableChannel::remoteEvictSlot(LineID rlid)
     evbuf_.push(rlid, vdata);
     if (!was_dirty) {
         // Shared line: remove its signatures on both sides and its
-        // WMT entry (home data still equals remote data).
+        // WMT entry (home data still equals remote data). The
+        // remote-side removal is local; the home-side cleanup rides
+        // on the eviction notice, which the fault model may drop —
+        // leaving stale home metadata for the audit/verify to catch.
         dropSignatures(remote_ht_, vdata, rlid);
-        auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
-        if (hlid)
-            dropSignatures(home_ht_, home_.entryAt(*hlid).data, *hlid);
-        wmt_.clear(rlid.set, rlid.way);
+        if (syncMessageLost()) {
+            stats_.add("sync_drops_evict", 1);
+        } else {
+            auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
+            if (hlid)
+                dropSignatures(home_ht_, home_.entryAt(*hlid).data,
+                               *hlid);
+            wmt_.clear(rlid.set, rlid.way);
+        }
     }
 
     std::optional<Transfer> out;
@@ -538,9 +875,7 @@ CableChannel::remoteEvictSlot(LineID rlid)
         // already detached at upgrade time.
         Chosen chosen = compressForWriteBack(vdata, rlid);
         chosen.payload = bitsOf(vdata);
-        Transfer t = packageTransfer(chosen, true);
-        verifyWriteBack(t, chosen, vdata);
-        accountTransfer(t);
+        Transfer t = transmit(chosen, true, vaddr, vdata);
         if (!home_.probe(vaddr)) {
             if (cfg_.inclusive)
                 panic("inclusivity violated: dirty remote line %llx "
@@ -573,9 +908,7 @@ CableChannel::respondAndInstall(Addr addr, std::uint8_t vway,
 
     Chosen chosen = compressForSend(data, home_lid);
     chosen.payload = bitsOf(data);
-    Transfer t = packageTransfer(chosen, false);
-    verifyResponse(t, chosen, data);
-    accountTransfer(t);
+    Transfer t = transmit(chosen, false, addr, data);
 
     std::uint32_t rset = remote_.setOf(addr);
     if (remote_.entryAt(LineID(rset, vway)).valid())
@@ -637,10 +970,20 @@ CableChannel::remoteUpgrade(Addr addr)
     if (e.dirty())
         return; // already Modified
     dropSignatures(remote_ht_, e.data, rlid);
-    auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
-    if (hlid)
-        dropSignatures(home_ht_, home_.entryAt(*hlid).data, *hlid);
-    wmt_.clear(rlid.set, rlid.way);
+    // The home-side metadata cleanup rides on CABLE's upgrade notice
+    // (§III-F); if the fault model drops it, stale home signatures
+    // and a stale WMT entry survive while the remote copy silently
+    // diverges — the desync the audit/verify paths must catch. The
+    // coherence-protocol upgrade itself travels reliably, so the
+    // cache states below stay correct either way.
+    if (syncMessageLost()) {
+        stats_.add("sync_drops_upgrade", 1);
+    } else {
+        auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
+        if (hlid)
+            dropSignatures(home_ht_, home_.entryAt(*hlid).data, *hlid);
+        wmt_.clear(rlid.set, rlid.way);
+    }
     remote_.markDirty(addr);
     // The home copy is now stale and must stop serving as reference
     // data. In non-inclusive mode the home may have already dropped
@@ -672,9 +1015,7 @@ CableChannel::writeBack(Addr addr, const CacheLine &data)
               static_cast<unsigned long long>(addr));
     Chosen chosen = compressForWriteBack(data, rlid);
     chosen.payload = bitsOf(data);
-    Transfer t = packageTransfer(chosen, true);
-    verifyWriteBack(t, chosen, data);
-    accountTransfer(t);
+    Transfer t = transmit(chosen, true, addr, data);
     if (!home_.probe(addr)) {
         if (cfg_.inclusive)
             panic("writeBack: inclusivity violated for %llx",

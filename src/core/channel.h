@@ -31,14 +31,17 @@
 #define CABLE_CORE_CHANNEL_H
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/cache.h"
 #include "common/stats.h"
 #include "compress/compressor.h"
 #include "core/eviction_buffer.h"
+#include "core/fault_model.h"
 #include "core/hash_table.h"
 #include "core/wmt.h"
 
@@ -82,7 +85,25 @@ struct CableConfig
     bool compression_enabled = true;
     /** H3 seed; vary per channel instance. */
     std::uint64_t hash_seed = 0xcab1e;
+
+    // ---- integrity framing & recovery (fault model) -----------------
+    /**
+     * CRC appended to every frame: 0 (off), 8, or 16 bits. The
+     * overhead is accounted separately from the compressed payload
+     * (Transfer::crc_bits) so compression ratios stay comparable to
+     * a CRC-less link while the wire-level cost stays honest.
+     */
+    unsigned frame_crc_bits = 16;
+    /** Compressed retransmits before the uncompressed escape hatch. */
+    unsigned max_retries = 3;
+    /** Base NACK backoff in link cycles; doubles per retry. */
+    Cycles retry_backoff_cycles = 8;
+    /** Clean transfers in degraded mode before re-arming references. */
+    unsigned rearm_window = 256;
 };
+
+/** Raw-fallback ARQ attempts before assuming link-layer recovery. */
+constexpr unsigned kRawResendCap = 8;
 
 /** One data movement over the link. */
 struct Transfer
@@ -95,6 +116,49 @@ struct Transfer
     bool raw = false;          ///< sent uncompressed
     bool writeback = false;    ///< direction: remote → home
     BitVec wire;               ///< exact wire image (toggle studies)
+
+    // ---- integrity & recovery accounting ----------------------------
+    std::size_t crc_bits = 0;     ///< frame CRC overhead bits
+    std::size_t retrans_bits = 0; ///< extra bits spent on resends
+    unsigned retries = 0;         ///< NACK-triggered resends
+    Cycles retry_cycles = 0;      ///< backoff latency (link cycles)
+    bool raw_fallback = false;    ///< ended as an uncompressed resend
+
+    /** Total wire occupancy: payload + CRC + every retransmission. */
+    std::size_t
+    wireBits() const
+    {
+        return bits + crc_bits + retrans_bits;
+    }
+};
+
+/**
+ * The pairwise metadata invariant broke: a transfer decoded from
+ * receiver-side reference data did not reproduce the original line
+ * (or a reference pointed at an untracked slot). Carries enough
+ * structure for the recovery path to log and for tests to assert
+ * on. When no fault model is attached this propagates — a genuine
+ * bug — instead of being absorbed by recovery.
+ */
+class CableDesyncError : public std::exception
+{
+  public:
+    /** mismatch_word value when decode could not even start. */
+    static constexpr unsigned kNoWord = ~0u;
+
+    CableDesyncError(Addr addr, bool writeback,
+                     std::vector<LineID> refs, unsigned mismatch_word,
+                     const std::string &detail);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+    Addr addr = 0;               ///< line being transferred
+    bool writeback = false;      ///< direction: remote → home
+    std::vector<LineID> refs;    ///< reference LIDs on the wire
+    unsigned mismatch_word = kNoWord; ///< first differing 32b word
+
+  private:
+    std::string what_;
 };
 
 /** Outcome of a full remote fetch (victim + response). */
@@ -192,6 +256,52 @@ class CableChannel
     /** Runtime on/off switch; metadata tracking continues. */
     void setCompressionEnabled(bool on) { cfg_.compression_enabled = on; }
 
+    // ---- fault tolerance --------------------------------------------
+
+    /**
+     * Channel health: Healthy uses the full reference search;
+     * Degraded (entered after a detected desync) sends
+     * self-compressed or raw only, while metadata rebuilds, and
+     * re-arms after `rearm_window` clean transfers — the §VI-D
+     * on/off controller generalized into a health-state machine.
+     */
+    enum class Health
+    {
+        Healthy,
+        Degraded
+    };
+
+    /**
+     * Attaches (or detaches, with nullptr) a fault model. With a
+     * model attached, wire corruption, lost sync messages and
+     * metadata soft errors are injected, and the detect → NACK →
+     * retransmit → raw-fallback and desync-recovery paths engage
+     * instead of aborting.
+     */
+    void setFaultModel(LinkFaultModel *fm) { fault_ = fm; }
+
+    Health health() const { return health_; }
+    bool degraded() const { return health_ == Health::Degraded; }
+
+    /**
+     * Periodic integrity sweep: checks every WMT-tracked pair for
+     * the §III-F invariant (both valid, remote clean, same tag,
+     * bit-identical data). Any mismatch triggers full desync
+     * recovery (flush + resynchronize + degrade). Returns the
+     * number of mismatched slots found.
+     */
+    unsigned auditInvariant();
+
+    /** Clears both hash tables and the WMT. */
+    void flushMetadata();
+
+    /**
+     * Rebuilds metadata from scratch: every clean shared line
+     * resident on both sides with identical data is re-linked
+     * (WMT + both signature tables). Returns lines re-linked.
+     */
+    unsigned resynchronize();
+
     /**
      * Invoked with the victim's address just before a home eviction
      * back-invalidates the remote copy, so the surrounding system
@@ -236,10 +346,31 @@ class CableChannel
 
     Transfer packageTransfer(const Chosen &chosen, bool writeback);
     void accountTransfer(const Transfer &t);
-    void verifyResponse(const Transfer &t, const Chosen &chosen,
-                        const CacheLine &original);
-    void verifyWriteBack(const Transfer &t, const Chosen &chosen,
-                         const CacheLine &original);
+    void verifyResponse(const Chosen &chosen,
+                        const CacheLine &original, Addr addr);
+    void verifyWriteBack(const Chosen &chosen,
+                         const CacheLine &original, Addr addr);
+
+    /**
+     * Full send: package → (under a fault model) corrupt / CRC-check
+     * / NACK-retransmit / raw-fallback → decode-verify → account.
+     * The single entry point every transfer goes through.
+     */
+    Transfer transmit(Chosen &chosen, bool writeback, Addr addr,
+                      const CacheLine &original);
+    /** Receiver-side ARQ + end-to-end decode verification. */
+    void deliver(Transfer &t, const Chosen &chosen, bool writeback,
+                 Addr addr, const CacheLine &original);
+    /** Uncompressed escape hatch, resent until verified clean. */
+    void rawFallbackResend(Transfer &t, const BitVec &payload);
+    /** Flush + resynchronize + enter degraded mode. */
+    void recoverFromDesync();
+    /** Healthy-window bookkeeping after each delivered transfer. */
+    void trackHealth(const Transfer &t);
+    /** Injects one metadata soft error, if the model says so. */
+    void maybeCorruptMetadata();
+    /** True when a sync message to the home side was lost. */
+    bool syncMessageLost();
 
     /** Removes the insert-signatures of (data→lid) from @p table. */
     void dropSignatures(SignatureHashTable &table,
@@ -261,6 +392,9 @@ class CableChannel
     StatSet stats_;
     unsigned rlid_bits_;
     std::function<void(Addr)> backinval_hook_;
+    LinkFaultModel *fault_ = nullptr;
+    Health health_ = Health::Healthy;
+    unsigned healthy_streak_ = 0;
 };
 
 /** Delegate-engine factory: per-line (non-persistent) variants. */

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Abstract fault model the CableChannel consults while transmitting
+ * and synchronizing. The concrete seed-deterministic implementation
+ * (sim/fault.h) lives a layer up with the simulators; the channel
+ * only needs these four questions answered, and keeping the
+ * interface here lets core stay independent of the sim library.
+ *
+ * A channel with no fault model attached (the default) takes none
+ * of the recovery paths and behaves bit-identically to a fault-free
+ * link.
+ */
+
+#ifndef CABLE_CORE_FAULT_MODEL_H
+#define CABLE_CORE_FAULT_MODEL_H
+
+#include <cstdint>
+
+#include "compress/bitstream.h"
+
+namespace cable
+{
+
+class LinkFaultModel
+{
+  public:
+    virtual ~LinkFaultModel() = default;
+
+    /** Applies wire faults to @p wire in place; returns bits flipped. */
+    virtual unsigned corruptPacket(BitVec &wire) = 0;
+
+    /** One metadata sync message crosses the link; true = lost. */
+    virtual bool dropSyncMessage() = 0;
+
+    /** True when a metadata soft error should strike now. */
+    virtual bool corruptMetadata() = 0;
+
+    /** Uniform integer in [0, bound) for choosing corruption victims. */
+    virtual std::uint64_t pick(std::uint64_t bound) = 0;
+};
+
+} // namespace cable
+
+#endif // CABLE_CORE_FAULT_MODEL_H

@@ -104,6 +104,13 @@ WayMapTable::clear(std::uint32_t remote_set, std::uint8_t remote_way)
 }
 
 void
+WayMapTable::clearAll()
+{
+    for (Slot &s : slots_)
+        s.valid = false;
+}
+
+void
 WayMapTable::clearByHomeLID(std::uint32_t remote_set, LineID home_lid)
 {
     std::uint32_t norm = normalize(home_lid);

@@ -73,6 +73,9 @@ class WayMapTable
     /** Clears one remote slot. */
     void clear(std::uint32_t remote_set, std::uint8_t remote_way);
 
+    /** Invalidates every slot (desync recovery resynchronization). */
+    void clearAll();
+
     /** Clears every slot pointing to @p home_lid (home eviction). */
     void clearByHomeLID(std::uint32_t remote_set, LineID home_lid);
 

@@ -1,0 +1,97 @@
+#include "sim/fault.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace cable
+{
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(splitMix64(cfg.seed ^ 0xfa017ull))
+{
+    auto probability = [](double p, const char *name) {
+        if (p < 0.0 || p > 1.0)
+            fatal("FaultInjector: %s = %g outside [0, 1]", name, p);
+    };
+    probability(cfg.bit_error_rate, "bit_error_rate");
+    probability(cfg.burst_rate, "burst_rate");
+    probability(cfg.drop_sync_rate, "drop_sync_rate");
+    probability(cfg.meta_corrupt_rate, "meta_corrupt_rate");
+    if (cfg.burst_rate > 0.0 && cfg.burst_len == 0)
+        fatal("FaultInjector: burst_rate set but burst_len = 0");
+}
+
+unsigned
+FaultInjector::corruptPacket(BitVec &wire)
+{
+    unsigned flips = 0;
+    std::size_t n = wire.sizeBits();
+
+    if (cfg_.bit_error_rate > 0.0 && n > 0) {
+        if (cfg_.bit_error_rate >= 1.0) {
+            for (std::size_t i = 0; i < n; ++i, ++flips)
+                wire.flipBit(i);
+        } else {
+            // Geometric skipping: the gap between successive flips
+            // of a per-bit Bernoulli(p) stream is Geometric(p), so
+            // draw gaps instead of n coin tosses.
+            double log1mp = std::log1p(-cfg_.bit_error_rate);
+            std::size_t i = 0;
+            for (;;) {
+                double u = rng_.uniform();
+                // u == 0 would send the gap to infinity; clamp.
+                double gap = u > 0.0 ? std::log(u) / log1mp : 0.0;
+                if (gap >= static_cast<double>(n - i))
+                    break;
+                i += static_cast<std::size_t>(gap);
+                wire.flipBit(i);
+                ++flips;
+                if (++i >= n)
+                    break;
+            }
+        }
+    }
+
+    if (cfg_.burst_rate > 0.0 && n > 0 && rng_.chance(cfg_.burst_rate)) {
+        std::size_t start = rng_.below(n);
+        std::size_t len = cfg_.burst_len;
+        for (std::size_t i = start; i < n && i < start + len; ++i) {
+            wire.flipBit(i);
+            ++flips;
+        }
+        stats_.add("bursts", 1);
+    }
+
+    if (flips) {
+        stats_.add("faults_injected", 1);
+        stats_.add("bit_flips", flips);
+    }
+    return flips;
+}
+
+bool
+FaultInjector::dropSyncMessage()
+{
+    if (cfg_.drop_sync_rate <= 0.0)
+        return false;
+    if (!rng_.chance(cfg_.drop_sync_rate))
+        return false;
+    stats_.add("faults_injected", 1);
+    stats_.add("sync_drops", 1);
+    return true;
+}
+
+bool
+FaultInjector::corruptMetadata()
+{
+    if (cfg_.meta_corrupt_rate <= 0.0)
+        return false;
+    if (!rng_.chance(cfg_.meta_corrupt_rate))
+        return false;
+    stats_.add("faults_injected", 1);
+    stats_.add("meta_corruptions", 1);
+    return true;
+}
+
+} // namespace cable

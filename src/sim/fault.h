@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Seed-deterministic link-fault injection. Real compressed links
+ * pair compression with integrity checking because a single flipped
+ * wire bit or a lost synchronization message breaks the pairwise
+ * metadata invariant CABLE's decompression relies on (§III-F,
+ * §IV-A). The FaultInjector models the four failure classes the
+ * recovery machinery must survive:
+ *
+ *  - independent wire bit flips (per-bit Bernoulli, `bit_error_rate`),
+ *  - burst errors (per-packet Bernoulli, `burst_rate`, contiguous
+ *    `burst_len` bits),
+ *  - dropped synchronization messages (eviction/upgrade notices the
+ *    home never hears, `drop_sync_rate`), and
+ *  - soft errors in CABLE metadata SRAM — a WMT slot or hash-table
+ *    bucket silently repointed (`meta_corrupt_rate`).
+ *
+ * Every draw comes from one xoshiro stream seeded from `seed`, so a
+ * run with the same seed and workload injects the identical fault
+ * sequence — the property the determinism tests and the
+ * `--fault-seed` CLI flag rely on. Bit flips use geometric skipping
+ * (draw the gap to the next flip, not one Bernoulli per bit), so
+ * realistic error rates of 1e-6..1e-12 cost near nothing.
+ */
+
+#ifndef CABLE_SIM_FAULT_H
+#define CABLE_SIM_FAULT_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "compress/bitstream.h"
+#include "core/fault_model.h"
+
+namespace cable
+{
+
+struct FaultConfig
+{
+    /** Probability that any single wire bit flips in transit. */
+    double bit_error_rate = 0.0;
+    /** Probability that a packet suffers a contiguous burst error. */
+    double burst_rate = 0.0;
+    /** Bits flipped by one burst. */
+    unsigned burst_len = 8;
+    /** Probability that a metadata sync message is dropped. */
+    double drop_sync_rate = 0.0;
+    /** Per-transfer probability of a metadata soft error. */
+    double meta_corrupt_rate = 0.0;
+    /** Injection stream seed (CLI: --fault-seed). */
+    std::uint64_t seed = 0xfa017;
+
+    bool
+    anyEnabled() const
+    {
+        return bit_error_rate > 0.0 || burst_rate > 0.0
+               || drop_sync_rate > 0.0 || meta_corrupt_rate > 0.0;
+    }
+};
+
+class FaultInjector : public LinkFaultModel
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    bool enabled() const { return cfg_.anyEnabled(); }
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Applies wire faults (independent flips, then at most one
+     * burst) to @p wire in place. Returns the number of flipped
+     * bits and accumulates `faults_injected` / `bit_flips` /
+     * `bursts` counters.
+     */
+    unsigned corruptPacket(BitVec &wire) override;
+
+    /** One sync message crosses the link; true = it was lost. */
+    bool dropSyncMessage() override;
+
+    /** True when a metadata soft error should strike now. */
+    bool corruptMetadata() override;
+
+    /** Uniform helper for choosing corruption victims. */
+    std::uint64_t
+    pick(std::uint64_t bound) override
+    {
+        return bound ? rng_.below(bound) : 0;
+    }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+    StatSet stats_;
+};
+
+} // namespace cable
+
+#endif // CABLE_SIM_FAULT_H

@@ -18,6 +18,7 @@ MemLinkSystem::MemLinkSystem(const MemSystemConfig &cfg,
       l4_({"l4", cfg.l4_bytes_per_thread * programs.size(),
            cfg.l4_ways}),
       dram_(cfg.dram), lat_(schemeLatency(cfg.scheme)),
+      next_fault_audit_(cfg.fault_audit_period),
       next_onoff_sample_(cfg.onoff_period)
 {
     if (programs.empty())
@@ -31,6 +32,16 @@ MemLinkSystem::MemLinkSystem(const MemSystemConfig &cfg,
     protocol_ = makeLinkProtocol(cfg.scheme, l4_, llc_, cfg.cable);
     protocol_->setBackinvalHook(
         [this](Addr addr) { backInvalUpper(addr); });
+
+    if (cfg_.fault.anyEnabled()) {
+        fault_channel_ = protocol_->cableChannel();
+        if (!fault_channel_)
+            fatal("fault injection requires the cable scheme "
+                  "(scheme '%s' has no recovery machinery)",
+                  cfg.scheme.c_str());
+        fault_injector_ = std::make_unique<FaultInjector>(cfg_.fault);
+        fault_channel_->setFaultModel(fault_injector_.get());
+    }
 
     Cache::Config l1c{"l1", cfg.l1_bytes, cfg.l1_ways};
     Cache::Config l2c{"l2", cfg.l2_bytes, cfg.l2_ways};
@@ -109,24 +120,37 @@ MemLinkSystem::threadBitRatio(unsigned t) const
                : 1.0;
 }
 
+Cycles
+MemLinkSystem::linkCyclesToCore(Cycles link_cycles) const
+{
+    if (!link_cycles)
+        return 0;
+    double f = link_->config().core_ghz / link_->config().link_ghz;
+    return static_cast<Cycles>(
+        static_cast<double>(link_cycles) * f + 0.5);
+}
+
 void
 MemLinkSystem::accountLinkTransfer(const Transfer &t, bool critical,
                                    Cycles &now, Cycles &extra_lat)
 {
     if (cfg_.count_toggles)
         link_->countToggles(t.wire);
-    energy_.linkFlits(link_->flitsFor(t.bits),
+    // The wire carries payload + CRC framing + every retransmission;
+    // charge all of it for bandwidth and energy (the payload-only
+    // ratio is preserved separately in the protocol stats).
+    energy_.linkFlits(link_->flitsFor(t.wireBits()),
                       link_->config().width_bits);
     if (!t.raw) {
         energy_.compression();
         energy_.decompression();
     }
     if (cfg_.timing) {
-        Cycles done = link_->acquire(now, t.bits);
+        Cycles done = link_->acquire(now, t.wireBits());
         if (critical)
-            extra_lat += done - now;
+            extra_lat += done - now + linkCyclesToCore(t.retry_cycles);
     } else {
-        link_->countOnly(t.bits);
+        link_->countOnly(t.wireBits());
     }
 }
 
@@ -200,14 +224,15 @@ MemLinkSystem::offChipFill(Thread &, Addr addr, Cycles now)
     Cycles resp_lat = cfg_.l4_lat + dram_lat + comp_lat
                       + link_->config().setup_cycles + decomp_lat;
     if (cfg_.timing) {
-        Cycles done = link_->acquire(ser_start, resp.bits);
-        resp_lat += done - ser_start;
+        Cycles done = link_->acquire(ser_start, resp.wireBits());
+        resp_lat += done - ser_start
+                    + linkCyclesToCore(resp.retry_cycles);
     } else {
-        link_->countOnly(resp.bits);
+        link_->countOnly(resp.wireBits());
     }
     if (cfg_.count_toggles)
         link_->countToggles(resp.wire);
-    energy_.linkFlits(link_->flitsFor(resp.bits),
+    energy_.linkFlits(link_->flitsFor(resp.wireBits()),
                       link_->config().width_bits);
     if (!resp.raw) {
         energy_.compression();
@@ -365,6 +390,23 @@ MemLinkSystem::pollOnOff()
 }
 
 void
+MemLinkSystem::pollFaultAudit()
+{
+    if (!fault_channel_)
+        return;
+    Cycles now = maxTime();
+    if (now < next_fault_audit_)
+        return;
+    // Window-granular degraded-time accounting: if the channel is
+    // still degraded when the audit fires, the whole window counts.
+    if (fault_channel_->degraded())
+        fault_channel_->stats().add("degraded_cycles",
+                                    cfg_.fault_audit_period);
+    fault_channel_->auditInvariant();
+    next_fault_audit_ = now + cfg_.fault_audit_period;
+}
+
+void
 MemLinkSystem::step(Thread &t)
 {
     MemOp op = t.gen.next();
@@ -373,6 +415,7 @@ MemLinkSystem::step(Thread &t)
     t.instrs += op.gap + 1;
     t.ops += 1;
     pollOnOff();
+    pollFaultAudit();
 }
 
 void
@@ -441,6 +484,18 @@ MemLinkSystem::effectiveRatio() const
         * ceilDiv(kLineBytes * 8, link_->config().width_bits);
     return static_cast<double>(raw_flits)
            / static_cast<double>(flits);
+}
+
+double
+MemLinkSystem::goodputRatio()
+{
+    const StatSet &s = protocol_->stats();
+    std::uint64_t wire = s.get("wire_bits") + s.get("crc_overhead_bits")
+                         + s.get("retrans_bits");
+    if (!wire)
+        return 1.0;
+    return static_cast<double>(s.get("raw_bits"))
+           / static_cast<double>(wire);
 }
 
 double

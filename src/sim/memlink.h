@@ -27,6 +27,7 @@
 #include "common/stats.h"
 #include "sim/dram.h"
 #include "sim/energy.h"
+#include "sim/fault.h"
 #include "sim/link.h"
 #include "core/pipeline.h"
 #include "sim/protocol.h"
@@ -87,6 +88,15 @@ struct MemSystemConfig
     bool shared_value_seed = false;
 
     /**
+     * Link-fault injection (CABLE scheme only). Any non-zero rate
+     * attaches a FaultInjector to the channel and engages the CRC /
+     * retransmit / desync-recovery machinery.
+     */
+    FaultConfig fault;
+    /** Core cycles between periodic §III-F invariant audits. */
+    Cycles fault_audit_period = 500000;
+
+    /**
      * Next-N-line LLC prefetcher (0 = off). Prefetches issue off the
      * critical path but consume link bandwidth — the knob for the
      * compression × prefetching interaction study (the paper's
@@ -132,6 +142,12 @@ class MemLinkSystem
     // --- results -----------------------------------------------------
     /** Bit-level compression ratio over the link. */
     double bitRatio() { return protocol_->bitRatio(); }
+    /**
+     * Goodput ratio: raw payload bits over *all* wire bits,
+     * including CRC framing and every retransmission — what the
+     * link actually bought after paying for integrity and recovery.
+     */
+    double goodputRatio();
     /** Flit-quantized ("effective") compression ratio. */
     double effectiveRatio() const;
     /** Per-thread instructions / cycles, summed (throughput). */
@@ -146,6 +162,8 @@ class MemLinkSystem
 
     LinkProtocol &protocol() { return *protocol_; }
     LinkModel &link() { return *link_; }
+    /** The fault injector, when fault injection is configured. */
+    FaultInjector *faultInjector() { return fault_injector_.get(); }
     DramModel &dram() { return dram_; }
     EnergyModel &energy() { return energy_; }
     Cache &llc() { return llc_; }
@@ -200,6 +218,9 @@ class MemLinkSystem
                              Cycles &now, Cycles &extra_lat);
     void attributeTransfer(Addr addr, const Transfer &t);
     void pollOnOff();
+    void pollFaultAudit();
+    /** ARQ backoff is metered in link clocks; timing runs in core. */
+    Cycles linkCyclesToCore(Cycles link_cycles) const;
 
     MemSystemConfig cfg_;
     Cache llc_;
@@ -211,6 +232,9 @@ class MemLinkSystem
     LinkProtocolPtr protocol_;
     std::vector<std::unique_ptr<Thread>> threads_;
     SchemeLatency lat_;
+    std::unique_ptr<FaultInjector> fault_injector_;
+    CableChannel *fault_channel_ = nullptr;
+    Cycles next_fault_audit_;
     Cycles next_onoff_sample_;
     std::uint64_t flits_at_sample_ = 0;
     std::uint64_t search_reads_accounted_ = 0;

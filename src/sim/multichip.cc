@@ -241,6 +241,8 @@ MultiChipSystem::effectiveRatio(unsigned link_width_bits) const
     if (link_width_bits == 16 && s.get("wire_flits16"))
         return s.ratio("raw_flits16", "wire_flits16");
     double r = s.ratio("raw_bits", "wire_bits");
+    if (link_width_bits == 0)
+        return r; // no flit quantization without a width
     double cap = static_cast<double>(kLineBytes * 8)
                  / static_cast<double>(link_width_bits);
     return r > cap ? cap : r;

@@ -83,6 +83,13 @@ class LinkProtocol
 
     virtual std::string schemeName() const = 0;
 
+    /**
+     * The underlying CableChannel, when this protocol has one
+     * (fault injection and desync recovery are CABLE machinery);
+     * nullptr for the stream baselines.
+     */
+    virtual CableChannel *cableChannel() { return nullptr; }
+
     SchemeLatency latency() const { return schemeLatency(schemeName()); }
 
     Cache &home() { return home_; }
@@ -123,6 +130,7 @@ class CableLinkProtocol : public LinkProtocol
     }
     StatSet &stats() override { return channel_.stats(); }
     std::string schemeName() const override { return "cable"; }
+    CableChannel *cableChannel() override { return &channel_; }
 
     CableChannel &channel() { return channel_; }
 

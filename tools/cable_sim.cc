@@ -20,13 +20,30 @@
  *   --threads N --group N --warmup N
  * coherence/numa options:
  *   --nodes N
+ * fault-injection options (ratio/throughput, cable scheme only):
+ *   --fault-rate P      per-bit wire flip probability in [0,1]
+ *   --burst-rate P      per-packet burst probability in [0,1]
+ *   --burst-len N       bits per burst (default 8)
+ *   --drop-sync-rate P  sync-message loss probability in [0,1]
+ *   --meta-rate P       metadata soft-error probability in [0,1]
+ *   --fault-seed N      fault-injection stream seed
+ *   --max-retries N     compressed resends before raw fallback
+ *   --crc-bits N        frame CRC width: 0, 8 or 16
+ *   --audit-period N    cycles between §III-F invariant audits
+ *
+ * Every flag is validated up front: unknown flags, malformed
+ * numbers and out-of-range values abort with an actionable message
+ * and a non-zero exit code before any simulation starts.
  */
 
+#include <cerrno>
+#include <cstdarg>
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +56,28 @@ using namespace cable;
 
 namespace
 {
+
+/** Usage-error exit: message to stderr, exit code 2. */
+[[noreturn]] void
+fail(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fprintf(stderr, "cable_sim: error: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    va_end(ap);
+    std::exit(2);
+}
+
+const std::set<std::string> kSchemes = {
+    "raw",  "zero",  "bdi",     "fpc",  "cpack",
+    "cpack128", "lbe256", "gzip", "cable",
+};
+
+const std::set<std::string> kEngines = {
+    "lbe", "cpack", "cpack128", "gzip", "lzss", "oracle", "bdi",
+};
 
 struct Args
 {
@@ -59,24 +98,88 @@ struct Args
         return it == flags.end() ? dflt : it->second;
     }
 
+    /** Strict non-negative integer: full-string decimal parse. */
     std::uint64_t
     num(const std::string &k, std::uint64_t dflt) const
     {
         auto it = flags.find(k);
-        return it == flags.end()
-                   ? dflt
-                   : std::strtoull(it->second.c_str(), nullptr, 10);
+        if (it == flags.end())
+            return dflt;
+        const std::string &text = it->second;
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v =
+            std::strtoull(text.c_str(), &end, 10);
+        if (text.empty() || end != text.c_str() + text.size()
+            || text.find_first_not_of("0123456789") != std::string::npos)
+            fail("--%s expects a non-negative integer, got '%s'",
+                 k.c_str(), text.c_str());
+        if (errno == ERANGE)
+            fail("--%s value '%s' does not fit in 64 bits", k.c_str(),
+                 text.c_str());
+        return v;
     }
 
+    /** Strict finite double: full-string parse. */
     double
     real(const std::string &k, double dflt) const
     {
         auto it = flags.find(k);
-        return it == flags.end() ? dflt
-                                 : std::strtod(it->second.c_str(),
-                                               nullptr);
+        if (it == flags.end())
+            return dflt;
+        const std::string &text = it->second;
+        errno = 0;
+        char *end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (text.empty() || end != text.c_str() + text.size())
+            fail("--%s expects a number, got '%s'", k.c_str(),
+                 text.c_str());
+        if (errno == ERANGE)
+            fail("--%s value '%s' out of range", k.c_str(),
+                 text.c_str());
+        return v;
+    }
+
+    /** A probability flag: value must lie in [0, 1]. */
+    double
+    probability(const std::string &k) const
+    {
+        double p = real(k, 0.0);
+        if (p < 0.0 || p > 1.0)
+            fail("--%s must be a probability in [0, 1], got %s",
+                 k.c_str(), str(k, "0").c_str());
+        return p;
     }
 };
+
+/** Flags every command accepts. */
+const std::set<std::string> kCommonFlags = {"scheme", "ops", "seed",
+                                            "stats"};
+/** Extra flags per command. */
+const std::set<std::string> kMemFlags = {
+    "llc-kb",    "l4-kb",      "engine",     "accesses",
+    "max-refs",  "ht-factor",  "link-bits",  "timing",
+    "prefetch",  "fault-rate", "burst-rate", "burst-len",
+    "drop-sync-rate", "meta-rate", "fault-seed", "max-retries",
+    "crc-bits",  "audit-period",
+};
+const std::set<std::string> kThroughputFlags = {"threads", "group",
+                                                "warmup"};
+const std::set<std::string> kNodeFlags = {"nodes"};
+/** Presence-only switches; everything else must carry a value. */
+const std::set<std::string> kBoolFlags = {"stats", "timing"};
+
+void
+checkFlags(const Args &a, const std::set<std::string> &allowed)
+{
+    for (const auto &[flag, value] : a.flags) {
+        if (kCommonFlags.count(flag) || allowed.count(flag))
+            continue;
+        fail("unknown option '--%s' for command '%s' "
+             "(run 'cable_sim' with no arguments for usage)",
+             flag.c_str(), a.command.c_str());
+    }
+}
 
 Args
 parse(int argc, char **argv)
@@ -90,12 +193,19 @@ parse(int argc, char **argv)
     for (; i < argc; ++i) {
         std::string flag = argv[i];
         if (flag.rfind("--", 0) != 0)
-            fatal("unexpected argument '%s'", flag.c_str());
+            fail("unexpected argument '%s' (options start with --)",
+                 flag.c_str());
         flag = flag.substr(2);
+        if (flag.empty())
+            fail("empty option name '--'");
+        bool boolean = kBoolFlags.count(flag) != 0;
         if (i + 1 < argc && argv[i + 1][0] != '-')
             a.flags[flag] = argv[++i];
-        else
+        else if (boolean)
             a.flags[flag] = "1";
+        else
+            fail("--%s expects a value (e.g. '--%s <value>')",
+                 flag.c_str(), flag.c_str());
     }
     return a;
 }
@@ -111,26 +221,156 @@ usage()
     return 2;
 }
 
+void
+checkBenchmark(const std::string &name)
+{
+    for (const auto &known : spec2006Benchmarks())
+        if (known == name)
+            return;
+    fail("unknown benchmark '%s' (run 'cable_sim list' to see them)",
+         name.c_str());
+}
+
+void
+checkScheme(const std::string &scheme)
+{
+    if (!kSchemes.count(scheme))
+        fail("unknown scheme '%s' (run 'cable_sim list' to see them)",
+             scheme.c_str());
+}
+
 MemSystemConfig
 memCfg(const Args &a)
 {
     MemSystemConfig cfg;
     cfg.scheme = a.str("scheme", "cable");
+    checkScheme(cfg.scheme);
     cfg.seed = a.num("seed", 1);
-    cfg.llc_bytes_per_thread = a.num("llc-kb", 1024) << 10;
-    cfg.l4_bytes_per_thread = a.num("l4-kb", 4096) << 10;
-    cfg.link.width_bits =
-        static_cast<unsigned>(a.num("link-bits", 16));
+
+    std::uint64_t llc_kb = a.num("llc-kb", 1024);
+    std::uint64_t l4_kb = a.num("l4-kb", 4096);
+    if (llc_kb < 64)
+        fail("--llc-kb must be at least 64 (a few sets), got %llu",
+             static_cast<unsigned long long>(llc_kb));
+    if (l4_kb < llc_kb)
+        fail("--l4-kb (%llu) must be >= --llc-kb (%llu): the home "
+             "cache must contain the remote cache",
+             static_cast<unsigned long long>(l4_kb),
+             static_cast<unsigned long long>(llc_kb));
+    cfg.llc_bytes_per_thread = llc_kb << 10;
+    cfg.l4_bytes_per_thread = l4_kb << 10;
+
+    std::uint64_t link_bits = a.num("link-bits", 16);
+    if (link_bits < 1 || link_bits > 512)
+        fail("--link-bits must be in [1, 512], got %llu",
+             static_cast<unsigned long long>(link_bits));
+    cfg.link.width_bits = static_cast<unsigned>(link_bits);
+
     cfg.cable.engine = a.str("engine", "lbe");
-    cfg.cable.data_accesses =
-        static_cast<unsigned>(a.num("accesses", 6));
-    cfg.cable.max_refs = static_cast<unsigned>(a.num("max-refs", 3));
-    cfg.cable.home_ht_factor = a.real("ht-factor", 0.5);
-    cfg.cable.remote_ht_factor = a.real("ht-factor", 1.0);
-    cfg.prefetch_degree =
-        static_cast<unsigned>(a.num("prefetch", 0));
+    if (!kEngines.count(cfg.cable.engine))
+        fail("unknown delegate engine '%s' (run 'cable_sim list')",
+             cfg.cable.engine.c_str());
+
+    std::uint64_t accesses = a.num("accesses", 6);
+    if (accesses < 1 || accesses > 64)
+        fail("--accesses must be in [1, 64], got %llu",
+             static_cast<unsigned long long>(accesses));
+    cfg.cable.data_accesses = static_cast<unsigned>(accesses);
+
+    std::uint64_t max_refs = a.num("max-refs", 3);
+    if (max_refs < 1 || max_refs > 3)
+        fail("--max-refs must be in [1, 3] (2-bit wire field), "
+             "got %llu",
+             static_cast<unsigned long long>(max_refs));
+    cfg.cable.max_refs = static_cast<unsigned>(max_refs);
+
+    double ht_factor = a.real("ht-factor", 0.0);
+    if (a.has("ht-factor")) {
+        if (ht_factor <= 0.0 || ht_factor > 16.0)
+            fail("--ht-factor must be in (0, 16], got %s",
+                 a.str("ht-factor", "").c_str());
+        cfg.cable.home_ht_factor = ht_factor;
+        cfg.cable.remote_ht_factor = ht_factor;
+    }
+
+    std::uint64_t prefetch = a.num("prefetch", 0);
+    if (prefetch > 16)
+        fail("--prefetch degree must be at most 16, got %llu",
+             static_cast<unsigned long long>(prefetch));
+    cfg.prefetch_degree = static_cast<unsigned>(prefetch);
     cfg.timing = a.has("timing");
+
+    // --- fault injection ---------------------------------------------
+    cfg.fault.bit_error_rate = a.probability("fault-rate");
+    cfg.fault.burst_rate = a.probability("burst-rate");
+    cfg.fault.drop_sync_rate = a.probability("drop-sync-rate");
+    cfg.fault.meta_corrupt_rate = a.probability("meta-rate");
+    cfg.fault.seed = a.num("fault-seed", cfg.fault.seed);
+
+    std::uint64_t burst_len = a.num("burst-len", cfg.fault.burst_len);
+    if (burst_len < 1 || burst_len > 512)
+        fail("--burst-len must be in [1, 512], got %llu",
+             static_cast<unsigned long long>(burst_len));
+    cfg.fault.burst_len = static_cast<unsigned>(burst_len);
+
+    std::uint64_t max_retries =
+        a.num("max-retries", cfg.cable.max_retries);
+    if (max_retries > 64)
+        fail("--max-retries must be at most 64, got %llu",
+             static_cast<unsigned long long>(max_retries));
+    cfg.cable.max_retries = static_cast<unsigned>(max_retries);
+
+    std::uint64_t crc_bits = a.num("crc-bits", cfg.cable.frame_crc_bits);
+    if (crc_bits != 0 && crc_bits != 8 && crc_bits != 16)
+        fail("--crc-bits must be 0, 8 or 16, got %llu",
+             static_cast<unsigned long long>(crc_bits));
+    cfg.cable.frame_crc_bits = static_cast<unsigned>(crc_bits);
+
+    std::uint64_t audit = a.num("audit-period", cfg.fault_audit_period);
+    if (audit < 1000)
+        fail("--audit-period must be at least 1000 cycles, got %llu",
+             static_cast<unsigned long long>(audit));
+    cfg.fault_audit_period = audit;
+
+    if (cfg.fault.anyEnabled() && cfg.scheme != "cable")
+        fail("fault injection (--fault-rate/--burst-rate/"
+             "--drop-sync-rate/--meta-rate) requires --scheme cable; "
+             "scheme '%s' has no recovery machinery",
+             cfg.scheme.c_str());
+    if (cfg.fault.anyEnabled() && cfg.cable.frame_crc_bits == 0
+        && cfg.fault.bit_error_rate + cfg.fault.burst_rate > 0.0)
+        fail("wire fault injection with --crc-bits 0 would deliver "
+             "corrupt frames undetected; use --crc-bits 8 or 16");
     return cfg;
+}
+
+void
+printFaultStats(MemLinkSystem &sys)
+{
+    if (!sys.faultInjector())
+        return;
+    const StatSet &inj = sys.faultInjector()->stats();
+    const StatSet &ch = sys.protocol().stats();
+    std::printf("--- fault injection ---\n");
+    std::printf("faults injected    %llu\n",
+                static_cast<unsigned long long>(
+                    inj.get("faults_injected")));
+    std::printf("crc detected       %llu\n",
+                static_cast<unsigned long long>(
+                    ch.get("crc_detected")));
+    std::printf("retransmits        %llu\n",
+                static_cast<unsigned long long>(
+                    ch.get("retransmits")));
+    std::printf("raw fallbacks      %llu\n",
+                static_cast<unsigned long long>(
+                    ch.get("raw_fallbacks")));
+    std::printf("desync recoveries  %llu\n",
+                static_cast<unsigned long long>(
+                    ch.get("desync_recoveries")));
+    std::printf("degraded cycles    %llu\n",
+                static_cast<unsigned long long>(
+                    ch.get("degraded_cycles")));
+    std::printf("goodput ratio      %.3fx\n", sys.goodputRatio());
 }
 
 int
@@ -150,8 +390,12 @@ cmdList()
 int
 cmdRatio(const Args &a)
 {
+    std::set<std::string> allowed = kMemFlags;
+    checkFlags(a, allowed);
     MemSystemConfig cfg = memCfg(a);
     std::uint64_t ops = a.num("ops", 400000);
+    if (ops < 1)
+        fail("--ops must be at least 1");
     MemLinkSystem sys(cfg, {benchmarkProfile(a.benchmark)});
     sys.run(ops);
     std::printf("benchmark          %s\n", a.benchmark.c_str());
@@ -169,6 +413,7 @@ cmdRatio(const Args &a)
         std::printf("energy             %.2f uJ\n",
                     e["total"] * 1e-3);
     }
+    printFaultStats(sys);
     if (a.has("stats")) {
         std::printf("--- protocol stats ---\n");
         sys.protocol().stats().dump(std::cout, "  ");
@@ -179,11 +424,23 @@ cmdRatio(const Args &a)
 int
 cmdThroughput(const Args &a)
 {
+    std::set<std::string> allowed = kMemFlags;
+    allowed.insert(kThroughputFlags.begin(), kThroughputFlags.end());
+    checkFlags(a, allowed);
     MemSystemConfig cfg = memCfg(a);
     cfg.timing = true;
-    unsigned threads = static_cast<unsigned>(a.num("threads", 2048));
-    unsigned group = static_cast<unsigned>(a.num("group", 8));
+    std::uint64_t threads_n = a.num("threads", 2048);
+    std::uint64_t group_n = a.num("group", 8);
+    if (threads_n < 1)
+        fail("--threads must be at least 1");
+    if (group_n < 1 || group_n > threads_n)
+        fail("--group must be in [1, --threads], got %llu",
+             static_cast<unsigned long long>(group_n));
+    unsigned threads = static_cast<unsigned>(threads_n);
+    unsigned group = static_cast<unsigned>(group_n);
     std::uint64_t ops = a.num("ops", 3000);
+    if (ops < 1)
+        fail("--ops must be at least 1");
     std::uint64_t warmup = a.num("warmup", 4 * ops);
 
     ThroughputSim sim(cfg, benchmarkProfile(a.benchmark), threads,
@@ -202,13 +459,21 @@ cmdThroughput(const Args &a)
 int
 cmdCoherence(const Args &a)
 {
+    checkFlags(a, kNodeFlags);
     MultiChipConfig cfg;
     cfg.scheme = a.str("scheme", "cable");
-    cfg.nodes = static_cast<unsigned>(a.num("nodes", 4));
+    checkScheme(cfg.scheme);
+    std::uint64_t nodes = a.num("nodes", 4);
+    if (nodes < 2 || nodes > 64)
+        fail("--nodes must be in [2, 64], got %llu",
+             static_cast<unsigned long long>(nodes));
+    cfg.nodes = static_cast<unsigned>(nodes);
     cfg.seed = a.num("seed", 1);
     cfg.cable.home_ht_factor = 0.25;
     cfg.cable.remote_ht_factor = 0.25;
     std::uint64_t ops = a.num("ops", 400000);
+    if (ops < 1)
+        fail("--ops must be at least 1");
     MultiChipSystem sys(cfg, benchmarkProfile(a.benchmark));
     sys.run(ops);
     std::printf("benchmark          %s\n", a.benchmark.c_str());
@@ -225,13 +490,21 @@ cmdCoherence(const Args &a)
 int
 cmdNuma(const Args &a)
 {
+    checkFlags(a, kNodeFlags);
     NumaConfig cfg;
     cfg.scheme = a.str("scheme", "cable");
-    cfg.nodes = static_cast<unsigned>(a.num("nodes", 4));
+    checkScheme(cfg.scheme);
+    std::uint64_t nodes = a.num("nodes", 4);
+    if (nodes < 2 || nodes > 64)
+        fail("--nodes must be in [2, 64], got %llu",
+             static_cast<unsigned long long>(nodes));
+    cfg.nodes = static_cast<unsigned>(nodes);
     cfg.seed = a.num("seed", 1);
     cfg.cable.home_ht_factor = 0.25;
     cfg.cable.remote_ht_factor = 0.25;
     std::uint64_t ops = a.num("ops", 40000);
+    if (ops < 1)
+        fail("--ops must be at least 1");
     NumaSystem sys(cfg, benchmarkProfile(a.benchmark));
     sys.run(ops);
     std::printf("benchmark          %s\n", a.benchmark.c_str());
@@ -256,15 +529,24 @@ main(int argc, char **argv)
     Args a = parse(argc, argv);
     if (a.command == "list")
         return cmdList();
-    if (a.command.empty() || a.benchmark.empty())
+    if (a.command.empty())
         return usage();
+    if (a.command != "ratio" && a.command != "throughput"
+        && a.command != "coherence" && a.command != "numa") {
+        std::fprintf(stderr, "cable_sim: error: unknown command '%s'\n",
+                     a.command.c_str());
+        return usage();
+    }
+    if (a.benchmark.empty())
+        fail("command '%s' needs a benchmark, e.g. 'cable_sim %s mcf'"
+             " (run 'cable_sim list' to see them)",
+             a.command.c_str(), a.command.c_str());
+    checkBenchmark(a.benchmark);
     if (a.command == "ratio")
         return cmdRatio(a);
     if (a.command == "throughput")
         return cmdThroughput(a);
     if (a.command == "coherence")
         return cmdCoherence(a);
-    if (a.command == "numa")
-        return cmdNuma(a);
-    return usage();
+    return cmdNuma(a);
 }
