@@ -13,10 +13,12 @@
 #include <functional>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "sim/memlink.h"
 #include "sim/multichip.h"
 #include "sim/throughput.h"
@@ -24,25 +26,49 @@
 namespace cable::bench
 {
 
-/** Memory ops per single-threaded ratio run (argv[1] overrides). */
+/**
+ * Memory ops per single-threaded ratio run (argv[1] overrides).
+ * Zero or malformed overrides are rejected up front: a 0-op run
+ * produces no transfers and every downstream ratio would divide by
+ * nothing, so failing loudly beats printing a table of NaNs.
+ */
 inline std::uint64_t
 opsArg(int argc, char **argv, std::uint64_t dflt)
 {
-    if (argc > 1)
-        return std::strtoull(argv[1], nullptr, 10);
-    return dflt;
+    if (argc <= 1)
+        return dflt;
+    const char *text = argv[1];
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text, &end, 10);
+    if (!*text || *end || v == 0) {
+        std::fprintf(stderr,
+                     "%s: ops argument must be a positive integer, "
+                     "got '%s'\n",
+                     argv[0], text);
+        std::exit(2);
+    }
+    return v;
 }
 
-/** Geometric mean (the usual reporting mean for ratios). */
+/**
+ * Geometric mean (the usual reporting mean for ratios).
+ * Non-positive entries (a bench that moved no data) are skipped
+ * rather than poisoning the mean with log(0).
+ */
 inline double
 geomean(const std::vector<double> &v)
 {
-    if (v.empty())
-        return 0.0;
     double s = 0;
-    for (double x : v)
+    std::size_t n = 0;
+    for (double x : v) {
+        if (x <= 0.0)
+            continue;
         s += std::log(x);
-    return std::exp(s / static_cast<double>(v.size()));
+        ++n;
+    }
+    if (!n)
+        return 0.0;
+    return std::exp(s / static_cast<double>(n));
 }
 
 /** Arithmetic mean. */
@@ -89,14 +115,116 @@ memlinkRatio(const std::string &bench, const std::string &scheme,
     sys.run(ops);
     RatioRun r{sys.bitRatio(), sys.effectiveRatio(),
                sys.link().stats()};
+    // A run that moved no data has no meaningful ratio; report the
+    // identity instead of the 0.0 a dead denominator would yield.
+    if (!sys.protocol().stats().has("wire_bits")
+        || sys.protocol().stats().get("wire_bits") == 0) {
+        r.bit_ratio = 1.0;
+        r.eff_ratio = 1.0;
+    }
     return r;
 }
+
+/**
+ * Shared machine-readable reporter: every table a bench binary
+ * prints through printHeader()/printRow() is also captured here,
+ * and when the CABLE_METRICS_OUT environment variable names a file,
+ * a "cable-bench-v1" JSON document is written at process exit — so
+ * all ~20 figure/table binaries get metrics export without each one
+ * growing its own flag parsing.
+ */
+class BenchReporter
+{
+  public:
+    static BenchReporter &
+    instance()
+    {
+        static BenchReporter r;
+        return r;
+    }
+
+    void
+    beginSection(const std::string &first,
+                 const std::vector<std::string> &columns)
+    {
+        sections_.push_back({first, columns, {}});
+    }
+
+    void
+    addRow(const std::string &name, const std::vector<double> &vals)
+    {
+        if (sections_.empty())
+            sections_.push_back({"", {}, {}});
+        sections_.back().rows.push_back({name, vals});
+    }
+
+    ~BenchReporter()
+    {
+        const char *path = std::getenv("CABLE_METRICS_OUT");
+        if (!path || !*path)
+            return;
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr,
+                         "bench: cannot open CABLE_METRICS_OUT "
+                         "file '%s'\n",
+                         path);
+            return;
+        }
+        JsonWriter jw(os);
+        jw.beginObject();
+        jw.field("schema", "cable-bench-v1");
+        jw.key("sections");
+        jw.beginArray();
+        for (const Section &s : sections_) {
+            jw.beginObject();
+            jw.field("label", s.label);
+            jw.key("columns");
+            jw.beginArray();
+            for (const auto &c : s.columns)
+                jw.value(c);
+            jw.endArray();
+            jw.key("rows");
+            jw.beginArray();
+            for (const Row &r : s.rows) {
+                jw.beginObject();
+                jw.field("name", r.name);
+                jw.key("values");
+                jw.beginArray();
+                for (double v : r.values)
+                    jw.value(v);
+                jw.endArray();
+                jw.endObject();
+            }
+            jw.endArray();
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+        os << "\n";
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        std::vector<double> values;
+    };
+    struct Section
+    {
+        std::string label;
+        std::vector<std::string> columns;
+        std::vector<Row> rows;
+    };
+    std::vector<Section> sections_;
+};
 
 /** Prints a header row: name column plus one column per scheme. */
 inline void
 printHeader(const char *first,
             const std::vector<std::string> &columns)
 {
+    BenchReporter::instance().beginSection(first, columns);
     std::printf("%-12s", first);
     for (const auto &c : columns)
         std::printf(" %10s", c.c_str());
@@ -107,6 +235,7 @@ inline void
 printRow(const std::string &name, const std::vector<double> &vals,
          const char *fmt = " %9.2fx")
 {
+    BenchReporter::instance().addRow(name, vals);
     std::printf("%-12s", name.c_str());
     for (double v : vals)
         std::printf(fmt, v);

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Minimal JSON emission helpers. The telemetry layer writes three
+ * machine-readable formats (metrics JSON, JSONL trace events, Chrome
+ * trace_event) and all of them need correct string escaping — a
+ * counter named "refs 0" or an engine called "cpack\\128" must not
+ * produce invalid output. No parsing, no DOM: just escape + a small
+ * stack-based writer that keeps commas and nesting straight.
+ */
+
+#ifndef CABLE_COMMON_JSON_H
+#define CABLE_COMMON_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cable
+{
+
+/** Escapes @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming JSON writer. Usage:
+ *
+ *   JsonWriter jw(os);
+ *   jw.beginObject();
+ *   jw.field("name", "mcf");
+ *   jw.key("results"); jw.beginObject(); ... jw.endObject();
+ *   jw.endObject();
+ *
+ * Values are emitted immediately; the writer only tracks whether a
+ * comma is due at each nesting level. Doubles that are NaN or
+ * infinite (e.g. a ratio whose denominator never moved) are emitted
+ * as null, which is what "n/a" means in JSON.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void
+    beginObject()
+    {
+        sep();
+        os_ << "{";
+        need_comma_.push_back(false);
+    }
+
+    void
+    endObject()
+    {
+        os_ << "}";
+        pop();
+    }
+
+    void
+    beginArray()
+    {
+        sep();
+        os_ << "[";
+        need_comma_.push_back(false);
+    }
+
+    void
+    endArray()
+    {
+        os_ << "]";
+        pop();
+    }
+
+    /** Emits the key; the next begin/value call supplies the value. */
+    void
+    key(const std::string &k)
+    {
+        sep();
+        os_ << "\"" << jsonEscape(k) << "\":";
+        pending_key_ = true;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        sep();
+        os_ << "\"" << jsonEscape(v) << "\"";
+    }
+
+    void
+    value(const char *v)
+    {
+        value(std::string(v));
+    }
+
+    void
+    value(std::uint64_t v)
+    {
+        sep();
+        os_ << v;
+    }
+
+    void
+    value(std::int64_t v)
+    {
+        sep();
+        os_ << v;
+    }
+
+    void
+    value(unsigned v)
+    {
+        value(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    value(int v)
+    {
+        value(static_cast<std::int64_t>(v));
+    }
+
+    void
+    value(bool v)
+    {
+        sep();
+        os_ << (v ? "true" : "false");
+    }
+
+    void
+    value(double v)
+    {
+        sep();
+        if (std::isnan(v) || std::isinf(v)) {
+            os_ << "null";
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        os_ << buf;
+    }
+
+    void
+    null()
+    {
+        sep();
+        os_ << "null";
+    }
+
+    template <typename T>
+    void
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    nullField(const std::string &k)
+    {
+        key(k);
+        null();
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (pending_key_) {
+            // A value directly follows its key; no comma.
+            pending_key_ = false;
+            return;
+        }
+        if (!need_comma_.empty()) {
+            if (need_comma_.back())
+                os_ << ",";
+            need_comma_.back() = true;
+        }
+    }
+
+    void
+    pop()
+    {
+        if (!need_comma_.empty())
+            need_comma_.pop_back();
+    }
+
+    std::ostream &os_;
+    std::vector<bool> need_comma_;
+    bool pending_key_ = false;
+};
+
+} // namespace cable
+
+#endif // CABLE_COMMON_JSON_H

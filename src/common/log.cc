@@ -1,5 +1,7 @@
 #include "common/log.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,15 +11,67 @@ namespace cable
 namespace
 {
 
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+
+/** Seconds since the first log call (monotonic clock). */
+double
+elapsedSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point start = clock::now();
+    return std::chrono::duration<double>(clock::now() - start)
+        .count();
+}
+
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", prefix);
+    std::fprintf(stderr, "[%10.3fs] %s: ", elapsedSeconds(), prefix);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
 
+bool
+levelEnabled(LogLevel level)
+{
+    return g_level.load(std::memory_order_relaxed)
+           >= static_cast<int>(level);
+}
+
 } // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        g_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
+bool
+debugLogEnabled()
+{
+    return levelEnabled(LogLevel::Debug);
+}
 
 void
 panic(const char *fmt, ...)
@@ -42,6 +96,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (!levelEnabled(LogLevel::Warn))
+        return;
     va_list ap;
     va_start(ap, fmt);
     vreport("warn", fmt, ap);
@@ -51,9 +107,22 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
+    if (!levelEnabled(LogLevel::Info))
+        return;
     va_list ap;
     va_start(ap, fmt);
     vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (!levelEnabled(LogLevel::Debug))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
     va_end(ap);
 }
 

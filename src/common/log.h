@@ -2,16 +2,48 @@
  * @file
  * Minimal logging/error facility following the gem5 split between
  * panic() (internal invariant violation; aborts) and fatal() (user
- * configuration error; clean exit), plus warn()/inform().
+ * configuration error; clean exit), plus leveled warn() / inform()
+ * / debugLog() routed through a runtime log level. Messages carry a
+ * monotonic timestamp (seconds since process start) so interleaved
+ * output from long sweeps stays ordered and attributable.
+ *
+ * Levels, most to least quiet:
+ *
+ *   Quiet — only panic/fatal reach stderr;
+ *   Warn  — + warn();
+ *   Info  — + inform() (the default, matching historic behaviour);
+ *   Debug — + debugLog(), which gates hot-path trace formatting:
+ *           call sites must check debugLogEnabled() before building
+ *           expensive arguments so release runs pay zero cost.
  */
 
 #ifndef CABLE_COMMON_LOG_H
 #define CABLE_COMMON_LOG_H
 
 #include <cstdarg>
+#include <optional>
+#include <string>
 
 namespace cable
 {
+
+enum class LogLevel
+{
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Sets the global log level (default: Info). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Parses "quiet" / "warn" / "info" / "debug"; nullopt otherwise. */
+std::optional<LogLevel> parseLogLevel(const std::string &name);
+
+/** Cheap guard for hot paths: true when Debug messages are live. */
+bool debugLogEnabled();
 
 /** Internal invariant violated — a bug in this library. Aborts. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -21,11 +53,15 @@ namespace cable
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Suspicious but survivable condition. */
+/** Suspicious but survivable condition (level >= Warn). */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Status message. */
+/** Status message (level >= Info). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Diagnostic detail (level >= Debug only). */
+void debugLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 } // namespace cable
 

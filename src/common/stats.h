@@ -1,23 +1,372 @@
 /**
  * @file
- * Lightweight statistics package: named counters and ratio helpers
- * with a dump facility, in the spirit of gem5's stats but minimal.
+ * Statistics package: named counters, bucketed histograms and
+ * running distributions with merge, epoch-delta and dump facilities,
+ * in the spirit of gem5's stats but minimal. The counter API is
+ * unchanged from the original StatSet; histograms and distributions
+ * auto-register on first use just like counters, so call sites stay
+ * one-liners:
+ *
+ *   stats.add("transfers", 1);
+ *   stats.hist("refs_per_line").record(nrefs);
+ *   stats.dist("cbv_coverage").record(covered);
  */
 
 #ifndef CABLE_COMMON_STATS_H
 #define CABLE_COMMON_STATS_H
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "common/json.h"
 
 namespace cable
 {
 
 /**
- * A set of named 64-bit counters. Counters auto-register on first
- * use; dump() prints them sorted by name so output is diff-stable.
+ * A bucketed histogram over unsigned 64-bit samples. Two bucketing
+ * schemes:
+ *
+ *  - Log2 (default): bucket 0 holds the value 0; bucket i >= 1 holds
+ *    [2^(i-1), 2^i).  65 buckets cover the whole u64 range, so
+ *    recording max-u64 is safe.
+ *  - Linear: bucket i holds [i*width, (i+1)*width), clamped to a
+ *    fixed bucket count with a terminal overflow bucket — right for
+ *    small enumerable quantities (refs per line: 0..3, covered
+ *    words: 0..16).
+ *
+ * Exact min/max/sum ride alongside the buckets, so mean() is exact
+ * and only percentiles are bucket-interpolated.
+ */
+class Histogram
+{
+  public:
+    enum class Scale
+    {
+        Log2,
+        Linear
+    };
+
+    explicit Histogram(Scale scale = Scale::Log2,
+                       std::uint64_t bucket_width = 1,
+                       unsigned linear_buckets = 64)
+        : scale_(scale), width_(bucket_width ? bucket_width : 1),
+          nlinear_(linear_buckets ? linear_buckets : 1)
+    {
+    }
+
+    void
+    record(std::uint64_t v, std::uint64_t n = 1)
+    {
+        if (!n)
+            return;
+        unsigned b = bucketOf(v);
+        if (b >= buckets_.size())
+            buckets_.resize(b + 1, 0);
+        buckets_[b] += n;
+        count_ += n;
+        sum_ += v * n;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t samples() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+
+    std::uint64_t
+    min() const
+    {
+        return count_ ? min_ : 0;
+    }
+
+    std::uint64_t
+    max() const
+    {
+        return count_ ? max_ : 0;
+    }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_)
+                            / static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Bucket-interpolated percentile, @p p in [0, 100]. Exact when
+     * every sample in the chosen bucket shares one value (always
+     * true for Linear width 1); otherwise linear within the bucket,
+     * clamped to the observed min/max.
+     */
+    double
+    percentile(double p) const
+    {
+        if (!count_)
+            return 0.0;
+        if (p <= 0.0)
+            return static_cast<double>(min_);
+        if (p >= 100.0)
+            return static_cast<double>(max_);
+        // Rank of the target sample (1-based, nearest-rank).
+        double target = p / 100.0 * static_cast<double>(count_);
+        std::uint64_t rank = static_cast<std::uint64_t>(target);
+        if (static_cast<double>(rank) < target || rank == 0)
+            ++rank;
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < buckets_.size(); ++b) {
+            if (!buckets_[b])
+                continue;
+            if (seen + buckets_[b] >= rank) {
+                auto [lo, hi] = bucketRange(b);
+                double frac =
+                    static_cast<double>(rank - seen)
+                    / static_cast<double>(buckets_[b]);
+                double v = static_cast<double>(lo)
+                           + frac
+                                 * (static_cast<double>(hi)
+                                    - static_cast<double>(lo));
+                v = std::max(v, static_cast<double>(min_));
+                v = std::min(v, static_cast<double>(max_));
+                return v;
+            }
+            seen += buckets_[b];
+        }
+        return static_cast<double>(max_);
+    }
+
+    void
+    merge(const Histogram &other)
+    {
+        if (!other.count_)
+            return;
+        if (other.buckets_.size() > buckets_.size())
+            buckets_.resize(other.buckets_.size(), 0);
+        for (unsigned b = 0; b < other.buckets_.size(); ++b)
+            buckets_[b] += other.buckets_[b];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+    /**
+     * Bucket-wise difference since @p earlier (an epoch snapshot of
+     * this same histogram). min/max cannot be un-merged, so the
+     * delta keeps the cumulative extrema — documented behaviour for
+     * interval reporting.
+     */
+    Histogram
+    delta(const Histogram &earlier) const
+    {
+        Histogram d(scale_, width_, nlinear_);
+        d.buckets_.assign(buckets_.begin(), buckets_.end());
+        for (unsigned b = 0; b < earlier.buckets_.size()
+                             && b < d.buckets_.size();
+             ++b)
+            d.buckets_[b] -= std::min(earlier.buckets_[b],
+                                      d.buckets_[b]);
+        d.count_ = count_ - std::min(earlier.count_, count_);
+        d.sum_ = sum_ - std::min(earlier.sum_, sum_);
+        d.min_ = min_;
+        d.max_ = max_;
+        return d;
+    }
+
+    void
+    clear()
+    {
+        buckets_.clear();
+        count_ = 0;
+        sum_ = 0;
+        min_ = std::numeric_limits<std::uint64_t>::max();
+        max_ = 0;
+    }
+
+    Scale scale() const { return scale_; }
+    std::uint64_t bucketWidth() const { return width_; }
+
+    /** [lo, hi] inclusive value range of bucket @p b. */
+    std::pair<std::uint64_t, std::uint64_t>
+    bucketRange(unsigned b) const
+    {
+        if (scale_ == Scale::Linear) {
+            std::uint64_t lo = static_cast<std::uint64_t>(b) * width_;
+            if (b + 1 >= nlinear_) // overflow bucket
+                return {lo,
+                        std::numeric_limits<std::uint64_t>::max()};
+            return {lo, lo + width_ - 1};
+        }
+        if (b == 0)
+            return {0, 0};
+        std::uint64_t lo = 1ull << (b - 1);
+        std::uint64_t hi = b >= 64
+                               ? std::numeric_limits<
+                                     std::uint64_t>::max()
+                               : (1ull << b) - 1;
+        return {lo, hi};
+    }
+
+    const std::vector<std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+    void
+    dumpJson(JsonWriter &jw) const
+    {
+        jw.beginObject();
+        jw.field("scale",
+                 scale_ == Scale::Log2 ? "log2" : "linear");
+        if (scale_ == Scale::Linear)
+            jw.field("bucket_width", width_);
+        jw.field("count", count_);
+        jw.field("sum", sum_);
+        jw.field("min", min());
+        jw.field("max", max());
+        jw.field("mean", mean());
+        jw.field("p50", percentile(50));
+        jw.field("p90", percentile(90));
+        jw.field("p99", percentile(99));
+        jw.key("buckets");
+        jw.beginArray();
+        for (unsigned b = 0; b < buckets_.size(); ++b) {
+            if (!buckets_[b])
+                continue;
+            auto [lo, hi] = bucketRange(b);
+            jw.beginObject();
+            jw.field("lo", lo);
+            jw.field("hi", hi);
+            jw.field("count", buckets_[b]);
+            jw.endObject();
+        }
+        jw.endArray();
+        jw.endObject();
+    }
+
+  private:
+    unsigned
+    bucketOf(std::uint64_t v) const
+    {
+        if (scale_ == Scale::Linear) {
+            std::uint64_t b = v / width_;
+            std::uint64_t cap = nlinear_ - 1;
+            return static_cast<unsigned>(std::min(b, cap));
+        }
+        if (v == 0)
+            return 0;
+        unsigned log2floor =
+            63 - static_cast<unsigned>(__builtin_clzll(v));
+        return log2floor + 1;
+    }
+
+    Scale scale_;
+    std::uint64_t width_;
+    unsigned nlinear_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Running scalar distribution: exact count/sum/sum-of-squares and
+ * extrema over double-valued samples — the bucket-free companion to
+ * Histogram for quantities where mean and spread matter but the
+ * shape does not (e.g. per-epoch compression ratio).
+ */
+class Distribution
+{
+  public:
+    void
+    record(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sumsq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t samples() const { return count_; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double
+    variance() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double m = mean();
+        double v = sumsq_ / static_cast<double>(count_) - m * m;
+        return v > 0.0 ? v : 0.0;
+    }
+
+    double
+    min() const
+    {
+        return count_ ? min_ : 0.0;
+    }
+
+    double
+    max() const
+    {
+        return count_ ? max_ : 0.0;
+    }
+
+    void
+    merge(const Distribution &o)
+    {
+        if (!o.count_)
+            return;
+        count_ += o.count_;
+        sum_ += o.sum_;
+        sumsq_ += o.sumsq_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    void
+    clear()
+    {
+        *this = Distribution{};
+    }
+
+    void
+    dumpJson(JsonWriter &jw) const
+    {
+        jw.beginObject();
+        jw.field("count", count_);
+        jw.field("mean", mean());
+        jw.field("variance", variance());
+        jw.field("min", min());
+        jw.field("max", max());
+        jw.endObject();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumsq_ = 0.0;
+    double min_ = std::numeric_limits<double>::max();
+    double max_ = std::numeric_limits<double>::lowest();
+};
+
+/**
+ * A set of named 64-bit counters, histograms and distributions.
+ * Everything auto-registers on first use; dump() prints sorted by
+ * name so output is diff-stable.
  */
 class StatSet
 {
@@ -44,7 +393,19 @@ class StatSet
         return it == counters_.end() ? 0 : it->second;
     }
 
-    /** num/den as double, 0 when the denominator is 0. */
+    /** True when the counter has been touched at least once. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) > 0;
+    }
+
+    /**
+     * num/den as double, 0 when the denominator is 0 — including
+     * when it was never recorded. Kept for source compatibility;
+     * use ratioOpt() when "never recorded" must be distinguishable
+     * from a true zero.
+     */
     double
     ratio(const std::string &num, const std::string &den) const
     {
@@ -52,29 +413,185 @@ class StatSet
         return d ? static_cast<double>(get(num)) / d : 0.0;
     }
 
+    /**
+     * num/den, or nullopt when the denominator was never recorded
+     * or recorded as zero — the "n/a" the JSON export emits as null
+     * instead of a misleading 0.0.
+     */
+    std::optional<double>
+    ratioOpt(const std::string &num, const std::string &den) const
+    {
+        auto it = counters_.find(den);
+        if (it == counters_.end() || it->second == 0)
+            return std::nullopt;
+        return static_cast<double>(get(num))
+               / static_cast<double>(it->second);
+    }
+
+    /** Returns (creating if needed) the histogram named @p name. */
+    Histogram &
+    hist(const std::string &name,
+         Histogram::Scale scale = Histogram::Scale::Log2,
+         std::uint64_t bucket_width = 1,
+         unsigned linear_buckets = 64)
+    {
+        auto it = hists_.find(name);
+        if (it == hists_.end())
+            it = hists_
+                     .emplace(name, Histogram(scale, bucket_width,
+                                              linear_buckets))
+                     .first;
+        return it->second;
+    }
+
+    /** Histogram lookup without creation. */
+    const Histogram *
+    findHist(const std::string &name) const
+    {
+        auto it = hists_.find(name);
+        return it == hists_.end() ? nullptr : &it->second;
+    }
+
+    /** Returns (creating if needed) the distribution @p name. */
+    Distribution &
+    dist(const std::string &name)
+    {
+        return dists_[name];
+    }
+
+    const Distribution *
+    findDist(const std::string &name) const
+    {
+        auto it = dists_.find(name);
+        return it == dists_.end() ? nullptr : &it->second;
+    }
+
     void
     clear()
     {
         counters_.clear();
+        hists_.clear();
+        dists_.clear();
     }
 
+    /**
+     * Plain-text dump, sorted by name. Counter names are emitted
+     * through the JSON escaper so a name containing spaces, quotes
+     * or control characters cannot corrupt line-oriented consumers:
+     * any name needing escaping is printed quoted.
+     */
     void
     dump(std::ostream &os, const std::string &prefix = "") const
     {
+        auto safe = [](const std::string &name) {
+            std::string esc = jsonEscape(name);
+            if (esc == name && name.find(' ') == std::string::npos)
+                return name;
+            return "\"" + esc + "\"";
+        };
         for (const auto &[name, value] : counters_)
-            os << prefix << name << " " << value << "\n";
+            os << prefix << safe(name) << " " << value << "\n";
+        for (const auto &[name, h] : hists_) {
+            os << prefix << safe(name) << " n=" << h.samples()
+               << " min=" << h.min() << " max=" << h.max()
+               << " mean=" << h.mean() << " p50=" << h.percentile(50)
+               << " p99=" << h.percentile(99) << "\n";
+        }
+        for (const auto &[name, d] : dists_) {
+            os << prefix << safe(name) << " n=" << d.samples()
+               << " mean=" << d.mean() << " min=" << d.min()
+               << " max=" << d.max() << "\n";
+        }
     }
 
-    /** Merge-add every counter from @p other into this set. */
+    /**
+     * Emits this set as one JSON object with "counters",
+     * "histograms" and "distributions" sub-objects.
+     */
+    void
+    dumpJson(JsonWriter &jw) const
+    {
+        jw.beginObject();
+        jw.key("counters");
+        jw.beginObject();
+        for (const auto &[name, value] : counters_)
+            jw.field(name, value);
+        jw.endObject();
+        jw.key("histograms");
+        jw.beginObject();
+        for (const auto &[name, h] : hists_) {
+            jw.key(name);
+            h.dumpJson(jw);
+        }
+        jw.endObject();
+        jw.key("distributions");
+        jw.beginObject();
+        for (const auto &[name, d] : dists_) {
+            jw.key(name);
+            d.dumpJson(jw);
+        }
+        jw.endObject();
+        jw.endObject();
+    }
+
+    /** Merge-add every counter/histogram/distribution from @p other. */
     void
     merge(const StatSet &other)
     {
         for (const auto &[name, value] : other.counters_)
             counters_[name] += value;
+        for (const auto &[name, h] : other.hists_) {
+            auto it = hists_.find(name);
+            if (it == hists_.end())
+                hists_.emplace(name, h);
+            else
+                it->second.merge(h);
+        }
+        for (const auto &[name, d] : other.dists_)
+            dists_[name].merge(d);
+    }
+
+    /**
+     * Interval (epoch) snapshot: everything accumulated since
+     * @p earlier, as a new StatSet. Counters and histogram buckets
+     * subtract; distributions (running moments) cannot be un-merged
+     * and are carried over cumulatively.
+     */
+    StatSet
+    delta(const StatSet &earlier) const
+    {
+        StatSet d;
+        for (const auto &[name, value] : counters_) {
+            std::uint64_t prev = earlier.get(name);
+            d.counters_[name] = value - std::min(prev, value);
+        }
+        for (const auto &[name, h] : hists_) {
+            const Histogram *prev = earlier.findHist(name);
+            d.hists_.emplace(name, prev ? h.delta(*prev) : h);
+        }
+        d.dists_ = dists_;
+        return d;
+    }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return dists_;
     }
 
   private:
     std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Histogram> hists_;
+    std::map<std::string, Distribution> dists_;
 };
 
 } // namespace cable

@@ -12,6 +12,7 @@
 #include "compress/lzss.h"
 #include "compress/oracle.h"
 #include "core/cbv.h"
+#include "telemetry/timing.h"
 
 namespace cable
 {
@@ -160,6 +161,42 @@ CableChannel::accountTransfer(const Transfer &t)
     }
 }
 
+void
+CableChannel::recordSearchShape(const Chosen &chosen, bool writeback)
+{
+    // Candidate-depth and coverage distributions (Figs 5/9 shape):
+    // recorded once per reference search, whether or not the
+    // reference representation ultimately wins the cost comparison.
+    stats_.hist("ht_hits_per_search").record(chosen.ht_hits);
+    stats_
+        .hist("ranked_candidates", Histogram::Scale::Linear, 1,
+              kWordsPerLine * 4 + 2)
+        .record(chosen.ranked);
+    stats_
+        .hist("cbv_covered_words", Histogram::Scale::Linear, 1,
+              kWordsPerLine + 2)
+        .record(chosen.covered_words);
+    stats_
+        .hist(writeback ? "wb_sigs_per_search" : "sigs_per_search",
+              Histogram::Scale::Linear, 1, kWordsPerLine + 2)
+        .record(chosen.sigs_used);
+}
+
+void
+CableChannel::traceControl(TraceEvent::Type type, Addr addr,
+                           bool writeback, std::uint64_t aux)
+{
+    if (!trace_)
+        return;
+    TraceEvent ev;
+    ev.type = type;
+    ev.when = trace_seq_;
+    ev.addr = addr;
+    ev.writeback = writeback;
+    ev.aux = aux;
+    trace_->emit(ev);
+}
+
 CableChannel::Chosen
 CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 {
@@ -171,10 +208,19 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     }
 
     const std::size_t raw_cost = 1 + kLineBytes * 8;
+    if (trace_)
+        for (unsigned i = 0; i < kWordsPerLine; ++i)
+            if (isTrivialWord(data.word(i),
+                              cfg_.sig.trivial_threshold))
+                ++chosen.trivial_words;
 
     // Self-compression runs concurrently with the search (§III-E);
     // a high enough ratio skips the reference path entirely.
-    BitVec self = engine_->compress(data, {});
+    BitVec self;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        self = engine_->compress(data, {});
+    }
     std::size_t self_cost = 3 + self.sizeBits();
     if (self.sizeBits() > 0
         && static_cast<double>(kLineBytes * 8)
@@ -204,12 +250,16 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 
     // (1) extract search signatures, (2) probe the hash table.
     stats_.add("searches", 1);
-    std::vector<std::uint32_t> sigs =
-        extractSearchSignatures(data, cfg_.sig);
-    chosen.sigs_used = static_cast<unsigned>(sigs.size());
+    std::vector<std::uint32_t> sigs;
     std::vector<LineID> hits;
-    for (std::uint32_t sig : sigs)
-        home_ht_.lookup(sig, hits);
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_search_ns");
+        sigs = extractSearchSignatures(data, cfg_.sig);
+        for (std::uint32_t sig : sigs)
+            home_ht_.lookup(sig, hits);
+    }
+    chosen.sigs_used = static_cast<unsigned>(sigs.size());
+    chosen.ht_hits = static_cast<unsigned>(hits.size());
     stats_.add("ht_hits", hits.size());
 
     // (3) pre-rank by duplication count (first-seen order breaks
@@ -245,23 +295,38 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     };
     std::vector<Candidate> cands;
     std::vector<std::uint32_t> cbvs;
-    for (const auto &[lid, dup] : ranked) {
-        const Cache::Entry &e = home_.entryAt(lid);
-        if (!e.valid())
-            continue;
-        Addr cand_addr = e.tag << kLineShift;
-        std::uint32_t rset = remote_.setOf(cand_addr);
-        auto rway = wmt_.lookupRemoteWay(rset, lid);
-        if (!rway)
-            continue;
-        stats_.add("data_reads", 1);
-        cands.push_back({lid, LineID(rset, *rway), &e.data});
-        cbvs.push_back(coverageVector(data, e.data));
+    std::vector<unsigned> picks;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_cbv_ns");
+        for (const auto &[lid, dup] : ranked) {
+            const Cache::Entry &e = home_.entryAt(lid);
+            if (!e.valid())
+                continue;
+            Addr cand_addr = e.tag << kLineShift;
+            std::uint32_t rset = remote_.setOf(cand_addr);
+            auto rway = wmt_.lookupRemoteWay(rset, lid);
+            if (!rway)
+                continue;
+            stats_.add("data_reads", 1);
+            cands.push_back({lid, LineID(rset, *rway), &e.data});
+            cbvs.push_back(coverageVector(data, e.data));
+        }
+        picks = selectByCoverage(cbvs, cfg_.max_refs);
     }
-    std::vector<unsigned> picks = selectByCoverage(cbvs, cfg_.max_refs);
+
+    chosen.ranked = static_cast<unsigned>(cands.size());
+    for (unsigned idx : picks)
+        chosen.cbv_union |= cbvs[idx];
+    chosen.covered_words = popcount32(chosen.cbv_union);
+    recordSearchShape(chosen, /*writeback=*/false);
 
     Chosen with_refs;
     with_refs.sigs_used = chosen.sigs_used;
+    with_refs.trivial_words = chosen.trivial_words;
+    with_refs.ht_hits = chosen.ht_hits;
+    with_refs.ranked = chosen.ranked;
+    with_refs.cbv_union = chosen.cbv_union;
+    with_refs.covered_words = chosen.covered_words;
     for (unsigned idx : picks) {
         with_refs.ref_rlids.push_back(cands[idx].remote_lid);
         with_refs.refs.push_back(cands[idx].data);
@@ -269,6 +334,7 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 
     std::size_t refs_cost = raw_cost + 1;
     if (!with_refs.refs.empty()) {
+        CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
         with_refs.diff = engine_->compress(data, with_refs.refs);
         refs_cost = 3 + with_refs.refs.size() * rlid_bits_
                     + with_refs.diff.sizeBits();
@@ -301,7 +367,16 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     }
 
     const std::size_t raw_cost = 1 + kLineBytes * 8;
-    BitVec self_bits = engine_->compress(data, {});
+    if (trace_)
+        for (unsigned i = 0; i < kWordsPerLine; ++i)
+            if (isTrivialWord(data.word(i),
+                              cfg_.sig.trivial_threshold))
+                ++chosen.trivial_words;
+    BitVec self_bits;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        self_bits = engine_->compress(data, {});
+    }
     std::size_t self_cost = 3 + self_bits.sizeBits();
 
     // Degraded mode: reference compression is disarmed while the
@@ -332,8 +407,15 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 
     stats_.add("wb_searches", 1);
     std::vector<LineID> hits;
-    for (std::uint32_t sig : extractSearchSignatures(data, cfg_.sig))
-        remote_ht_.lookup(sig, hits);
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_search_ns");
+        std::vector<std::uint32_t> sigs =
+            extractSearchSignatures(data, cfg_.sig);
+        chosen.sigs_used = static_cast<unsigned>(sigs.size());
+        for (std::uint32_t sig : sigs)
+            remote_ht_.lookup(sig, hits);
+    }
+    chosen.ht_hits = static_cast<unsigned>(hits.size());
 
     std::vector<std::pair<LineID, unsigned>> ranked;
     for (LineID lid : hits) {
@@ -358,24 +440,40 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     std::vector<LineID> rlids;
     std::vector<const CacheLine *> datas;
     std::vector<std::uint32_t> cbvs;
-    for (const auto &[lid, dup] : ranked) {
-        const Cache::Entry &e = remote_.entryAt(lid);
-        // Only clean shared remote lines are valid references: the
-        // home side must hold the identical data.
-        if (!e.valid() || e.dirty())
-            continue;
-        // The home side will translate through its WMT; skip lines
-        // it is not tracking.
-        if (!wmt_.occupant(lid.set, lid.way))
-            continue;
-        stats_.add("wb_data_reads", 1);
-        rlids.push_back(lid);
-        datas.push_back(&e.data);
-        cbvs.push_back(coverageVector(data, e.data));
+    std::vector<unsigned> picks;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_cbv_ns");
+        for (const auto &[lid, dup] : ranked) {
+            const Cache::Entry &e = remote_.entryAt(lid);
+            // Only clean shared remote lines are valid references:
+            // the home side must hold the identical data.
+            if (!e.valid() || e.dirty())
+                continue;
+            // The home side will translate through its WMT; skip
+            // lines it is not tracking.
+            if (!wmt_.occupant(lid.set, lid.way))
+                continue;
+            stats_.add("wb_data_reads", 1);
+            rlids.push_back(lid);
+            datas.push_back(&e.data);
+            cbvs.push_back(coverageVector(data, e.data));
+        }
+        picks = selectByCoverage(cbvs, cfg_.max_refs);
     }
-    std::vector<unsigned> picks = selectByCoverage(cbvs, cfg_.max_refs);
+
+    chosen.ranked = static_cast<unsigned>(rlids.size());
+    for (unsigned idx : picks)
+        chosen.cbv_union |= cbvs[idx];
+    chosen.covered_words = popcount32(chosen.cbv_union);
+    recordSearchShape(chosen, /*writeback=*/true);
 
     Chosen with_refs;
+    with_refs.sigs_used = chosen.sigs_used;
+    with_refs.trivial_words = chosen.trivial_words;
+    with_refs.ht_hits = chosen.ht_hits;
+    with_refs.ranked = chosen.ranked;
+    with_refs.cbv_union = chosen.cbv_union;
+    with_refs.covered_words = chosen.covered_words;
     for (unsigned idx : picks) {
         with_refs.ref_rlids.push_back(rlids[idx]);
         with_refs.refs.push_back(datas[idx]);
@@ -383,6 +481,7 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 
     std::size_t refs_cost = raw_cost + 1;
     if (!with_refs.refs.empty()) {
+        CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
         with_refs.diff = engine_->compress(data, with_refs.refs);
         refs_cost = 3 + with_refs.refs.size() * rlid_bits_
                     + with_refs.diff.sizeBits();
@@ -473,7 +572,11 @@ CableChannel::verifyResponse(const Chosen &chosen,
     RefList refs;
     for (LineID rlid : chosen.ref_rlids)
         refs.push_back(&remote_.entryAt(rlid).data);
-    CacheLine out = engine_->decompress(chosen.diff, refs);
+    CacheLine out;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_decompress_ns");
+        out = engine_->decompress(chosen.diff, refs);
+    }
     if (out != original)
         throw CableDesyncError(addr, /*writeback=*/false,
                                chosen.ref_rlids,
@@ -499,7 +602,11 @@ CableChannel::verifyWriteBack(const Chosen &chosen,
                 "reference to untracked remote line");
         refs.push_back(&home_.entryAt(*hlid).data);
     }
-    CacheLine out = engine_->decompress(chosen.diff, refs);
+    CacheLine out;
+    {
+        CABLE_TIMED_SCOPE(stats_, "t_decompress_ns");
+        out = engine_->decompress(chosen.diff, refs);
+    }
     if (out != original)
         throw CableDesyncError(addr, /*writeback=*/true,
                                chosen.ref_rlids,
@@ -519,6 +626,38 @@ CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
     deliver(t, chosen, writeback, addr, original);
     accountTransfer(t);
     trackHealth(t);
+
+    // Per-line distributions: the wire cost and reference-selection
+    // quality of every transfer, the paper's Figs 5/9/20 material.
+    stats_
+        .hist("refs_per_line", Histogram::Scale::Linear, 1, 8)
+        .record(t.nrefs);
+    stats_
+        .hist("line_wire_bits", Histogram::Scale::Linear, 32, 20)
+        .record(t.bits);
+
+    if (trace_) {
+        TraceEvent ev;
+        ev.type = TraceEvent::Type::Encode;
+        ev.when = trace_seq_;
+        ev.addr = addr;
+        ev.writeback = writeback;
+        ev.engine = cfg_.engine.c_str();
+        ev.mode = t.raw ? "raw" : (t.self_only ? "self" : "refs");
+        ev.sigs = chosen.sigs_used;
+        ev.trivial = chosen.trivial_words;
+        ev.candidates = chosen.ht_hits;
+        ev.ranked = chosen.ranked;
+        ev.refs = t.nrefs;
+        ev.cbv = t.raw || t.self_only ? 0 : chosen.cbv_union;
+        ev.covered =
+            t.raw || t.self_only ? 0 : chosen.covered_words;
+        ev.in_bits = t.raw_bits;
+        ev.out_bits = t.bits;
+        ev.aux = t.retries;
+        trace_->emit(ev);
+    }
+    ++trace_seq_;
     return t;
 }
 
@@ -542,6 +681,8 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
                 // Modeled as caught by the end-to-end decode check,
                 // which forces the uncompressed escape hatch.
                 stats_.add("crc_undetected", 1);
+                traceControl(TraceEvent::Type::RawFallback, addr,
+                             writeback, /*aux=*/1);
                 rawFallbackResend(t, chosen.payload);
                 return;
             }
@@ -549,12 +690,16 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
             if (attempt >= cfg_.max_retries) {
                 // Retry budget exhausted: stop resending the fragile
                 // compressed frame and fall back to raw.
+                traceControl(TraceEvent::Type::RawFallback, addr,
+                             writeback, /*aux=*/2);
                 rawFallbackResend(t, chosen.payload);
                 return;
             }
             ++attempt;
             t.retries += 1;
             stats_.add("retransmits", 1);
+            traceControl(TraceEvent::Type::Retransmit, addr,
+                         writeback, attempt);
             t.retrans_bits += t.bits + t.crc_bits;
             t.retry_cycles += cfg_.retry_backoff_cycles
                               << std::min(attempt - 1, 16u);
@@ -576,7 +721,11 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
         if (!fault_)
             throw;
         stats_.add("desyncs_detected", 1);
+        traceControl(TraceEvent::Type::Desync, addr, writeback,
+                     chosen.ref_rlids.size());
         recoverFromDesync();
+        traceControl(TraceEvent::Type::RawFallback, addr, writeback,
+                     /*aux=*/3);
         rawFallbackResend(t, chosen.payload);
     }
 }
@@ -620,7 +769,9 @@ CableChannel::recoverFromDesync()
 {
     stats_.add("desync_recoveries", 1);
     flushMetadata();
-    stats_.add("resync_lines", resynchronize());
+    unsigned relinked = resynchronize();
+    stats_.add("resync_lines", relinked);
+    traceControl(TraceEvent::Type::Recovery, 0, false, relinked);
     if (health_ != Health::Degraded) {
         health_ = Health::Degraded;
         stats_.add("degraded_entries", 1);
@@ -665,6 +816,8 @@ CableChannel::maybeCorruptMetadata()
             fault_->pick(home_.numWays()));
         wmt_.set(rset, rway, LineID(hset, hway));
         stats_.add("meta_faults_wmt", 1);
+        traceControl(TraceEvent::Type::MetaFault, 0, false,
+                     /*aux=*/1);
     } else {
         // Insert a bogus signature → LineID binding. Benign by
         // construction (§III-B calls the table inherently inexact):
@@ -678,13 +831,18 @@ CableChannel::maybeCorruptMetadata()
             fault_->pick(home_.numWays()));
         home_ht_.insert(sig, LineID(hset, hway));
         stats_.add("meta_faults_ht", 1);
+        traceControl(TraceEvent::Type::MetaFault, 0, false,
+                     /*aux=*/2);
     }
 }
 
 bool
 CableChannel::syncMessageLost()
 {
-    return fault_ && fault_->dropSyncMessage();
+    bool lost = fault_ && fault_->dropSyncMessage();
+    if (lost)
+        traceControl(TraceEvent::Type::SyncDrop, 0, false, 0);
+    return lost;
 }
 
 unsigned
@@ -709,6 +867,7 @@ CableChannel::auditInvariant()
                 ++mismatches;
         }
     }
+    traceControl(TraceEvent::Type::Audit, 0, false, mismatches);
     if (mismatches > 0) {
         stats_.add("audit_failures", 1);
         stats_.add("audit_mismatched_slots", mismatches);

@@ -44,6 +44,7 @@
 #include "core/fault_model.h"
 #include "core/hash_table.h"
 #include "core/wmt.h"
+#include "telemetry/trace.h"
 
 namespace cable
 {
@@ -256,6 +257,16 @@ class CableChannel
     /** Runtime on/off switch; metadata tracking continues. */
     void setCompressionEnabled(bool on) { cfg_.compression_enabled = on; }
 
+    /**
+     * Attaches (or detaches, with nullptr) a structured trace sink.
+     * With a sink attached the channel emits one Encode event per
+     * transfer (the full decision record: signatures, candidates,
+     * refs, CBV coverage, in/out bits) plus desync/ARQ/audit
+     * events. Without one, the hot path pays a single pointer test.
+     */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+    TraceSink *traceSink() const { return trace_; }
+
     // ---- fault tolerance --------------------------------------------
 
     /**
@@ -337,6 +348,12 @@ class CableChannel
         RefList refs;                  // sender-side data
         bool self_only = false;
         bool raw = false;
+        // ---- telemetry decision record ------------------------------
+        unsigned trivial_words = 0; // trivial words skipped (§III-B)
+        unsigned ht_hits = 0;       // hash-table hits before pre-rank
+        unsigned ranked = 0;        // candidates surviving pre-rank
+        std::uint32_t cbv_union = 0; // union CBV of selected refs
+        unsigned covered_words = 0;  // popcount of cbv_union
     };
 
     /** Home→remote search (Fig 8) + engine delegation (§III-E). */
@@ -381,6 +398,14 @@ class CableChannel
     /** Metadata cleanup for the remote slot @p rlid's occupant. */
     void detachRemoteSlot(LineID rlid);
 
+    /** Emits a non-encode (control) trace event, if tracing is on. */
+    void traceControl(TraceEvent::Type type, Addr addr, bool writeback,
+                      std::uint64_t aux);
+    /** Records the candidate/coverage histograms for one search. */
+    void recordSearchShape(const Chosen &chosen, bool writeback);
+    /** Logical event time for trace ordering. */
+    std::uint64_t traceNow() const { return trace_seq_; }
+
     Cache &home_;
     Cache &remote_;
     CableConfig cfg_;
@@ -395,6 +420,8 @@ class CableChannel
     LinkFaultModel *fault_ = nullptr;
     Health health_ = Health::Healthy;
     unsigned healthy_streak_ = 0;
+    TraceSink *trace_ = nullptr;
+    std::uint64_t trace_seq_ = 0;
 };
 
 /** Delegate-engine factory: per-line (non-persistent) variants. */

@@ -20,6 +20,7 @@
 #define CABLE_CORE_PIPELINE_H
 
 #include "common/bitops.h"
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace cable
@@ -67,6 +68,26 @@ struct SearchPipelineModel
     worstCaseCompression() const
     {
         return searchCycles(kWordsPerLine) + 2 * engine_step_cycles;
+    }
+
+    /**
+     * Records the per-stage cycle counts for a request with @p nsigs
+     * signatures into @p stats as linear histograms — the telemetry
+     * view of the modelled-latency distribution (Fig 10 stages).
+     */
+    void
+    recordStages(StatSet &stats, unsigned nsigs) const
+    {
+        Cycles worst = worstCaseCompression();
+        stats.hist("pipe_search_cycles", Histogram::Scale::Linear, 1,
+                   static_cast<unsigned>(worst) + 2)
+            .record(searchCycles(nsigs));
+        stats.hist("pipe_comp_cycles", Histogram::Scale::Linear, 1,
+                   static_cast<unsigned>(worst) + 2)
+            .record(compressionCycles(nsigs));
+        stats.hist("pipe_decomp_cycles", Histogram::Scale::Linear, 1,
+                   static_cast<unsigned>(worst) + 2)
+            .record(decompressionCycles());
     }
 };
 

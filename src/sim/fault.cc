@@ -66,6 +66,14 @@ FaultInjector::corruptPacket(BitVec &wire)
     if (flips) {
         stats_.add("faults_injected", 1);
         stats_.add("bit_flips", flips);
+        stats_.hist("flips_per_fault").record(flips);
+        if (trace_) {
+            TraceEvent ev;
+            ev.type = TraceEvent::Type::Fault;
+            ev.when = stats_.get("faults_injected") - 1;
+            ev.aux = flips;
+            trace_->emit(ev);
+        }
     }
     return flips;
 }

@@ -32,6 +32,7 @@
 #include "common/stats.h"
 #include "compress/bitstream.h"
 #include "core/fault_model.h"
+#include "telemetry/trace.h"
 
 namespace cable
 {
@@ -91,10 +92,14 @@ class FaultInjector : public LinkFaultModel
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
 
+    /** Structured sink for injected-fault events (nullptr detaches). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
   private:
     FaultConfig cfg_;
     Rng rng_;
     StatSet stats_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace cable

@@ -218,6 +218,7 @@ MemLinkSystem::offChipFill(Thread &, Addr addr, Cycles now)
         comp_lat = pipe.compressionCycles(resp.sigs);
         if (!resp.raw)
             decomp_lat = pipe.decompressionCycles();
+        pipe.recordStages(protocol_->stats(), resp.sigs);
     }
     Cycles ser_start = now + cfg_.l4_lat + dram_lat + comp_lat
                        + link_->config().setup_cycles;
@@ -387,6 +388,14 @@ MemLinkSystem::pollOnOff()
     }
     flits_at_sample_ = flits;
     next_onoff_sample_ = now + cfg_.onoff_period;
+}
+
+void
+MemLinkSystem::setTraceSink(TraceSink *sink)
+{
+    protocol_->setTraceSink(sink);
+    if (fault_injector_)
+        fault_injector_->setTraceSink(sink);
 }
 
 void

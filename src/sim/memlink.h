@@ -160,6 +160,13 @@ class MemLinkSystem
     Cycles threadTime(unsigned t) const { return threads_[t]->time; }
     Cycles maxTime() const;
 
+    /**
+     * Attaches a structured trace sink (nullptr detaches): the link
+     * protocol emits per-transfer Encode/control events and the
+     * fault injector (when configured) emits Fault events.
+     */
+    void setTraceSink(TraceSink *sink);
+
     LinkProtocol &protocol() { return *protocol_; }
     LinkModel &link() { return *link_; }
     /** The fault injector, when fault injection is configured. */

@@ -3,6 +3,7 @@
 #include "common/bitops.h"
 #include "common/log.h"
 #include "compress/factory.h"
+#include "telemetry/timing.h"
 
 namespace cable
 {
@@ -100,6 +101,7 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
         t.wire = CableChannel::bitsOf(data);
         t.bits = t.wire.sizeBits();
     } else {
+        CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
         BitVec enc = engine->compress(data, {});
         BitWriter bw;
         if (enc.sizeBits() + 1 < kLineBytes * 8 + 1) {
@@ -126,6 +128,19 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
     } else {
         stats_.add("resp_raw_bits", t.raw_bits);
         stats_.add("resp_wire_bits", t.bits);
+    }
+    stats_.hist("line_wire_bits", Histogram::Scale::Linear, 32, 20)
+        .record(t.bits);
+    if (trace_) {
+        TraceEvent ev;
+        ev.type = TraceEvent::Type::Encode;
+        ev.when = stats_.get("transfers") - 1;
+        ev.writeback = writeback;
+        ev.engine = scheme_.c_str();
+        ev.mode = t.raw ? "raw" : "self";
+        ev.in_bits = t.raw_bits;
+        ev.out_bits = t.bits;
+        trace_->emit(ev);
     }
     return t;
 }

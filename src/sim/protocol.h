@@ -69,6 +69,19 @@ class LinkProtocol
     virtual void setCompressionEnabled(bool on) = 0;
 
     /**
+     * Attaches a structured trace sink (nullptr detaches). Every
+     * implementation emits one Encode event per transfer so per-line
+     * input/output bits reconcile with the aggregate counters for
+     * any scheme; CABLE additionally emits its decision record and
+     * desync/ARQ events.
+     */
+    virtual void
+    setTraceSink(TraceSink *sink)
+    {
+        trace_ = sink;
+    }
+
+    /**
      * Hook invoked with a line address just before homeFill()
      * back-invalidates that line's remote copy; the system flushes
      * dirtier private-cache copies into the remote cache here.
@@ -106,6 +119,7 @@ class LinkProtocol
     Cache &home_;
     Cache &remote_;
     std::function<void(Addr)> backinval_hook_;
+    TraceSink *trace_ = nullptr;
 };
 
 using LinkProtocolPtr = std::unique_ptr<LinkProtocol>;
@@ -127,6 +141,11 @@ class CableLinkProtocol : public LinkProtocol
     setBackinvalHook(std::function<void(Addr)> hook) override
     {
         channel_.setBackinvalHook(std::move(hook));
+    }
+    void
+    setTraceSink(TraceSink *sink) override
+    {
+        channel_.setTraceSink(sink);
     }
     StatSet &stats() override { return channel_.stats(); }
     std::string schemeName() const override { return "cable"; }

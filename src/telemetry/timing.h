@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-stage wall-clock timing scopes. CABLE_TIMED_SCOPE(stats, "x")
+ * measures the enclosing block with the steady clock and records the
+ * elapsed nanoseconds into `stats.hist("x")` (log2 buckets), so hot
+ * paths — hash lookup, CBV compute, delegate compress — become
+ * individually attributable histograms in the metrics export.
+ *
+ * Timing is globally gated: when disabled (the default) a scope is
+ * one relaxed atomic load and no clock read, so simulation-speed
+ * runs pay effectively nothing. cable_sim enables it whenever a
+ * metrics file is requested.
+ *
+ * These are host-time measurements of the simulator's own stages —
+ * profiling data for "make the hot path faster" PRs — not simulated
+ * link cycles, which the pipeline model (core/pipeline.h) covers.
+ */
+
+#ifndef CABLE_TELEMETRY_TIMING_H
+#define CABLE_TELEMETRY_TIMING_H
+
+#include <atomic>
+#include <chrono>
+
+#include "common/stats.h"
+
+namespace cable
+{
+
+namespace detail
+{
+inline std::atomic<bool> g_timing_enabled{false};
+} // namespace detail
+
+inline bool
+timingEnabled()
+{
+    return detail::g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+inline void
+setTimingEnabled(bool on)
+{
+    detail::g_timing_enabled.store(on, std::memory_order_relaxed);
+}
+
+/**
+ * RAII scope: on destruction, records elapsed nanoseconds into
+ * @p stats under histogram @p name. @p name must outlive the scope
+ * (string literals at every call site).
+ */
+class TimedScope
+{
+  public:
+    TimedScope(StatSet &stats, const char *name)
+        : stats_(timingEnabled() ? &stats : nullptr), name_(name)
+    {
+        if (stats_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~TimedScope()
+    {
+        if (!stats_)
+            return;
+        auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        stats_->hist(name_).record(
+            ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+
+    TimedScope(const TimedScope &) = delete;
+    TimedScope &operator=(const TimedScope &) = delete;
+
+  private:
+    StatSet *stats_;
+    const char *name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace cable
+
+#define CABLE_TIMED_SCOPE_CAT2(a, b) a##b
+#define CABLE_TIMED_SCOPE_CAT(a, b) CABLE_TIMED_SCOPE_CAT2(a, b)
+#define CABLE_TIMED_SCOPE(stats, name)                                \
+    ::cable::TimedScope CABLE_TIMED_SCOPE_CAT(cable_timed_scope_,     \
+                                              __COUNTER__)((stats),   \
+                                                           (name))
+
+#endif // CABLE_TELEMETRY_TIMING_H

@@ -1,0 +1,112 @@
+#include "telemetry/trace.h"
+
+#include "common/json.h"
+
+namespace cable
+{
+
+const char *
+TraceEvent::typeName(Type t)
+{
+    switch (t) {
+    case Type::Encode: return "encode";
+    case Type::Retransmit: return "retransmit";
+    case Type::RawFallback: return "raw_fallback";
+    case Type::Desync: return "desync";
+    case Type::Recovery: return "recovery";
+    case Type::Audit: return "audit";
+    case Type::MetaFault: return "meta_fault";
+    case Type::SyncDrop: return "sync_drop";
+    case Type::Fault: return "fault";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Shared field emission so both sinks agree on the schema. */
+void
+writeEventFields(JsonWriter &jw, const TraceEvent &ev)
+{
+    jw.field("addr", static_cast<std::uint64_t>(ev.addr));
+    jw.field("dir", ev.writeback ? "wb" : "resp");
+    if (ev.type == TraceEvent::Type::Encode) {
+        jw.field("engine", ev.engine);
+        jw.field("mode", ev.mode);
+        jw.field("sigs", ev.sigs);
+        jw.field("trivial", ev.trivial);
+        jw.field("cands", ev.candidates);
+        jw.field("ranked", ev.ranked);
+        jw.field("refs", ev.refs);
+        jw.field("cbv",
+                 static_cast<std::uint64_t>(ev.cbv));
+        jw.field("covered", ev.covered);
+        jw.field("in_bits", ev.in_bits);
+        jw.field("out_bits", ev.out_bits);
+    }
+    if (ev.aux)
+        jw.field("aux", ev.aux);
+}
+
+} // namespace
+
+void
+JsonlTraceSink::emit(const TraceEvent &ev)
+{
+    ++emitted_;
+    JsonWriter jw(os_);
+    jw.beginObject();
+    jw.field("seq", seq_++);
+    jw.field("t", ev.when);
+    jw.field("ev", TraceEvent::typeName(ev.type));
+    writeEventFields(jw, ev);
+    jw.endObject();
+    os_ << "\n";
+}
+
+void
+JsonlTraceSink::flush()
+{
+    os_.flush();
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    ChromeTraceSink::flush();
+}
+
+void
+ChromeTraceSink::emit(const TraceEvent &ev)
+{
+    if (closed_)
+        return;
+    ++emitted_;
+    os_ << (open_ ? ",\n" : "[\n");
+    open_ = true;
+    JsonWriter jw(os_);
+    jw.beginObject();
+    jw.field("name", TraceEvent::typeName(ev.type));
+    jw.field("ph", "i");
+    jw.field("s", "t");
+    jw.field("pid", 1);
+    jw.field("tid", ev.writeback ? 2 : 1);
+    jw.field("ts", ev.when);
+    jw.key("args");
+    jw.beginObject();
+    writeEventFields(jw, ev);
+    jw.endObject();
+    jw.endObject();
+}
+
+void
+ChromeTraceSink::flush()
+{
+    if (closed_)
+        return;
+    os_ << (open_ ? "\n]\n" : "[]\n");
+    closed_ = true;
+    os_.flush();
+}
+
+} // namespace cable

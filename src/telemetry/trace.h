@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Structured per-line trace events. The paper's evaluation lives on
+ * per-line distributions (refs per line, CBV coverage, candidate
+ * depth, compressed size); aggregate counters can hide a regression
+ * in any of them. A TraceSink receives one TraceEvent per encoder
+ * decision — plus desync/ARQ/fault events — and serializes it:
+ *
+ *  - NullTraceSink     drops everything (API completeness; callers
+ *                      normally just keep a nullptr);
+ *  - JsonlTraceSink    one JSON object per line, the analysis-
+ *                      friendly default (`jq`-able, streamable);
+ *  - ChromeTraceSink   Chrome trace_event JSON (chrome://tracing /
+ *                      Perfetto) — instant events on one track;
+ *  - SamplingTraceSink deterministic 1-in-N pass-through for encode
+ *                      events (counter-based, so a fixed seed and
+ *                      workload reproduce the identical trace);
+ *                      rare control events always pass.
+ *
+ * Emission is hot-path code: call sites guard on `sink != nullptr`
+ * and only then build the event, so a run without tracing pays one
+ * pointer test per transfer.
+ */
+
+#ifndef CABLE_TELEMETRY_TRACE_H
+#define CABLE_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.h"
+
+namespace cable
+{
+
+/** One telemetry event. Encode carries the full decision record. */
+struct TraceEvent
+{
+    enum class Type
+    {
+        Encode,      ///< a line crossed the link (every transfer)
+        Retransmit,  ///< CRC NACK → compressed frame resent
+        RawFallback, ///< gave up on the compressed frame
+        Desync,      ///< end-to-end decode check failed
+        Recovery,    ///< metadata flush + resynchronize completed
+        Audit,       ///< periodic §III-F invariant sweep ran
+        MetaFault,   ///< injected metadata soft error landed
+        SyncDrop,    ///< eviction/upgrade notice lost
+        Fault,       ///< injector corrupted a wire frame
+    };
+
+    Type type = Type::Encode;
+    std::uint64_t when = 0; ///< logical time (transfer ordinal)
+    Addr addr = 0;
+    bool writeback = false;
+
+    // ---- encode decision record -------------------------------------
+    const char *engine = "";  ///< delegate engine name
+    const char *mode = "";    ///< "raw" | "self" | "refs"
+    unsigned sigs = 0;        ///< search signatures extracted
+    unsigned trivial = 0;     ///< trivial words skipped (§III-B)
+    unsigned candidates = 0;  ///< hash-table hits before pre-rank
+    unsigned ranked = 0;      ///< candidates surviving pre-rank
+    unsigned refs = 0;        ///< references selected
+    std::uint32_t cbv = 0;    ///< union CBV of the selected refs
+    unsigned covered = 0;     ///< words covered by that union
+    std::uint64_t in_bits = 0;  ///< uncompressed payload bits
+    std::uint64_t out_bits = 0; ///< wire payload bits (after CABLE)
+
+    // ---- integrity / recovery detail --------------------------------
+    std::uint64_t aux = 0; ///< retries, mismatch word, flips,
+                           ///< relinked lines — per type
+
+    static const char *typeName(Type t);
+};
+
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent &ev) = 0;
+    virtual void flush() {}
+
+    /** Events actually serialized (post-sampling). */
+    std::uint64_t emitted() const { return emitted_; }
+
+  protected:
+    std::uint64_t emitted_ = 0;
+};
+
+/** Swallows every event. */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void
+    emit(const TraceEvent &) override
+    {
+    }
+};
+
+/** One JSON object per line; keys are stable across event types. */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : os_(os) {}
+    void emit(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    std::ostream &os_;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * Chrome trace_event ("JSON Array Format"): instant events with the
+ * decision record in "args". flush() closes the array; the output
+ * loads directly into chrome://tracing or ui.perfetto.dev.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os) : os_(os) {}
+    ~ChromeTraceSink() override;
+    void emit(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    std::ostream &os_;
+    bool open_ = false;
+    bool closed_ = false;
+};
+
+/**
+ * Deterministic 1-in-N sampler wrapping another sink. Encode events
+ * pass when (encode_ordinal % period == 0); every other event type
+ * passes unconditionally (they are rare and carry recovery detail a
+ * sample must not lose). period == 1 forwards everything, keeping
+ * the exact-reconciliation property of the full trace.
+ */
+class SamplingTraceSink : public TraceSink
+{
+  public:
+    SamplingTraceSink(TraceSink &inner, std::uint64_t period)
+        : inner_(inner), period_(period ? period : 1)
+    {
+    }
+
+    void
+    emit(const TraceEvent &ev) override
+    {
+        if (ev.type == TraceEvent::Type::Encode
+            && (encode_seen_++ % period_) != 0)
+            return;
+        ++emitted_;
+        inner_.emit(ev);
+    }
+
+    void
+    flush() override
+    {
+        inner_.flush();
+    }
+
+    std::uint64_t encodeSeen() const { return encode_seen_; }
+
+  private:
+    TraceSink &inner_;
+    std::uint64_t period_;
+    std::uint64_t encode_seen_ = 0;
+};
+
+} // namespace cable
+
+#endif // CABLE_TELEMETRY_TRACE_H

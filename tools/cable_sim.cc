@@ -30,6 +30,17 @@
  *   --max-retries N     compressed resends before raw fallback
  *   --crc-bits N        frame CRC width: 0, 8 or 16
  *   --audit-period N    cycles between §III-F invariant audits
+ * telemetry options (ratio):
+ *   --metrics-out F     machine-readable metrics JSON
+ *                       (schema "cable-metrics-v1"); also enables
+ *                       per-stage timing histograms
+ *   --trace-out F       structured per-line trace events
+ *   --trace-format T    jsonl (default) or chrome (trace_event)
+ *   --trace-sample N    keep 1-in-N encode events (deterministic,
+ *                       counter-based; control events always pass)
+ *   --stats-interval K  epoch stats snapshot every K ops/thread
+ * global options:
+ *   --log-level L       quiet|warn|info|debug (default info)
  *
  * Every flag is validated up front: unknown flags, malformed
  * numbers and out-of-range values abort with an actionable message
@@ -41,12 +52,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+#include "common/log.h"
+#include "telemetry/timing.h"
+#include "telemetry/trace.h"
 #include "sim/memlink.h"
 #include "sim/multichip.h"
 #include "sim/numa.h"
@@ -154,7 +171,7 @@ struct Args
 
 /** Flags every command accepts. */
 const std::set<std::string> kCommonFlags = {"scheme", "ops", "seed",
-                                            "stats"};
+                                            "stats", "log-level"};
 /** Extra flags per command. */
 const std::set<std::string> kMemFlags = {
     "llc-kb",    "l4-kb",      "engine",     "accesses",
@@ -166,6 +183,11 @@ const std::set<std::string> kMemFlags = {
 const std::set<std::string> kThroughputFlags = {"threads", "group",
                                                 "warmup"};
 const std::set<std::string> kNodeFlags = {"nodes"};
+/** Telemetry export flags (ratio command). */
+const std::set<std::string> kTelemetryFlags = {
+    "metrics-out", "trace-out", "trace-format", "trace-sample",
+    "stats-interval",
+};
 /** Presence-only switches; everything else must carry a value. */
 const std::set<std::string> kBoolFlags = {"stats", "timing"};
 
@@ -344,6 +366,137 @@ memCfg(const Args &a)
     return cfg;
 }
 
+/** Parsed --metrics-out / --trace-* / --stats-interval options. */
+struct TelemetryArgs
+{
+    std::string metrics_path;
+    std::string trace_path;
+    std::string trace_format = "jsonl";
+    std::uint64_t trace_sample = 1;
+    std::uint64_t stats_interval = 0; // ops per epoch; 0 = off
+};
+
+TelemetryArgs
+telemetryArgs(const Args &a)
+{
+    TelemetryArgs t;
+    t.metrics_path = a.str("metrics-out", "");
+    t.trace_path = a.str("trace-out", "");
+    t.trace_format = a.str("trace-format", "jsonl");
+    if (t.trace_format != "jsonl" && t.trace_format != "chrome")
+        fail("--trace-format must be 'jsonl' or 'chrome', got '%s'",
+             t.trace_format.c_str());
+    t.trace_sample = a.num("trace-sample", 1);
+    if (t.trace_sample < 1)
+        fail("--trace-sample must be at least 1 (1 = every event)");
+    t.stats_interval = a.num("stats-interval", 0);
+    if (a.has("stats-interval") && t.stats_interval < 1)
+        fail("--stats-interval must be at least 1 op");
+    if (t.trace_path.empty()
+        && (a.has("trace-format") || a.has("trace-sample")))
+        fail("--trace-format/--trace-sample require --trace-out");
+    return t;
+}
+
+/** One epoch snapshot: stats delta over [prev op target, this one]. */
+struct Epoch
+{
+    std::uint64_t ops_reached;
+    StatSet stats;
+};
+
+/**
+ * Writes the cable-metrics-v1 JSON document: run identity, derived
+ * results, the full counter/histogram/distribution sets, per-epoch
+ * deltas and the trace-file cross-reference tools/check_metrics.py
+ * validates against the trace itself.
+ */
+void
+writeMetrics(const TelemetryArgs &tel, const Args &a,
+             const MemSystemConfig &cfg, std::uint64_t ops,
+             MemLinkSystem &sys, const std::vector<Epoch> &epochs,
+             const SamplingTraceSink *sampler)
+{
+    std::ofstream os(tel.metrics_path);
+    if (!os)
+        fail("cannot open --metrics-out file '%s'",
+             tel.metrics_path.c_str());
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", "cable-metrics-v1");
+    jw.field("tool", "cable_sim");
+    jw.field("command", a.command);
+    jw.field("benchmark", a.benchmark);
+    jw.field("scheme", cfg.scheme);
+
+    jw.key("config");
+    jw.beginObject();
+    jw.field("ops", ops);
+    jw.field("seed", cfg.seed);
+    jw.field("engine", cfg.cable.engine);
+    jw.field("link_bits", cfg.link.width_bits);
+    jw.field("timing", cfg.timing);
+    jw.field("stats_interval", tel.stats_interval);
+    jw.endObject();
+
+    const StatSet &st = sys.protocol().stats();
+    jw.key("results");
+    jw.beginObject();
+    // ratioOpt: null (not 0.0) when the link never moved a bit.
+    auto bit = st.ratioOpt("raw_bits", "wire_bits");
+    if (bit)
+        jw.field("bit_ratio", *bit);
+    else
+        jw.nullField("bit_ratio");
+    jw.field("effective_ratio", sys.effectiveRatio());
+    jw.field("goodput_ratio", sys.goodputRatio());
+    if (cfg.timing) {
+        jw.field("cycles",
+                 static_cast<std::uint64_t>(sys.maxTime()));
+        jw.field("ipc", sys.aggregateIPC());
+    }
+    jw.endObject();
+
+    jw.key("stats");
+    st.dumpJson(jw);
+
+    if (sys.faultInjector()) {
+        jw.key("fault");
+        sys.faultInjector()->stats().dumpJson(jw);
+    } else {
+        jw.nullField("fault");
+    }
+
+    jw.key("epochs");
+    jw.beginArray();
+    for (const Epoch &e : epochs) {
+        jw.beginObject();
+        jw.field("ops_reached", e.ops_reached);
+        jw.key("stats");
+        e.stats.dumpJson(jw);
+        jw.endObject();
+    }
+    jw.endArray();
+
+    if (sampler) {
+        jw.key("trace");
+        jw.beginObject();
+        jw.field("file", tel.trace_path);
+        jw.field("format", tel.trace_format);
+        jw.field("sample", tel.trace_sample);
+        jw.field("encode_seen", sampler->encodeSeen());
+        jw.field("events", sampler->emitted());
+        jw.endObject();
+    } else {
+        jw.nullField("trace");
+    }
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        fail("write to --metrics-out file '%s' failed",
+             tel.metrics_path.c_str());
+}
+
 void
 printFaultStats(MemLinkSystem &sys)
 {
@@ -391,13 +544,55 @@ int
 cmdRatio(const Args &a)
 {
     std::set<std::string> allowed = kMemFlags;
+    allowed.insert(kTelemetryFlags.begin(), kTelemetryFlags.end());
     checkFlags(a, allowed);
     MemSystemConfig cfg = memCfg(a);
+    TelemetryArgs tel = telemetryArgs(a);
     std::uint64_t ops = a.num("ops", 400000);
     if (ops < 1)
         fail("--ops must be at least 1");
     MemLinkSystem sys(cfg, {benchmarkProfile(a.benchmark)});
-    sys.run(ops);
+
+    // Trace sink chain: file sink wrapped in the deterministic
+    // sampler (period 1 forwards everything).
+    std::ofstream trace_os;
+    std::unique_ptr<TraceSink> file_sink;
+    std::unique_ptr<SamplingTraceSink> sampler;
+    if (!tel.trace_path.empty()) {
+        trace_os.open(tel.trace_path);
+        if (!trace_os)
+            fail("cannot open --trace-out file '%s'",
+                 tel.trace_path.c_str());
+        if (tel.trace_format == "chrome")
+            file_sink = std::make_unique<ChromeTraceSink>(trace_os);
+        else
+            file_sink = std::make_unique<JsonlTraceSink>(trace_os);
+        sampler = std::make_unique<SamplingTraceSink>(
+            *file_sink, tel.trace_sample);
+        sys.setTraceSink(sampler.get());
+    }
+    // Per-stage wall-clock histograms ride along with metrics export.
+    if (!tel.metrics_path.empty())
+        setTimingEnabled(true);
+
+    std::vector<Epoch> epochs;
+    if (tel.stats_interval > 0) {
+        // run() targets absolute op counts and is re-entrant, so
+        // stepping epoch by epoch reproduces the single-run schedule.
+        StatSet prev;
+        std::uint64_t next = 0;
+        do {
+            next = std::min(next + tel.stats_interval, ops);
+            sys.run(next);
+            epochs.push_back({next, sys.protocol().stats().delta(prev)});
+            prev = sys.protocol().stats();
+        } while (next < ops);
+    } else {
+        sys.run(ops);
+    }
+    if (sampler)
+        sampler->flush();
+
     std::printf("benchmark          %s\n", a.benchmark.c_str());
     std::printf("scheme             %s\n", cfg.scheme.c_str());
     std::printf("memory ops         %llu\n",
@@ -418,6 +613,8 @@ cmdRatio(const Args &a)
         std::printf("--- protocol stats ---\n");
         sys.protocol().stats().dump(std::cout, "  ");
     }
+    if (!tel.metrics_path.empty())
+        writeMetrics(tel, a, cfg, ops, sys, epochs, sampler.get());
     return 0;
 }
 
@@ -527,6 +724,14 @@ int
 main(int argc, char **argv)
 {
     Args a = parse(argc, argv);
+    if (a.has("log-level")) {
+        auto level = parseLogLevel(a.str("log-level", ""));
+        if (!level)
+            fail("--log-level must be quiet, warn, info or debug, "
+                 "got '%s'",
+                 a.str("log-level", "").c_str());
+        setLogLevel(*level);
+    }
     if (a.command == "list")
         return cmdList();
     if (a.command.empty())

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Schema and sanity checker for cable_sim --metrics-out documents.
+
+Usage:
+    check_metrics.py metrics.json [trace.jsonl]
+
+Validates the "cable-metrics-v1" schema and the invariants the
+telemetry pipeline promises:
+
+  - every counter is a non-negative integer below 2^63 (a value in
+    the top bit range means something wrapped negative);
+  - every histogram is internally consistent: bucket counts sum to
+    the sample count, mean lies within [min, max], percentiles are
+    monotone (p50 <= p90 <= p99);
+  - derived ratios are null or within sane bounds;
+  - epoch deltas re-add to the cumulative counters;
+  - when a full-resolution JSONL trace rides along (sample == 1),
+    the per-event in/out bit totals reconcile exactly with the
+    aggregate raw_bits/wire_bits counters.
+
+Exits 0 when everything holds, 1 with one line per violation.
+"""
+
+import json
+import sys
+
+MAX_COUNTER = 2**63  # above this, assume a negative wrapped around
+MAX_RATIO = 10000.0
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+    print(f"check_metrics: {msg}", file=sys.stderr)
+
+
+def check_counters(counters, where):
+    for name, value in counters.items():
+        if not isinstance(value, int):
+            err(f"{where}: counter '{name}' is not an integer: {value!r}")
+        elif value < 0 or value >= MAX_COUNTER:
+            err(f"{where}: counter '{name}' out of range "
+                f"(negative wrap?): {value}")
+
+
+def check_histogram(name, h, where):
+    for key in ("scale", "count", "sum", "min", "max", "mean",
+                "p50", "p90", "p99", "buckets"):
+        if key not in h:
+            err(f"{where}: histogram '{name}' missing key '{key}'")
+            return
+    bucket_total = sum(b["count"] for b in h["buckets"])
+    if bucket_total != h["count"]:
+        err(f"{where}: histogram '{name}' bucket counts sum to "
+            f"{bucket_total}, expected count={h['count']}")
+    if h["count"] > 0:
+        if not (h["min"] <= h["mean"] <= h["max"]):
+            err(f"{where}: histogram '{name}' mean {h['mean']} outside "
+                f"[{h['min']}, {h['max']}]")
+        if not (h["p50"] <= h["p90"] <= h["p99"]):
+            err(f"{where}: histogram '{name}' percentiles not monotone: "
+                f"p50={h['p50']} p90={h['p90']} p99={h['p99']}")
+        for b in h["buckets"]:
+            if b["lo"] > b["hi"]:
+                err(f"{where}: histogram '{name}' bucket lo>{b['hi']}")
+            if b["count"] <= 0:
+                err(f"{where}: histogram '{name}' emitted empty bucket")
+
+
+def check_ratio(results, key):
+    v = results.get(key)
+    if v is None:
+        return  # null is the documented "n/a"
+    if not isinstance(v, (int, float)) or not (0.0 < v <= MAX_RATIO):
+        err(f"results.{key} out of bounds: {v!r}")
+
+
+def check_stats_block(stats, where):
+    for key in ("counters", "histograms", "distributions"):
+        if key not in stats:
+            err(f"{where}: missing '{key}' block")
+            return
+    check_counters(stats["counters"], where)
+    for name, h in stats["histograms"].items():
+        check_histogram(name, h, where)
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        m = json.load(f)
+
+    if m.get("schema") != "cable-metrics-v1":
+        err(f"unexpected schema: {m.get('schema')!r}")
+        return 1
+    for key in ("tool", "command", "benchmark", "scheme", "config",
+                "results", "stats", "epochs"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return 1
+
+    check_stats_block(m["stats"], "stats")
+    if m.get("fault") is not None:
+        check_stats_block(m["fault"], "fault")
+
+    for key in ("bit_ratio", "effective_ratio", "goodput_ratio"):
+        check_ratio(m["results"], key)
+
+    hists = m["stats"]["histograms"]
+    required = {"line_wire_bits"}
+    if m["scheme"] == "cable":
+        required |= {"refs_per_line", "cbv_covered_words"}
+    for name in sorted(required):
+        if name not in hists:
+            err(f"required histogram '{name}' missing")
+    if m["scheme"] == "cable":
+        # The full CABLE decision record: refs, coverage, compressed
+        # size, per-stage latency. Baselines only have line size +
+        # engine timing.
+        if len(hists) < 4:
+            err(f"expected at least 4 histograms, found {len(hists)}: "
+                f"{sorted(hists)}")
+        if not any(n.startswith("t_") for n in hists):
+            err("no per-stage timing histogram (t_*) in metrics "
+                "export")
+
+    # Epoch deltas must re-add to the cumulative counters.
+    epochs = m["epochs"]
+    if epochs:
+        totals = m["stats"]["counters"]
+        for name in ("transfers", "raw_bits", "wire_bits"):
+            epoch_sum = sum(e["stats"]["counters"].get(name, 0)
+                            for e in epochs)
+            if name in totals and epoch_sum != totals[name]:
+                err(f"epoch deltas for '{name}' sum to {epoch_sum}, "
+                    f"cumulative is {totals[name]}")
+
+    # Trace reconciliation: exact when nothing was sampled away.
+    trace = m.get("trace")
+    if len(sys.argv) == 3 and trace and trace.get("format") == "jsonl" \
+            and trace.get("sample") == 1:
+        in_bits = out_bits = encodes = 0
+        with open(sys.argv[2]) as f:
+            for line in f:
+                ev = json.loads(line)
+                if ev.get("ev") == "encode":
+                    encodes += 1
+                    in_bits += ev["in_bits"]
+                    out_bits += ev["out_bits"]
+        counters = m["stats"]["counters"]
+        if in_bits != counters.get("raw_bits", 0):
+            err(f"trace in_bits sum {in_bits} != raw_bits "
+                f"{counters.get('raw_bits', 0)}")
+        if out_bits != counters.get("wire_bits", 0):
+            err(f"trace out_bits sum {out_bits} != wire_bits "
+                f"{counters.get('wire_bits', 0)}")
+        if encodes != counters.get("transfers", 0):
+            err(f"trace encode events {encodes} != transfers "
+                f"{counters.get('transfers', 0)}")
+        if trace.get("events") is not None \
+                and encodes > trace["events"]:
+            err(f"trace file has {encodes} encode events but metrics "
+                f"claim only {trace['events']} were emitted")
+
+    if errors:
+        print(f"check_metrics: FAILED with {len(errors)} error(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK ({len(hists)} histograms, "
+          f"{len(epochs)} epochs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
