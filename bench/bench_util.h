@@ -27,6 +27,23 @@ namespace cable::bench
 {
 
 /**
+ * True when this binary was compiled without NDEBUG (Debug or an
+ * unset CMAKE_BUILD_TYPE): assertions are live and the optimizer may
+ * be off, so absolute timings and throughputs are not comparable to
+ * Release numbers. Benches stamp this into their cable-bench-v1
+ * output so the trajectory harness can refuse (or flag) the entry.
+ */
+inline constexpr bool
+unoptimizedBuild()
+{
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+/**
  * Memory ops per single-threaded ratio run (argv[1] overrides).
  * Zero or malformed overrides are rejected up front: a 0-op run
  * produces no transfers and every downstream ratio would divide by
@@ -174,6 +191,7 @@ class BenchReporter
         JsonWriter jw(os);
         jw.beginObject();
         jw.field("schema", "cable-bench-v1");
+        jw.field("unoptimized", unoptimizedBuild());
         jw.key("sections");
         jw.beginArray();
         for (const Section &s : sections_) {
@@ -205,6 +223,16 @@ class BenchReporter
     }
 
   private:
+    BenchReporter()
+    {
+        if (unoptimizedBuild())
+            std::fprintf(stderr,
+                         "bench: WARNING: built without NDEBUG "
+                         "(non-Release); timings are not comparable "
+                         "to Release runs and the metrics document "
+                         "will carry \"unoptimized\": true\n");
+    }
+
     struct Row
     {
         std::string name;

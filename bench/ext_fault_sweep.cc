@@ -76,28 +76,27 @@ main(int argc, char **argv)
                 "goodput counts CRC + retransmit overhead\n\n");
 
     for (const auto &bench : benches) {
-        std::printf("%s\n", bench.c_str());
-        std::printf("  %10s %7s %8s %8s %7s %6s %7s %8s\n", "BER",
-                    "ratio", "goodput", "faults", "crcdet", "rexmt",
-                    "rawfbk", "desyncs");
+        // One section per benchmark: the row name is the BER, the
+        // columns carry the ratio/goodput and recovery counters
+        // (integers widened to double for the shared reporter).
+        printHeader(bench.c_str(),
+                    {"ratio", "goodput", "faults", "crcdet", "rexmt",
+                     "rawfbk", "desyncs"});
         double clean_ratio = 0.0;
         for (double ber : rates) {
             SweepRow row = run(bench, ber, ops);
             if (ber == 0.0)
                 clean_ratio = row.bit_ratio;
-            std::printf("  %10.0e %7.3f %8.3f %8llu %7llu %6llu "
-                        "%7llu %8llu\n",
-                        ber, row.bit_ratio, row.goodput,
-                        static_cast<unsigned long long>(
-                            row.faults_injected),
-                        static_cast<unsigned long long>(
-                            row.crc_detected),
-                        static_cast<unsigned long long>(
-                            row.retransmits),
-                        static_cast<unsigned long long>(
-                            row.raw_fallbacks),
-                        static_cast<unsigned long long>(
-                            row.desync_recoveries));
+            char label[24];
+            std::snprintf(label, sizeof(label), "%.0e", ber);
+            printRow(label,
+                     {row.bit_ratio, row.goodput,
+                      static_cast<double>(row.faults_injected),
+                      static_cast<double>(row.crc_detected),
+                      static_cast<double>(row.retransmits),
+                      static_cast<double>(row.raw_fallbacks),
+                      static_cast<double>(row.desync_recoveries)},
+                     " %9.3f");
             if (ber > 0.0 && clean_ratio > 0.0) {
                 double drift = row.bit_ratio / clean_ratio - 1.0;
                 if (drift < -0.5)

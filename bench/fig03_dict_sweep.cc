@@ -59,8 +59,7 @@ main(int argc, char **argv)
     for (const auto &bench : representativeBenchmarks())
         streams.push_back(missStream(bench, ops));
 
-    std::printf("%-12s %14s %20s\n", "dict size", "Ideal",
-                "Ideal With Pointer");
+    printHeader("dict size", {"ideal", "ideal_ptr"});
     for (std::size_t dict_bytes = 64; dict_bytes <= (4u << 20);
          dict_bytes *= 4) {
         double sum_ideal = 0, sum_ptr = 0, raw = 0;
@@ -80,8 +79,7 @@ main(int argc, char **argv)
             label = std::to_string(dict_bytes >> 10) + "KB";
         else
             label = std::to_string(dict_bytes) + "B";
-        std::printf("%-12s %13.2fx %19.2fx\n", label.c_str(),
-                    raw / sum_ideal, raw / sum_ptr);
+        printRow(label, {raw / sum_ideal, raw / sum_ptr});
     }
     std::printf("\nshape check: Ideal rises with dictionary size; "
                 "With Pointer flattens (pointer overhead eats the "

@@ -300,13 +300,20 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         CABLE_TIMED_SCOPE(stats_, "t_cbv_ns");
         for (const auto &[lid, dup] : ranked) {
             const Cache::Entry &e = home_.entryAt(lid);
-            if (!e.valid())
+            // Stale candidates — the hash table pointed at a slot
+            // that no longer holds usable reference data. Expected
+            // in an inexact table (§III-B); the rate is the cost.
+            if (!e.valid()) {
+                stats_.add("home_ht_stale_hits", 1);
                 continue;
+            }
             Addr cand_addr = e.tag << kLineShift;
             std::uint32_t rset = remote_.setOf(cand_addr);
             auto rway = wmt_.lookupRemoteWay(rset, lid);
-            if (!rway)
+            if (!rway) {
+                stats_.add("home_ht_stale_hits", 1);
                 continue;
+            }
             stats_.add("data_reads", 1);
             cands.push_back({lid, LineID(rset, *rway), &e.data});
             cbvs.push_back(coverageVector(data, e.data));
@@ -447,12 +454,16 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
             const Cache::Entry &e = remote_.entryAt(lid);
             // Only clean shared remote lines are valid references:
             // the home side must hold the identical data.
-            if (!e.valid() || e.dirty())
+            if (!e.valid() || e.dirty()) {
+                stats_.add("remote_ht_stale_hits", 1);
                 continue;
+            }
             // The home side will translate through its WMT; skip
             // lines it is not tracking.
-            if (!wmt_.occupant(lid.set, lid.way))
+            if (!wmt_.occupant(lid.set, lid.way)) {
+                stats_.add("remote_ht_stale_hits", 1);
                 continue;
+            }
             stats_.add("wb_data_reads", 1);
             rlids.push_back(lid);
             datas.push_back(&e.data);
@@ -874,6 +885,25 @@ CableChannel::auditInvariant()
         recoverFromDesync();
     }
     return mismatches;
+}
+
+StatSet
+CableChannel::snapshotStructures()
+{
+    StatSet out;
+    home_ht_.snapshot(out, "home_ht_");
+    remote_ht_.snapshot(out, "remote_ht_");
+    wmt_.snapshot(out, "wmt_");
+    evbuf_.snapshot(out, "evbuf_");
+    // Channel-level stale-candidate counters, mirrored under the
+    // same prefixes so the structures block is self-contained.
+    out.add("home_ht_stale_hits", stats_.get("home_ht_stale_hits"));
+    out.add("remote_ht_stale_hits",
+            stats_.get("remote_ht_stale_hits"));
+    traceControl(TraceEvent::Type::StructSnapshot, 0, false,
+                 out.get("home_ht_occupancy")
+                     + out.get("remote_ht_occupancy"));
+    return out;
 }
 
 void

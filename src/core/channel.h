@@ -254,6 +254,19 @@ class CableChannel
     const StatSet &stats() const { return stats_; }
     const CableConfig &config() const { return cfg_; }
 
+    /**
+     * Structure introspection (Fig 21 material): one StatSet holding
+     * the probes of every CABLE metadata structure on this channel,
+     * prefixed `home_ht_`, `remote_ht_`, `wmt_` and `evbuf_`, plus
+     * the channel-level stale-candidate counters
+     * (`home_ht_stale_hits` / `remote_ht_stale_hits`: hash-table
+     * candidates that failed cache-validity or WMT translation).
+     * Emits a StructSnapshot trace event (aux = combined hash-table
+     * occupancy) when a sink is attached, so snapshots interleave
+     * with the encode stream.
+     */
+    StatSet snapshotStructures();
+
     /** Runtime on/off switch; metadata tracking continues. */
     void setCompressionEnabled(bool on) { cfg_.compression_enabled = on; }
 

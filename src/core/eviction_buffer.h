@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 
 #include "common/line.h"
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace cable
@@ -42,10 +44,13 @@ class EvictionBuffer
     std::uint64_t
     push(LineID lid, const CacheLine &data)
     {
-        if (entries_.size() >= capacity_)
+        if (entries_.size() >= capacity_) {
             entries_.pop_front();
+            ++overflow_drops_;
+        }
         std::uint64_t seq = ++seq_clock_;
         entries_.push_back(Entry{seq, lid, data});
+        ++pushes_;
         return seq;
     }
 
@@ -56,8 +61,11 @@ class EvictionBuffer
     void
     acknowledge(std::uint64_t acked_seq)
     {
-        while (!entries_.empty() && entries_.front().seq <= acked_seq)
+        while (!entries_.empty()
+               && entries_.front().seq <= acked_seq) {
             entries_.pop_front();
+            ++retired_;
+        }
     }
 
     /**
@@ -68,15 +76,39 @@ class EvictionBuffer
     std::optional<CacheLine>
     find(LineID lid) const
     {
+        ++finds_;
         // Newest first: a slot may have been evicted twice.
-        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
-            if (it->lid == lid)
+        for (auto it = entries_.rbegin(); it != entries_.rend();
+             ++it) {
+            if (it->lid == lid) {
+                ++find_hits_;
                 return it->data;
+            }
+        }
         return std::nullopt;
     }
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Structure introspection probe: current fill plus lifetime
+     * traffic — pushes, retirements, capacity-overflow drops (a
+     * non-zero value means the buffer is undersized for the link's
+     * outstanding count) and race-closure lookups.
+     */
+    void
+    snapshot(StatSet &out, const std::string &prefix) const
+    {
+        out.add(prefix + "capacity", capacity_);
+        out.add(prefix + "size", entries_.size());
+        out.add(prefix + "last_seq", seq_clock_);
+        out.add(prefix + "pushes", pushes_);
+        out.add(prefix + "retired", retired_);
+        out.add(prefix + "overflow_drops", overflow_drops_);
+        out.add(prefix + "finds", finds_);
+        out.add(prefix + "find_hits", find_hits_);
+    }
 
   private:
     struct Entry
@@ -89,6 +121,14 @@ class EvictionBuffer
     std::size_t capacity_;
     std::uint64_t seq_clock_ = 0;
     std::deque<Entry> entries_;
+
+    // Lifetime traffic counters; find() is logically const but still
+    // traffic, hence mutable.
+    std::uint64_t pushes_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t overflow_drops_ = 0;
+    mutable std::uint64_t finds_ = 0;
+    mutable std::uint64_t find_hits_ = 0;
 };
 
 } // namespace cable

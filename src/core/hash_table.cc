@@ -1,6 +1,7 @@
 #include "core/hash_table.h"
 
 #include <bit>
+#include <unordered_map>
 
 #include "common/bitops.h"
 #include "common/log.h"
@@ -29,6 +30,7 @@ SignatureHashTable::insert(std::uint32_t sig, LineID lid)
     for (Slot &s : bucket) {
         if (s.lid == lid && s.lid.valid) {
             s.age = ++age_clock_;
+            ++refreshes_;
             return;
         }
     }
@@ -42,6 +44,9 @@ SignatureHashTable::insert(std::uint32_t sig, LineID lid)
         if (s.age < victim->age)
             victim = &s;
     }
+    if (victim->lid.valid)
+        ++evictions_;
+    ++inserts_;
     victim->lid = lid;
     victim->age = ++age_clock_;
 }
@@ -50,12 +55,19 @@ void
 SignatureHashTable::remove(std::uint32_t sig, LineID lid)
 {
     auto &bucket = buckets_[indexOf(sig)];
+    bool found = false;
     for (Slot &s : bucket) {
         if (s.lid.valid && s.lid == lid) {
             s.lid = kInvalidLineID;
             s.age = 0;
+            ++evictions_;
+            found = true;
         }
     }
+    if (found)
+        ++removes_;
+    else
+        ++remove_misses_;
 }
 
 void
@@ -63,9 +75,13 @@ SignatureHashTable::lookup(std::uint32_t sig,
                            std::vector<LineID> &out) const
 {
     const auto &bucket = buckets_[indexOf(sig)];
-    for (const Slot &s : bucket)
-        if (s.lid.valid)
+    ++lookups_;
+    for (const Slot &s : bucket) {
+        if (s.lid.valid) {
             out.push_back(s.lid);
+            ++lookup_lids_;
+        }
+    }
 }
 
 std::uint64_t
@@ -80,8 +96,60 @@ SignatureHashTable::occupancy() const
 }
 
 void
+SignatureHashTable::snapshot(StatSet &out,
+                             const std::string &prefix) const
+{
+    out.add(prefix + "buckets", buckets_.size());
+    out.add(prefix + "ways", cfg_.bucket_ways);
+    out.add(prefix + "capacity",
+            buckets_.size() * cfg_.bucket_ways);
+    out.add(prefix + "inserts", inserts_);
+    out.add(prefix + "evictions", evictions_);
+    out.add(prefix + "refreshes", refreshes_);
+    out.add(prefix + "removes", removes_);
+    out.add(prefix + "remove_misses", remove_misses_);
+    out.add(prefix + "lookups", lookups_);
+    out.add(prefix + "lookup_lids", lookup_lids_);
+
+    // One sample per bucket: the histogram's sum is the live-slot
+    // count, so `sum == inserts - evictions` is the checkable
+    // occupancy invariant.
+    Histogram &occ = out.hist(prefix + "bucket_occupancy",
+                              Histogram::Scale::Linear, 1,
+                              cfg_.bucket_ways + 2);
+    // Slots per distinct resident LineID (Fig 21's duplication
+    // count): a line inserted under many signatures occupies many
+    // slots, inflating occupancy without widening reach.
+    std::unordered_map<std::uint64_t, std::uint64_t> dup;
+    std::uint64_t live = 0;
+    for (const auto &bucket : buckets_) {
+        std::uint64_t n = 0;
+        for (const Slot &s : bucket) {
+            if (!s.lid.valid)
+                continue;
+            ++n;
+            std::uint64_t key =
+                (std::uint64_t{s.lid.set} << 8) | s.lid.way;
+            ++dup[key];
+        }
+        occ.record(n);
+        live += n;
+    }
+    out.add(prefix + "occupancy", live);
+    out.add(prefix + "distinct_lids", dup.size());
+    Histogram &d = out.hist(prefix + "lid_duplication",
+                            Histogram::Scale::Linear, 1, 34);
+    for (const auto &[key, n] : dup)
+        d.record(n);
+}
+
+void
 SignatureHashTable::clear()
 {
+    // A flush evicts every live slot; keeping the counters monotonic
+    // preserves `occupancy == inserts - evictions` across
+    // desync-recovery flushes.
+    evictions_ += occupancy();
     for (auto &bucket : buckets_)
         for (Slot &s : bucket)
             s = Slot{};

@@ -16,8 +16,10 @@
 #define CABLE_CORE_HASH_TABLE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "core/signature.h"
 
@@ -58,6 +60,25 @@ class SignatureHashTable
     /** Occupied slots, for occupancy stats. */
     std::uint64_t occupancy() const;
 
+    /**
+     * Structure introspection probe (Fig 21 material): exports the
+     * table's current shape and lifetime traffic into @p out under
+     * @p prefix:
+     *
+     *  - gauges: `<p>buckets`, `<p>ways`, `<p>capacity`,
+     *    `<p>occupancy` (live slots right now);
+     *  - lifetime counters: `<p>inserts`, `<p>evictions` (any live
+     *    slot invalidated or replaced — FIFO replacement, remove(),
+     *    clear()), `<p>refreshes`, `<p>removes`, `<p>remove_misses`,
+     *    `<p>lookups`, `<p>lookup_lids` (candidates returned);
+     *  - histograms: `<p>bucket_occupancy` (valid slots per bucket,
+     *    one sample per bucket, so its sum is the live-slot count
+     *    and always equals inserts − evictions) and
+     *    `<p>lid_duplication` (slots per distinct resident LineID —
+     *    the duplication count of Fig 21).
+     */
+    void snapshot(StatSet &out, const std::string &prefix) const;
+
     void clear();
 
   private:
@@ -77,6 +98,18 @@ class SignatureHashTable
     H3Hash hash_;
     std::uint64_t age_clock_ = 0;
     std::vector<std::vector<Slot>> buckets_;
+
+    // Lifetime traffic counters (monotonic; clear() converts every
+    // live slot into an eviction so occupancy == inserts − evictions
+    // holds across desync-recovery flushes). lookup() is const on
+    // the table's contents but still traffic, hence mutable.
+    std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t refreshes_ = 0;
+    std::uint64_t removes_ = 0;
+    std::uint64_t remove_misses_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    mutable std::uint64_t lookup_lids_ = 0;
 };
 
 } // namespace cable

@@ -56,6 +56,7 @@ WayMapTable::lookupRemoteWay(std::uint32_t remote_set,
                              LineID home_lid) const
 {
     std::uint32_t norm = normalize(home_lid);
+    ++lookups_;
     for (unsigned w = 0; w < cfg_.remote_ways; ++w) {
         const Slot &s = at(remote_set, static_cast<std::uint8_t>(w));
         if (s.valid && s.norm == norm) {
@@ -65,6 +66,7 @@ WayMapTable::lookupRemoteWay(std::uint32_t remote_set,
                 return static_cast<std::uint8_t>(w);
         }
     }
+    ++translate_misses_;
     return std::nullopt;
 }
 
@@ -93,6 +95,9 @@ WayMapTable::set(std::uint32_t remote_set, std::uint8_t remote_way,
                  LineID home_lid)
 {
     Slot &s = at(remote_set, remote_way);
+    if (s.valid)
+        ++overwrites_;
+    ++sets_;
     s.norm = normalize(home_lid);
     s.valid = true;
 }
@@ -100,14 +105,20 @@ WayMapTable::set(std::uint32_t remote_set, std::uint8_t remote_way,
 void
 WayMapTable::clear(std::uint32_t remote_set, std::uint8_t remote_way)
 {
-    at(remote_set, remote_way).valid = false;
+    Slot &s = at(remote_set, remote_way);
+    if (s.valid)
+        ++clears_;
+    s.valid = false;
 }
 
 void
 WayMapTable::clearAll()
 {
-    for (Slot &s : slots_)
+    for (Slot &s : slots_) {
+        if (s.valid)
+            ++clears_;
         s.valid = false;
+    }
 }
 
 void
@@ -116,9 +127,36 @@ WayMapTable::clearByHomeLID(std::uint32_t remote_set, LineID home_lid)
     std::uint32_t norm = normalize(home_lid);
     for (unsigned w = 0; w < cfg_.remote_ways; ++w) {
         Slot &s = at(remote_set, static_cast<std::uint8_t>(w));
-        if (s.valid && s.norm == norm)
+        if (s.valid && s.norm == norm) {
+            ++clears_;
             s.valid = false;
+        }
     }
+}
+
+void
+WayMapTable::snapshot(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + "slots", slots_.size());
+    out.add(prefix + "lookups", lookups_);
+    out.add(prefix + "translate_misses", translate_misses_);
+    out.add(prefix + "sets", sets_);
+    out.add(prefix + "overwrites", overwrites_);
+    out.add(prefix + "clears", clears_);
+
+    Histogram &occ = out.hist(prefix + "set_occupancy",
+                              Histogram::Scale::Linear, 1,
+                              cfg_.remote_ways + 2);
+    std::uint64_t live = 0;
+    for (std::uint32_t set = 0; set < cfg_.remote_sets; ++set) {
+        std::uint64_t n = 0;
+        for (unsigned w = 0; w < cfg_.remote_ways; ++w)
+            if (at(set, static_cast<std::uint8_t>(w)).valid)
+                ++n;
+        occ.record(n);
+        live += n;
+    }
+    out.add(prefix + "occupancy", live);
 }
 
 } // namespace cable

@@ -22,8 +22,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 
 namespace cable
@@ -92,6 +94,21 @@ class WayMapTable
 
     const Config &config() const { return cfg_; }
 
+    /**
+     * Structure introspection probe: exports the table's residency
+     * picture into @p out under @p prefix:
+     *
+     *  - gauges: `<p>slots`, `<p>occupancy` (valid entries — the
+     *    home side's count of remote-resident tracked lines);
+     *  - lifetime counters: `<p>lookups` / `<p>translate_misses`
+     *    (lookupRemoteWay traffic; the miss/lookup quotient is the
+     *    WMT translate-miss rate), `<p>sets`, `<p>overwrites`
+     *    (set() on an already-valid slot), `<p>clears` (valid slots
+     *    invalidated, including clearAll/clearByHomeLID);
+     *  - histogram: `<p>set_occupancy` (valid ways per remote set).
+     */
+    void snapshot(StatSet &out, const std::string &prefix) const;
+
   private:
     struct Slot
     {
@@ -107,6 +124,14 @@ class WayMapTable
     unsigned alias_bits_;
     unsigned home_way_bits_;
     std::vector<Slot> slots_;
+
+    // Lifetime traffic counters; lookupRemoteWay is logically const
+    // but still traffic, hence mutable.
+    mutable std::uint64_t lookups_ = 0;
+    mutable std::uint64_t translate_misses_ = 0;
+    std::uint64_t sets_ = 0;
+    std::uint64_t overwrites_ = 0;
+    std::uint64_t clears_ = 0;
 };
 
 } // namespace cable

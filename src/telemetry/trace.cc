@@ -18,6 +18,7 @@ TraceEvent::typeName(Type t)
     case Type::MetaFault: return "meta_fault";
     case Type::SyncDrop: return "sync_drop";
     case Type::Fault: return "fault";
+    case Type::StructSnapshot: return "struct_snapshot";
     }
     return "unknown";
 }
@@ -77,10 +78,48 @@ ChromeTraceSink::~ChromeTraceSink()
 }
 
 void
+ChromeTraceSink::writeMetadata()
+{
+    // Track-naming metadata (ph "M") so chrome://tracing / Perfetto
+    // label the process and the two direction tracks instead of
+    // showing bare pid/tid numbers. Emitted once, ahead of the first
+    // real event; metadata events do not count as emitted().
+    struct Meta
+    {
+        const char *name;
+        unsigned tid;
+        const char *value;
+    };
+    static const Meta kMeta[] = {
+        {"process_name", 0, "cable link"},
+        {"thread_name", 1, "resp (home->remote)"},
+        {"thread_name", 2, "wb (remote->home)"},
+    };
+    for (const Meta &m : kMeta) {
+        os_ << (open_ ? ",\n" : "[\n");
+        open_ = true;
+        JsonWriter jw(os_);
+        jw.beginObject();
+        jw.field("name", m.name);
+        jw.field("ph", "M");
+        jw.field("pid", 1);
+        if (m.tid)
+            jw.field("tid", m.tid);
+        jw.key("args");
+        jw.beginObject();
+        jw.field("name", m.value);
+        jw.endObject();
+        jw.endObject();
+    }
+}
+
+void
 ChromeTraceSink::emit(const TraceEvent &ev)
 {
     if (closed_)
         return;
+    if (!open_)
+        writeMetadata();
     ++emitted_;
     os_ << (open_ ? ",\n" : "[\n");
     open_ = true;

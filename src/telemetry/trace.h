@@ -47,6 +47,7 @@ struct TraceEvent
         MetaFault,   ///< injected metadata soft error landed
         SyncDrop,    ///< eviction/upgrade notice lost
         Fault,       ///< injector corrupted a wire frame
+        StructSnapshot, ///< structure probe taken (aux = HT occupancy)
     };
 
     Type type = Type::Encode;
@@ -125,6 +126,9 @@ class ChromeTraceSink : public TraceSink
     void flush() override;
 
   private:
+    /** Emits process/thread-name metadata before the first event. */
+    void writeMetadata();
+
     std::ostream &os_;
     bool open_ = false;
     bool closed_ = false;

@@ -34,6 +34,11 @@
  *   --metrics-out F     machine-readable metrics JSON
  *                       (schema "cable-metrics-v1"); also enables
  *                       per-stage timing histograms
+ *   --snapshot-out F    end-of-run dictionary-structure snapshot
+ *                       (schema "cable-structures-v1"): hash-table
+ *                       occupancy/duplication histograms, WMT
+ *                       residency, eviction-buffer traffic.
+ *                       Requires --scheme cable.
  *   --trace-out F       structured per-line trace events
  *   --trace-format T    jsonl (default) or chrome (trace_event)
  *   --trace-sample N    keep 1-in-N encode events (deterministic,
@@ -185,8 +190,8 @@ const std::set<std::string> kThroughputFlags = {"threads", "group",
 const std::set<std::string> kNodeFlags = {"nodes"};
 /** Telemetry export flags (ratio command). */
 const std::set<std::string> kTelemetryFlags = {
-    "metrics-out", "trace-out", "trace-format", "trace-sample",
-    "stats-interval",
+    "metrics-out", "snapshot-out", "trace-out", "trace-format",
+    "trace-sample", "stats-interval",
 };
 /** Presence-only switches; everything else must carry a value. */
 const std::set<std::string> kBoolFlags = {"stats", "timing"};
@@ -370,6 +375,7 @@ memCfg(const Args &a)
 struct TelemetryArgs
 {
     std::string metrics_path;
+    std::string snapshot_path;
     std::string trace_path;
     std::string trace_format = "jsonl";
     std::uint64_t trace_sample = 1;
@@ -381,6 +387,7 @@ telemetryArgs(const Args &a)
 {
     TelemetryArgs t;
     t.metrics_path = a.str("metrics-out", "");
+    t.snapshot_path = a.str("snapshot-out", "");
     t.trace_path = a.str("trace-out", "");
     t.trace_format = a.str("trace-format", "jsonl");
     if (t.trace_format != "jsonl" && t.trace_format != "chrome")
@@ -415,7 +422,8 @@ void
 writeMetrics(const TelemetryArgs &tel, const Args &a,
              const MemSystemConfig &cfg, std::uint64_t ops,
              MemLinkSystem &sys, const std::vector<Epoch> &epochs,
-             const SamplingTraceSink *sampler)
+             const SamplingTraceSink *sampler,
+             const StatSet *structures)
 {
     std::ofstream os(tel.metrics_path);
     if (!os)
@@ -460,6 +468,15 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
     jw.key("stats");
     st.dumpJson(jw);
 
+    // Dictionary-structure snapshot (null for non-cable schemes,
+    // which have no hash tables / WMT / eviction buffer to probe).
+    if (structures) {
+        jw.key("structures");
+        structures->dumpJson(jw);
+    } else {
+        jw.nullField("structures");
+    }
+
     if (sys.faultInjector()) {
         jw.key("fault");
         sys.faultInjector()->stats().dumpJson(jw);
@@ -495,6 +512,39 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
     if (!os)
         fail("write to --metrics-out file '%s' failed",
              tel.metrics_path.c_str());
+}
+
+/**
+ * Writes the standalone cable-structures-v1 document: run identity
+ * plus the end-of-run structure probe of every CABLE metadata
+ * structure (tools/check_metrics.py validates the occupancy
+ * invariants against the counters).
+ */
+void
+writeSnapshot(const TelemetryArgs &tel, const Args &a,
+              const MemSystemConfig &cfg, std::uint64_t ops,
+              const StatSet &structures)
+{
+    std::ofstream os(tel.snapshot_path);
+    if (!os)
+        fail("cannot open --snapshot-out file '%s'",
+             tel.snapshot_path.c_str());
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", "cable-structures-v1");
+    jw.field("tool", "cable_sim");
+    jw.field("command", a.command);
+    jw.field("benchmark", a.benchmark);
+    jw.field("scheme", cfg.scheme);
+    jw.field("ops", ops);
+    jw.field("seed", cfg.seed);
+    jw.key("structures");
+    structures.dumpJson(jw);
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        fail("write to --snapshot-out file '%s' failed",
+             tel.snapshot_path.c_str());
 }
 
 void
@@ -548,6 +598,10 @@ cmdRatio(const Args &a)
     checkFlags(a, allowed);
     MemSystemConfig cfg = memCfg(a);
     TelemetryArgs tel = telemetryArgs(a);
+    if (!tel.snapshot_path.empty() && cfg.scheme != "cable")
+        fail("--snapshot-out requires --scheme cable; scheme '%s' "
+             "has no dictionary structures to probe",
+             cfg.scheme.c_str());
     std::uint64_t ops = a.num("ops", 400000);
     if (ops < 1)
         fail("--ops must be at least 1");
@@ -590,6 +644,13 @@ cmdRatio(const Args &a)
     } else {
         sys.run(ops);
     }
+
+    // End-of-run structure probe (before the trace flush so its
+    // struct_snapshot control event lands in the stream).
+    std::unique_ptr<StatSet> structures;
+    if (CableChannel *ch = sys.protocol().cableChannel())
+        structures =
+            std::make_unique<StatSet>(ch->snapshotStructures());
     if (sampler)
         sampler->flush();
 
@@ -614,7 +675,13 @@ cmdRatio(const Args &a)
         sys.protocol().stats().dump(std::cout, "  ");
     }
     if (!tel.metrics_path.empty())
-        writeMetrics(tel, a, cfg, ops, sys, epochs, sampler.get());
+        writeMetrics(tel, a, cfg, ops, sys, epochs, sampler.get(),
+                     structures.get());
+    if (!tel.snapshot_path.empty()) {
+        if (!structures)
+            fail("--snapshot-out: no cable channel in this system");
+        writeSnapshot(tel, a, cfg, ops, *structures);
+    }
     return 0;
 }
 

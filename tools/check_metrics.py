@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Schema and sanity checker for cable_sim --metrics-out documents.
+"""Schema and sanity checker for CABLE telemetry documents.
 
 Usage:
     check_metrics.py metrics.json [trace.jsonl]
 
-Validates the "cable-metrics-v1" schema and the invariants the
-telemetry pipeline promises:
+Dispatches on the document's "schema" field:
+
+  cable-metrics-v1      cable_sim --metrics-out documents
+  cable-structures-v1   cable_sim --snapshot-out documents
+  cable-bench-v1        bench-binary CABLE_METRICS_OUT documents
+  cable-trajectory-v1   bench_runner.py BENCH_cable.json files
+
+For cable-metrics-v1 it validates the invariants the telemetry
+pipeline promises:
 
   - every counter is a non-negative integer below 2^63 (a value in
     the top bit range means something wrapped negative);
@@ -14,6 +21,9 @@ telemetry pipeline promises:
     monotone (p50 <= p90 <= p99);
   - derived ratios are null or within sane bounds;
   - epoch deltas re-add to the cumulative counters;
+  - the "structures" section (cable scheme) satisfies the occupancy
+    invariants: each hash table's bucket-occupancy histogram sums to
+    its live-slot count, which equals inserts - evictions;
   - when a full-resolution JSONL trace rides along (sample == 1),
     the per-event in/out bit totals reconcile exactly with the
     aggregate raw_bits/wire_bits counters.
@@ -86,26 +96,68 @@ def check_stats_block(stats, where):
         check_histogram(name, h, where)
 
 
-def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        m = json.load(f)
+def hist_sum(stats, name):
+    h = stats.get("histograms", {}).get(name)
+    return None if h is None else h.get("sum")
 
-    if m.get("schema") != "cable-metrics-v1":
-        err(f"unexpected schema: {m.get('schema')!r}")
-        return 1
+
+def check_structures(stats, where):
+    """Occupancy invariants of a structure-snapshot stats block."""
+    before = len(errors)
+    check_stats_block(stats, where)
+    if len(errors) > before:
+        return
+    counters = stats["counters"]
+    for p in ("home_ht_", "remote_ht_"):
+        occ = counters.get(p + "occupancy")
+        ins = counters.get(p + "inserts")
+        evi = counters.get(p + "evictions")
+        if occ is None or ins is None or evi is None:
+            err(f"{where}: missing {p}occupancy/inserts/evictions")
+            continue
+        if occ != ins - evi:
+            err(f"{where}: {p}occupancy {occ} != inserts {ins} - "
+                f"evictions {evi}")
+        hsum = hist_sum(stats, p + "bucket_occupancy")
+        if hsum is None:
+            err(f"{where}: missing histogram {p}bucket_occupancy")
+        elif hsum != occ:
+            err(f"{where}: {p}bucket_occupancy sums to {hsum}, "
+                f"expected occupancy {occ}")
+        cap = counters.get(p + "capacity")
+        if cap is not None and occ > cap:
+            err(f"{where}: {p}occupancy {occ} exceeds capacity {cap}")
+    occ = counters.get("wmt_occupancy")
+    hsum = hist_sum(stats, "wmt_set_occupancy")
+    if occ is None or hsum is None:
+        err(f"{where}: missing wmt_occupancy / wmt_set_occupancy")
+    elif hsum != occ:
+        err(f"{where}: wmt_set_occupancy sums to {hsum}, expected "
+            f"occupancy {occ}")
+    for gauge, cap in (("evbuf_size", "evbuf_capacity"),):
+        if counters.get(gauge, 0) > counters.get(cap, 0):
+            err(f"{where}: {gauge} exceeds {cap}")
+
+
+def check_metrics_v1(m, trace_path):
     for key in ("tool", "command", "benchmark", "scheme", "config",
-                "results", "stats", "epochs"):
+                "results", "stats", "epochs", "structures"):
         if key not in m:
             err(f"missing top-level key '{key}'")
     if errors:
-        return 1
+        return
 
     check_stats_block(m["stats"], "stats")
     if m.get("fault") is not None:
         check_stats_block(m["fault"], "fault")
+
+    if m["scheme"] == "cable":
+        if m.get("structures") is None:
+            err("cable scheme but 'structures' is null")
+        else:
+            check_structures(m["structures"], "structures")
+    elif m.get("structures") is not None:
+        err(f"scheme '{m['scheme']}' must not export 'structures'")
 
     for key in ("bit_ratio", "effective_ratio", "goodput_ratio"):
         check_ratio(m["results"], key)
@@ -141,10 +193,10 @@ def main():
 
     # Trace reconciliation: exact when nothing was sampled away.
     trace = m.get("trace")
-    if len(sys.argv) == 3 and trace and trace.get("format") == "jsonl" \
+    if trace_path and trace and trace.get("format") == "jsonl" \
             and trace.get("sample") == 1:
         in_bits = out_bits = encodes = 0
-        with open(sys.argv[2]) as f:
+        with open(trace_path) as f:
             for line in f:
                 ev = json.loads(line)
                 if ev.get("ev") == "encode":
@@ -166,12 +218,136 @@ def main():
             err(f"trace file has {encodes} encode events but metrics "
                 f"claim only {trace['events']} were emitted")
 
+    if not errors:
+        print(f"check_metrics: OK ({len(hists)} histograms, "
+              f"{len(epochs)} epochs)")
+
+
+def check_structures_v1(m):
+    for key in ("tool", "benchmark", "scheme", "ops", "structures"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return
+    if m["scheme"] != "cable":
+        err(f"structures snapshot for non-cable scheme '{m['scheme']}'")
+    check_structures(m["structures"], "structures")
+    if not errors:
+        n = len(m["structures"]["counters"])
+        print(f"check_metrics: OK (structures snapshot, {n} counters)")
+
+
+def check_bench_v1(m, announce=True):
+    if "sections" not in m:
+        err("missing top-level key 'sections'")
+        return
+    if "unoptimized" in m and not isinstance(m["unoptimized"], bool):
+        err(f"'unoptimized' must be a boolean, got "
+            f"{m['unoptimized']!r}")
+    if not isinstance(m["sections"], list) or not m["sections"]:
+        err("'sections' must be a non-empty array")
+        return
+    rows = 0
+    for i, s in enumerate(m["sections"]):
+        where = f"sections[{i}]"
+        for key in ("label", "columns", "rows"):
+            if key not in s:
+                err(f"{where}: missing '{key}'")
+                return
+        ncols = len(s["columns"])
+        if any(not isinstance(c, str) for c in s["columns"]):
+            err(f"{where}: non-string column name")
+        for j, r in enumerate(s["rows"]):
+            rows += 1
+            if "name" not in r or "values" not in r:
+                err(f"{where}.rows[{j}]: missing name/values")
+                continue
+            if len(r["values"]) != ncols:
+                err(f"{where}.rows[{j}] ('{r['name']}'): "
+                    f"{len(r['values'])} values for {ncols} columns")
+            for v in r["values"]:
+                if not isinstance(v, (int, float)) \
+                        or isinstance(v, bool):
+                    err(f"{where}.rows[{j}]: non-numeric value {v!r}")
+    if announce and not errors:
+        print(f"check_metrics: OK (bench document, "
+              f"{len(m['sections'])} sections, {rows} rows)")
+
+
+def check_trajectory_v1(m):
+    if "entries" not in m:
+        err("missing top-level key 'entries'")
+        return
+    if not isinstance(m["entries"], list) or not m["entries"]:
+        err("'entries' must be a non-empty array")
+        return
+    for i, e in enumerate(m["entries"]):
+        where = f"entries[{i}]"
+        entry_ok = True
+        for key in ("timestamp", "git", "host", "benches", "metrics"):
+            if key not in e:
+                err(f"{where}: missing '{key}'")
+                entry_ok = False
+        if not entry_ok:
+            continue
+        if not e["git"].get("commit"):
+            err(f"{where}: git.commit missing or empty")
+        if "dirty" in e["git"] \
+                and not isinstance(e["git"]["dirty"], bool):
+            err(f"{where}: git.dirty must be a boolean")
+        if not e["host"].get("hostname"):
+            err(f"{where}: host.hostname missing or empty")
+        for name, v in e["metrics"].items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                err(f"{where}: metric '{name}' is non-numeric: {v!r}")
+        for name, doc in e["benches"].items():
+            if not isinstance(doc, dict) or "schema" not in doc:
+                err(f"{where}: bench '{name}' has no schema field")
+                continue
+            if doc["schema"] == "cable-bench-v1":
+                before = len(errors)
+                check_bench_v1(doc, announce=False)
+                if len(errors) > before:
+                    err(f"{where}: bench '{name}' failed "
+                        f"cable-bench-v1 validation")
+        # Structure snapshots riding along get the full invariant
+        # check too.
+        snap = e["benches"].get("ratio_mcf_structures")
+        if isinstance(snap, dict) \
+                and snap.get("schema") == "cable-structures-v1":
+            check_structures(snap.get("structures", {}),
+                             f"{where}.ratio_mcf_structures")
+    if not errors:
+        n = len(m["entries"])
+        nm = len(m["entries"][-1]["metrics"])
+        print(f"check_metrics: OK (trajectory, {n} entries, "
+              f"{nm} metrics in latest)")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        m = json.load(f)
+
+    schema = m.get("schema")
+    trace_path = sys.argv[2] if len(sys.argv) == 3 else None
+    if schema == "cable-metrics-v1":
+        check_metrics_v1(m, trace_path)
+    elif schema == "cable-structures-v1":
+        check_structures_v1(m)
+    elif schema == "cable-bench-v1":
+        check_bench_v1(m)
+    elif schema == "cable-trajectory-v1":
+        check_trajectory_v1(m)
+    else:
+        err(f"unexpected schema: {schema!r}")
+
     if errors:
         print(f"check_metrics: FAILED with {len(errors)} error(s)",
               file=sys.stderr)
         return 1
-    print(f"check_metrics: OK ({len(hists)} histograms, "
-          f"{len(epochs)} epochs)")
     return 0
 
 
