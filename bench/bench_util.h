@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/worker_pool.h"
 #include "sim/memlink.h"
 #include "sim/multichip.h"
 #include "sim/throughput.h"
@@ -98,6 +99,50 @@ mean(const std::vector<double> &v)
     for (double x : v)
         s += x;
     return s / static_cast<double>(v.size());
+}
+
+/**
+ * Worker count for the fig-level sweeps, from the CABLE_BENCH_JOBS
+ * environment variable. Default is 1 — the inline reference
+ * execution; 0 means "use the machine" (hardware threads). Sweeps
+ * that use parallelMap() follow the worker_pool.h determinism
+ * contract, so every value of CABLE_BENCH_JOBS prints the exact
+ * same tables, only faster.
+ */
+inline unsigned
+benchJobs()
+{
+    const char *text = std::getenv("CABLE_BENCH_JOBS");
+    if (!text || !*text)
+        return 1;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    if (*end || v > 256) {
+        std::fprintf(stderr,
+                     "bench: CABLE_BENCH_JOBS must be an integer in "
+                     "[0,256], got '%s'\n",
+                     text);
+        std::exit(2);
+    }
+    return v == 0 ? hardwareJobs() : static_cast<unsigned>(v);
+}
+
+/**
+ * Maps fn(i) over [0, n) across benchJobs() workers and returns the
+ * results in index order. Each index must be an independent
+ * simulation (seeds from the index / fixed configs only); the output
+ * vector is the per-index slot array from the worker_pool.h
+ * contract, so the caller can print or reduce it sequentially and
+ * get bit-identical tables for any worker count.
+ */
+template <typename T, typename Fn>
+inline std::vector<T>
+parallelMap(std::size_t n, Fn &&fn)
+{
+    std::vector<T> out(n);
+    parallelFor(n, benchJobs(),
+                [&](std::size_t i) { out[i] = fn(i); });
+    return out;
 }
 
 /**

@@ -48,18 +48,28 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(warmup));
     printHeader("benchmark", schemes);
 
+    // Each benchmark is an independent 4-sim cell (raw baseline +
+    // three schemes); compute cells in parallel, print in order.
+    const std::vector<std::string> suite = spec2006Benchmarks();
+    std::vector<std::vector<double>> rows =
+        parallelMap<std::vector<double>>(
+            suite.size(), [&](std::size_t i) {
+                const WorkloadProfile &prof =
+                    benchmarkProfile(suite[i]);
+                double base =
+                    groupIPC("raw", prof, 2048, ops, warmup);
+                std::vector<double> row;
+                for (const auto &scheme : schemes)
+                    row.push_back(
+                        groupIPC(scheme, prof, 2048, ops, warmup)
+                        / base);
+                return row;
+            });
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &bench : spec2006Benchmarks()) {
-        const WorkloadProfile &prof = benchmarkProfile(bench);
-        double base = groupIPC("raw", prof, 2048, ops, warmup);
-        std::vector<double> row;
-        for (const auto &scheme : schemes) {
-            double s =
-                groupIPC(scheme, prof, 2048, ops, warmup) / base;
-            row.push_back(s);
-            speedups[scheme].push_back(s);
-        }
-        printRow(bench, row);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        for (std::size_t k = 0; k < schemes.size(); ++k)
+            speedups[schemes[k]].push_back(rows[i][k]);
+        printRow(suite[i], rows[i]);
     }
     std::vector<double> avg;
     for (const auto &scheme : schemes)
@@ -70,19 +80,29 @@ main(int argc, char **argv)
     std::printf("\nFig 14b: mean speedup vs thread count "
                 "(representative subset)\n\n");
     printHeader("threads", schemes);
+    const std::vector<std::string> reps = representativeBenchmarks();
     for (unsigned threads : {256u, 512u, 1024u, 2048u}) {
-        std::map<std::string, std::vector<double>> s2;
-        for (const auto &bench : representativeBenchmarks()) {
-            const WorkloadProfile &prof = benchmarkProfile(bench);
-            double base = groupIPC("raw", prof, threads, ops, warmup);
-            for (const auto &scheme : schemes)
-                s2[scheme].push_back(
-                    groupIPC(scheme, prof, threads, ops, warmup)
-                    / base);
-        }
+        std::vector<std::vector<double>> cells =
+            parallelMap<std::vector<double>>(
+                reps.size(), [&](std::size_t i) {
+                    const WorkloadProfile &prof =
+                        benchmarkProfile(reps[i]);
+                    double base =
+                        groupIPC("raw", prof, threads, ops, warmup);
+                    std::vector<double> cell;
+                    for (const auto &scheme : schemes)
+                        cell.push_back(groupIPC(scheme, prof,
+                                                threads, ops, warmup)
+                                       / base);
+                    return cell;
+                });
         std::vector<double> row;
-        for (const auto &scheme : schemes)
-            row.push_back(mean(s2[scheme]));
+        for (std::size_t k = 0; k < schemes.size(); ++k) {
+            std::vector<double> per_bench;
+            for (const auto &cell : cells)
+                per_bench.push_back(cell[k]);
+            row.push_back(mean(per_bench));
+        }
         printRow(std::to_string(threads), row);
     }
     std::printf("\nshape check: speedups near 1x at 256 threads, "

@@ -21,17 +21,19 @@ double
 sweepMean(const std::string &scheme, std::uint64_t llc_bytes,
           std::uint64_t l4_bytes, std::uint64_t ops)
 {
-    std::vector<double> ratios;
-    for (const auto &bench : representativeBenchmarks()) {
-        MemSystemConfig cfg;
-        cfg.scheme = scheme;
-        cfg.timing = false;
-        cfg.llc_bytes_per_thread = llc_bytes;
-        cfg.l4_bytes_per_thread = l4_bytes;
-        MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
-        sys.run(ops);
-        ratios.push_back(sys.effectiveRatio());
-    }
+    const std::vector<std::string> benches =
+        representativeBenchmarks();
+    std::vector<double> ratios = parallelMap<double>(
+        benches.size(), [&](std::size_t i) {
+            MemSystemConfig cfg;
+            cfg.scheme = scheme;
+            cfg.timing = false;
+            cfg.llc_bytes_per_thread = llc_bytes;
+            cfg.l4_bytes_per_thread = l4_bytes;
+            MemLinkSystem sys(cfg, {benchmarkProfile(benches[i])});
+            sys.run(ops);
+            return sys.effectiveRatio();
+        });
     return mean(ratios);
 }
 

@@ -19,25 +19,27 @@ namespace
 double
 widthMean(unsigned width, bool packed, std::uint64_t ops)
 {
-    std::vector<double> ratios;
-    for (const auto &bench : representativeBenchmarks()) {
-        MemSystemConfig cfg;
-        cfg.scheme = "cable";
-        cfg.timing = false;
-        cfg.link.width_bits = width;
-        cfg.link.packed = packed;
-        MemLinkSystem sys(cfg, {benchmarkProfile(bench)});
-        sys.run(ops);
-        // Effective ratio from the link's own flit accounting.
-        std::uint64_t flits = sys.link().stats().get("flits");
-        std::uint64_t transfers =
-            sys.link().stats().get("transfers");
-        std::uint64_t raw_flits =
-            transfers * ceilDiv(kLineBytes * 8, width);
-        ratios.push_back(flits ? static_cast<double>(raw_flits)
-                                     / static_cast<double>(flits)
-                               : 1.0);
-    }
+    const std::vector<std::string> benches =
+        representativeBenchmarks();
+    std::vector<double> ratios = parallelMap<double>(
+        benches.size(), [&](std::size_t i) {
+            MemSystemConfig cfg;
+            cfg.scheme = "cable";
+            cfg.timing = false;
+            cfg.link.width_bits = width;
+            cfg.link.packed = packed;
+            MemLinkSystem sys(cfg, {benchmarkProfile(benches[i])});
+            sys.run(ops);
+            // Effective ratio from the link's own flit accounting.
+            std::uint64_t flits = sys.link().stats().get("flits");
+            std::uint64_t transfers =
+                sys.link().stats().get("transfers");
+            std::uint64_t raw_flits =
+                transfers * ceilDiv(kLineBytes * 8, width);
+            return flits ? static_cast<double>(raw_flits)
+                               / static_cast<double>(flits)
+                         : 1.0;
+        });
     return mean(ratios);
 }
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): frame-CRC throughput — the
+ * bit-serial hardware-reference formulation against the table-driven
+ * slice-by-8 path that the link framer actually runs (common/crc.h).
+ * Frame lengths cover the shapes the channel emits: a short control
+ * frame, a compressed payload, and a full uncompressed line; the odd
+ * 539-bit case exercises the unaligned head/tail handling.
+ *
+ * Both paths produce identical CRC values (tests/test_simd.cc); the
+ * per-length speedup is the point of the table rewrite, and
+ * bench_runner.py records BM_Crc16Serial/512 ÷ BM_Crc16Table/512 as
+ * the `crc16_speedup` trajectory metric.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/crc.h"
+#include "common/rng.h"
+#include "compress/bitstream.h"
+
+using namespace cable;
+
+namespace
+{
+
+BitVec
+randomFrame(std::size_t nbits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVec v;
+    for (std::size_t i = 0; i < nbits; ++i)
+        v.pushBit(rng.below(2) != 0);
+    return v;
+}
+
+void
+BM_Crc8Serial(benchmark::State &state)
+{
+    BitVec frame = randomFrame(
+        static_cast<std::size_t>(state.range(0)), 0xc8c8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crc8BitsSerial(frame, 0, frame.sizeBits()));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Crc8Table(benchmark::State &state)
+{
+    BitVec frame = randomFrame(
+        static_cast<std::size_t>(state.range(0)), 0xc8c8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crc8Bits(frame, 0, frame.sizeBits()));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Crc16Serial(benchmark::State &state)
+{
+    BitVec frame = randomFrame(
+        static_cast<std::size_t>(state.range(0)), 0x1616);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crc16BitsSerial(frame, 0, frame.sizeBits()));
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Crc16Table(benchmark::State &state)
+{
+    BitVec frame = randomFrame(
+        static_cast<std::size_t>(state.range(0)), 0x1616);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crc16Bits(frame, 0, frame.sizeBits()));
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+// 24: control frame; 160: typical compressed payload; 512: full
+// line; 539: line + header, deliberately unaligned on both ends.
+BENCHMARK(BM_Crc8Serial)->Arg(24)->Arg(160)->Arg(512)->Arg(539);
+BENCHMARK(BM_Crc8Table)->Arg(24)->Arg(160)->Arg(512)->Arg(539);
+BENCHMARK(BM_Crc16Serial)->Arg(24)->Arg(160)->Arg(512)->Arg(539);
+BENCHMARK(BM_Crc16Table)->Arg(24)->Arg(160)->Arg(512)->Arg(539);
+
+BENCHMARK_MAIN();

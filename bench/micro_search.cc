@@ -3,13 +3,20 @@
  * Micro-benchmark (google-benchmark): CABLE channel throughput —
  * full respond() path (signature extraction, hash probe, pre-rank,
  * CBV ranking, delegation, verification) at different data-access
- * counts, plus the synchronization-only path.
+ * counts, plus the synchronization-only path — and the encode
+ * kernels underneath it: the 16-word coverage-vector compare and
+ * the trivial-word scan, scalar reference vs the compiled SIMD
+ * backend (common/simd.h), plus allocation-free signature
+ * extraction. Both kernel variants return identical masks
+ * (tests/test_simd.cc), so the delta here is pure kernel speed.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.h"
+#include "common/simd.h"
 #include "core/channel.h"
+#include "core/signature.h"
 #include "workload/value_model.h"
 
 using namespace cable;
@@ -68,8 +75,105 @@ BM_ChannelFetch(benchmark::State &state)
     state.counters["ratio"] = rig.channel.compressionRatio();
 }
 
+// --- encode kernels -------------------------------------------------
+
+/** A batch of lines shaped like channel traffic: partial matches
+ *  against a wanted line, a sprinkle of trivial words. */
+std::vector<CacheLine>
+kernelLines(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<CacheLine> lines(n);
+    for (CacheLine &l : lines)
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            std::uint64_t h = rng.next();
+            std::uint32_t v = (h & 3) == 0
+                                  ? static_cast<std::uint32_t>(
+                                        (h >> 8) & 0xff)
+                                  : static_cast<std::uint32_t>(h >> 32);
+            l.setWord(w, v);
+        }
+    return lines;
+}
+
+void
+BM_CbvScalar(benchmark::State &state)
+{
+    std::vector<CacheLine> lines = kernelLines(256, 0xcb);
+    CacheLine wanted = lines[0];
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wordEqMask16Scalar(
+            wanted.data(), lines[i & 255].data()));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CbvSimd(benchmark::State &state)
+{
+    std::vector<CacheLine> lines = kernelLines(256, 0xcb);
+    CacheLine wanted = lines[0];
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wordEqMask16(wanted.data(), lines[i & 255].data()));
+        ++i;
+    }
+    state.SetLabel(simdBackendName());
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TrivialScalar(benchmark::State &state)
+{
+    std::vector<CacheLine> lines = kernelLines(256, 0x7e);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trivialMask16Scalar(lines[i & 255].data(), 8));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_TrivialSimd(benchmark::State &state)
+{
+    std::vector<CacheLine> lines = kernelLines(256, 0x7e);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trivialMask16(lines[i & 255].data(), 8));
+        ++i;
+    }
+    state.SetLabel(simdBackendName());
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_ExtractSearchSigs(benchmark::State &state)
+{
+    std::vector<CacheLine> lines = kernelLines(256, 0x51);
+    SignatureConfig cfg;
+    SigList sigs;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        extractSearchSignaturesInto(lines[i & 255], cfg, sigs);
+        benchmark::DoNotOptimize(sigs.size());
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
 } // namespace
 
 BENCHMARK(BM_ChannelFetch)->Arg(1)->Arg(6)->Arg(16)->Arg(64);
+BENCHMARK(BM_CbvScalar);
+BENCHMARK(BM_CbvSimd);
+BENCHMARK(BM_TrivialScalar);
+BENCHMARK(BM_TrivialSimd);
+BENCHMARK(BM_ExtractSearchSigs);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic fork-join parallelism for independent simulations.
+ *
+ * The simulators themselves are single-threaded by design (channels
+ * within one MultiChipSystem share caches), but sweeps and batch
+ * runs are embarrassingly parallel across *instances*: every cell
+ * of a fig14/fig19/fig23 sweep and every replica of a batch run is
+ * an independent simulation with its own RNG streams.
+ *
+ * parallelFor() encodes the determinism contract those callers rely
+ * on (DESIGN.md "Deterministic parallel driver"):
+ *
+ *  1. work is identified by index, and every per-index computation
+ *     must depend only on its index (seeds derived from the index,
+ *     never from thread identity or timing);
+ *  2. workers write results into per-index slots — no shared
+ *     accumulator is touched concurrently;
+ *  3. the caller reduces the slots in index order after the join.
+ *
+ * Under those rules the result is bit-identical for any worker
+ * count, so `--jobs N` equals `--jobs 1` exactly — scheduling only
+ * changes *when* an index runs, never *what* it computes or the
+ * order results are merged.
+ */
+
+#ifndef CABLE_COMMON_WORKER_POOL_H
+#define CABLE_COMMON_WORKER_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cable
+{
+
+/** Worker count for "use the machine": hardware threads, >= 1. */
+inline unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+/**
+ * Runs fn(0) .. fn(n-1) across min(jobs, n) worker threads, pulling
+ * indices from a shared atomic counter. Blocks until every index
+ * completed. jobs <= 1 (or n <= 1) runs inline on the caller's
+ * thread — the zero-overhead reference execution that parallel runs
+ * must reproduce bit-for-bit.
+ *
+ * The first exception thrown by any fn is captured and rethrown on
+ * the calling thread after all workers join; remaining indices still
+ * run (a simulation error should not strand detached work).
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, unsigned jobs, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    unsigned workers = jobs < n ? jobs : static_cast<unsigned>(n);
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1,
+                                           std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace cable
+
+#endif // CABLE_COMMON_WORKER_POOL_H

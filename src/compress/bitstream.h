@@ -59,6 +59,13 @@ class BitVec
     }
 
     /**
+     * Raw backing bytes (ceil(sizeBits/8) of them), bits MSB-first
+     * within each byte. Lets byte-at-a-time consumers — the
+     * table-driven CRC in common/crc.h — skip the per-bit accessor.
+     */
+    const std::uint8_t *data() const { return bytes_.data(); }
+
+    /**
      * Count of 0→1/1→0 transitions when the stream is serialized over
      * a @p width bit bus; used for the bit-toggle study (§VI-D).
      */

@@ -17,13 +17,27 @@
 
 #include "common/bitops.h"
 #include "common/line.h"
+#include "common/log.h"
+#include "common/simd.h"
 
 namespace cable
 {
 
-/** Word-match coverage of @p candidate against @p wanted. */
+/**
+ * Word-match coverage of @p candidate against @p wanted: one whole-
+ * line SIMD compare (common/simd.h) instead of a 16-iteration word
+ * loop.
+ */
 inline std::uint32_t
 coverageVector(const CacheLine &wanted, const CacheLine &candidate)
+{
+    return wordEqMask16(wanted.data(), candidate.data());
+}
+
+/** Scalar reference for coverageVector; differential tests only. */
+inline std::uint32_t
+coverageVectorScalar(const CacheLine &wanted,
+                     const CacheLine &candidate)
 {
     std::uint32_t cbv = 0;
     for (unsigned i = 0; i < kWordsPerLine; ++i)
@@ -33,11 +47,50 @@ coverageVector(const CacheLine &wanted, const CacheLine &candidate)
 }
 
 /**
- * Greedy maximum-coverage selection: repeatedly picks the candidate
- * whose CBV adds the most uncovered words, up to @p max_refs picks,
- * stopping when no candidate adds coverage. Returns indices into
- * @p cbvs in pick order. Ties break toward the lower index (the
- * pre-rank order, i.e. the more-duplicated candidate).
+ * Greedy maximum-coverage selection into a caller-owned array:
+ * repeatedly picks the candidate whose CBV adds the most uncovered
+ * words, up to @p max_refs picks, stopping when no candidate adds
+ * coverage. Writes indices into @p cbvs to @p picks (capacity >=
+ * max_refs) in pick order and returns the pick count. Ties break
+ * toward the lower index (the pre-rank order, i.e. the
+ * more-duplicated candidate).
+ *
+ * Allocation-free: the used set is a 64-bit mask, so n is capped at
+ * 64 candidates — the CLI already caps --data-accesses there.
+ */
+inline unsigned
+selectByCoverageInto(const std::uint32_t *cbvs, unsigned n,
+                     unsigned max_refs, unsigned *picks)
+{
+    if (n > 64)
+        panic("selectByCoverageInto: %u candidates exceed 64", n);
+    unsigned count = 0;
+    std::uint32_t covered = 0;
+    std::uint64_t used = 0;
+    while (count < max_refs) {
+        unsigned best_gain = 0;
+        unsigned best_idx = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if ((used >> i) & 1)
+                continue;
+            unsigned gain = popcount32(cbvs[i] & ~covered);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_idx = i;
+            }
+        }
+        if (best_gain == 0)
+            break;
+        used |= std::uint64_t{1} << best_idx;
+        covered |= cbvs[best_idx];
+        picks[count++] = best_idx;
+    }
+    return count;
+}
+
+/**
+ * Vector-returning convenience form of selectByCoverageInto, for
+ * tests and callers off the hot path. Accepts any candidate count.
  */
 inline std::vector<unsigned>
 selectByCoverage(const std::vector<std::uint32_t> &cbvs,

@@ -102,6 +102,14 @@ CableChannel::CableChannel(Cache &home, Cache &remote,
 {
     if (home_.numSets() < remote_.numSets())
         fatal("CableChannel: home cache smaller than remote cache");
+    if (cfg_.max_refs > kMaxRefsCap)
+        fatal("CableChannel: max_refs %u exceeds the 2-bit wire "
+              "field cap of %u",
+              cfg_.max_refs, kMaxRefsCap);
+    if (cfg_.data_accesses > 64)
+        fatal("CableChannel: data_accesses %u exceeds the selection "
+              "kernel cap of 64",
+              cfg_.data_accesses);
     unsigned way_bits = bitsToIndex(remote_.numWays());
     rlid_bits_ = bitsToIndex(remote_.numSets())
                  + (way_bits ? way_bits : 1);
@@ -111,7 +119,9 @@ void
 CableChannel::dropSignatures(SignatureHashTable &table,
                              const CacheLine &data, LineID lid)
 {
-    for (std::uint32_t sig : extractInsertSignatures(data, cfg_.sig))
+    SigList sigs;
+    extractInsertSignaturesInto(data, cfg_.sig, sigs);
+    for (std::uint32_t sig : sigs)
         table.remove(sig, lid);
 }
 
@@ -119,7 +129,9 @@ void
 CableChannel::addSignatures(SignatureHashTable &table,
                             const CacheLine &data, LineID lid)
 {
-    for (std::uint32_t sig : extractInsertSignatures(data, cfg_.sig))
+    SigList sigs;
+    extractInsertSignaturesInto(data, cfg_.sig, sigs);
+    for (std::uint32_t sig : sigs)
         table.insert(sig, lid);
 }
 
@@ -209,10 +221,8 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 
     const std::size_t raw_cost = 1 + kLineBytes * 8;
     if (trace_)
-        for (unsigned i = 0; i < kWordsPerLine; ++i)
-            if (isTrivialWord(data.word(i),
-                              cfg_.sig.trivial_threshold))
-                ++chosen.trivial_words;
+        chosen.trivial_words = popcount32(trivialMask16(
+            data.data(), cfg_.sig.trivial_threshold));
 
     // Self-compression runs concurrently with the search (§III-E);
     // a high enough ratio skips the reference path entirely.
@@ -248,57 +258,55 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         return chosen;
     }
 
-    // (1) extract search signatures, (2) probe the hash table.
+    // (1) extract search signatures, (2) probe the hash table. The
+    // whole pipeline runs out of the reusable scratch arena: no
+    // container below allocates once its high-water capacity is
+    // reached.
     stats_.add("searches", 1);
-    std::vector<std::uint32_t> sigs;
-    std::vector<LineID> hits;
+    SearchScratch &s = scratch_;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
-        sigs = extractSearchSignatures(data, cfg_.sig);
-        for (std::uint32_t sig : sigs)
-            home_ht_.lookup(sig, hits);
+        extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
+        s.hits.clear();
+        for (std::uint32_t sig : s.sigs)
+            home_ht_.lookup(sig, s.hits);
     }
-    chosen.sigs_used = static_cast<unsigned>(sigs.size());
-    chosen.ht_hits = static_cast<unsigned>(hits.size());
-    stats_.add("ht_hits", hits.size());
+    chosen.sigs_used = s.sigs.size();
+    chosen.ht_hits = static_cast<unsigned>(s.hits.size());
+    stats_.add("ht_hits", s.hits.size());
 
     // (3) pre-rank by duplication count (first-seen order breaks
     // ties), keep the top data_accesses candidates.
-    std::vector<std::pair<LineID, unsigned>> ranked;
-    for (LineID lid : hits) {
+    s.ranked.clear();
+    for (LineID lid : s.hits) {
         if (lid == self_home)
             continue;
-        auto it = std::find_if(ranked.begin(), ranked.end(),
+        auto it = std::find_if(s.ranked.begin(), s.ranked.end(),
                                [&](const auto &p) {
                                    return p.first == lid;
                                });
-        if (it == ranked.end())
-            ranked.emplace_back(lid, 1);
+        if (it == s.ranked.end())
+            s.ranked.emplace_back(lid, 1);
         else
             ++it->second;
     }
-    std::stable_sort(ranked.begin(), ranked.end(),
+    std::stable_sort(s.ranked.begin(), s.ranked.end(),
                      [](const auto &a, const auto &b) {
                          return a.second > b.second;
                      });
-    if (ranked.size() > cfg_.data_accesses)
-        ranked.resize(cfg_.data_accesses);
+    if (s.ranked.size() > cfg_.data_accesses)
+        s.ranked.resize(cfg_.data_accesses);
 
     // (4) read candidates from the data array, build CBVs, and
     // greedily select references maximizing coverage. A candidate
     // must still translate through the WMT (present at the remote).
-    struct Candidate
-    {
-        LineID home_lid;
-        LineID remote_lid;
-        const CacheLine *data;
-    };
-    std::vector<Candidate> cands;
-    std::vector<std::uint32_t> cbvs;
-    std::vector<unsigned> picks;
+    s.cand_rlids.clear();
+    s.cand_data.clear();
+    s.cbvs.clear();
+    unsigned npicks = 0;
     {
         CABLE_TIMED_SCOPE(stats_, "t_cbv_ns");
-        for (const auto &[lid, dup] : ranked) {
+        for (const auto &[lid, dup] : s.ranked) {
             const Cache::Entry &e = home_.entryAt(lid);
             // Stale candidates — the hash table pointed at a slot
             // that no longer holds usable reference data. Expected
@@ -315,15 +323,18 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
                 continue;
             }
             stats_.add("data_reads", 1);
-            cands.push_back({lid, LineID(rset, *rway), &e.data});
-            cbvs.push_back(coverageVector(data, e.data));
+            s.cand_rlids.push_back(LineID(rset, *rway));
+            s.cand_data.push_back(&e.data);
+            s.cbvs.push_back(coverageVector(data, e.data));
         }
-        picks = selectByCoverage(cbvs, cfg_.max_refs);
+        npicks = selectByCoverageInto(
+            s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
+            cfg_.max_refs, s.picks.data());
     }
 
-    chosen.ranked = static_cast<unsigned>(cands.size());
-    for (unsigned idx : picks)
-        chosen.cbv_union |= cbvs[idx];
+    chosen.ranked = static_cast<unsigned>(s.cand_rlids.size());
+    for (unsigned p = 0; p < npicks; ++p)
+        chosen.cbv_union |= s.cbvs[s.picks[p]];
     chosen.covered_words = popcount32(chosen.cbv_union);
     recordSearchShape(chosen, /*writeback=*/false);
 
@@ -334,16 +345,17 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     with_refs.ranked = chosen.ranked;
     with_refs.cbv_union = chosen.cbv_union;
     with_refs.covered_words = chosen.covered_words;
-    for (unsigned idx : picks) {
-        with_refs.ref_rlids.push_back(cands[idx].remote_lid);
-        with_refs.refs.push_back(cands[idx].data);
-    }
+    for (unsigned p = 0; p < npicks; ++p)
+        with_refs.addRef(s.cand_rlids[s.picks[p]],
+                         s.cand_data[s.picks[p]]);
 
     std::size_t refs_cost = raw_cost + 1;
-    if (!with_refs.refs.empty()) {
+    if (with_refs.nrefs > 0) {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
-        with_refs.diff = engine_->compress(data, with_refs.refs);
-        refs_cost = 3 + with_refs.refs.size() * rlid_bits_
+        s.engine_refs.assign(with_refs.refs.begin(),
+                             with_refs.refs.begin() + with_refs.nrefs);
+        with_refs.diff = engine_->compress(data, s.engine_refs);
+        refs_cost = 3 + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
     }
 
@@ -375,10 +387,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 
     const std::size_t raw_cost = 1 + kLineBytes * 8;
     if (trace_)
-        for (unsigned i = 0; i < kWordsPerLine; ++i)
-            if (isTrivialWord(data.word(i),
-                              cfg_.sig.trivial_threshold))
-                ++chosen.trivial_words;
+        chosen.trivial_words = popcount32(trivialMask16(
+            data.data(), cfg_.sig.trivial_threshold));
     BitVec self_bits;
     {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
@@ -413,44 +423,44 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     }
 
     stats_.add("wb_searches", 1);
-    std::vector<LineID> hits;
+    SearchScratch &s = scratch_;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
-        std::vector<std::uint32_t> sigs =
-            extractSearchSignatures(data, cfg_.sig);
-        chosen.sigs_used = static_cast<unsigned>(sigs.size());
-        for (std::uint32_t sig : sigs)
-            remote_ht_.lookup(sig, hits);
+        extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
+        chosen.sigs_used = s.sigs.size();
+        s.hits.clear();
+        for (std::uint32_t sig : s.sigs)
+            remote_ht_.lookup(sig, s.hits);
     }
-    chosen.ht_hits = static_cast<unsigned>(hits.size());
+    chosen.ht_hits = static_cast<unsigned>(s.hits.size());
 
-    std::vector<std::pair<LineID, unsigned>> ranked;
-    for (LineID lid : hits) {
+    s.ranked.clear();
+    for (LineID lid : s.hits) {
         if (lid == self)
             continue;
-        auto it = std::find_if(ranked.begin(), ranked.end(),
+        auto it = std::find_if(s.ranked.begin(), s.ranked.end(),
                                [&](const auto &p) {
                                    return p.first == lid;
                                });
-        if (it == ranked.end())
-            ranked.emplace_back(lid, 1);
+        if (it == s.ranked.end())
+            s.ranked.emplace_back(lid, 1);
         else
             ++it->second;
     }
-    std::stable_sort(ranked.begin(), ranked.end(),
+    std::stable_sort(s.ranked.begin(), s.ranked.end(),
                      [](const auto &a, const auto &b) {
                          return a.second > b.second;
                      });
-    if (ranked.size() > cfg_.data_accesses)
-        ranked.resize(cfg_.data_accesses);
+    if (s.ranked.size() > cfg_.data_accesses)
+        s.ranked.resize(cfg_.data_accesses);
 
-    std::vector<LineID> rlids;
-    std::vector<const CacheLine *> datas;
-    std::vector<std::uint32_t> cbvs;
-    std::vector<unsigned> picks;
+    s.cand_rlids.clear();
+    s.cand_data.clear();
+    s.cbvs.clear();
+    unsigned npicks = 0;
     {
         CABLE_TIMED_SCOPE(stats_, "t_cbv_ns");
-        for (const auto &[lid, dup] : ranked) {
+        for (const auto &[lid, dup] : s.ranked) {
             const Cache::Entry &e = remote_.entryAt(lid);
             // Only clean shared remote lines are valid references:
             // the home side must hold the identical data.
@@ -465,16 +475,18 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
                 continue;
             }
             stats_.add("wb_data_reads", 1);
-            rlids.push_back(lid);
-            datas.push_back(&e.data);
-            cbvs.push_back(coverageVector(data, e.data));
+            s.cand_rlids.push_back(lid);
+            s.cand_data.push_back(&e.data);
+            s.cbvs.push_back(coverageVector(data, e.data));
         }
-        picks = selectByCoverage(cbvs, cfg_.max_refs);
+        npicks = selectByCoverageInto(
+            s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
+            cfg_.max_refs, s.picks.data());
     }
 
-    chosen.ranked = static_cast<unsigned>(rlids.size());
-    for (unsigned idx : picks)
-        chosen.cbv_union |= cbvs[idx];
+    chosen.ranked = static_cast<unsigned>(s.cand_rlids.size());
+    for (unsigned p = 0; p < npicks; ++p)
+        chosen.cbv_union |= s.cbvs[s.picks[p]];
     chosen.covered_words = popcount32(chosen.cbv_union);
     recordSearchShape(chosen, /*writeback=*/true);
 
@@ -485,16 +497,17 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     with_refs.ranked = chosen.ranked;
     with_refs.cbv_union = chosen.cbv_union;
     with_refs.covered_words = chosen.covered_words;
-    for (unsigned idx : picks) {
-        with_refs.ref_rlids.push_back(rlids[idx]);
-        with_refs.refs.push_back(datas[idx]);
-    }
+    for (unsigned p = 0; p < npicks; ++p)
+        with_refs.addRef(s.cand_rlids[s.picks[p]],
+                         s.cand_data[s.picks[p]]);
 
     std::size_t refs_cost = raw_cost + 1;
-    if (!with_refs.refs.empty()) {
+    if (with_refs.nrefs > 0) {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
-        with_refs.diff = engine_->compress(data, with_refs.refs);
-        refs_cost = 3 + with_refs.refs.size() * rlid_bits_
+        s.engine_refs.assign(with_refs.refs.begin(),
+                             with_refs.refs.begin() + with_refs.nrefs);
+        with_refs.diff = engine_->compress(data, s.engine_refs);
+        refs_cost = 3 + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
     }
 
@@ -532,8 +545,9 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
         t.raw = true;
     } else {
         bw.put(1, 1);
-        bw.put(chosen.ref_rlids.size(), 2);
-        for (LineID rlid : chosen.ref_rlids) {
+        bw.put(chosen.nrefs, 2);
+        for (unsigned i = 0; i < chosen.nrefs; ++i) {
+            LineID rlid = chosen.ref_rlids[i];
             unsigned way_bits = bitsToIndex(remote_.numWays());
             if (way_bits == 0)
                 way_bits = 1;
@@ -541,7 +555,7 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
             bw.put(rlid.way, way_bits);
         }
         bw.appendBits(chosen.diff);
-        t.nrefs = static_cast<unsigned>(chosen.ref_rlids.size());
+        t.nrefs = chosen.nrefs;
         t.self_only = chosen.self_only;
     }
     // The payload counter excludes the CRC so compression ratios stay
@@ -579,10 +593,12 @@ CableChannel::verifyResponse(const Chosen &chosen,
     if (!cfg_.verify_roundtrip || chosen.raw)
         return;
     // Receiver-side reconstruction: read the references from the
-    // remote cache's own data array.
-    RefList refs;
-    for (LineID rlid : chosen.ref_rlids)
-        refs.push_back(&remote_.entryAt(rlid).data);
+    // remote cache's own data array. The reference list is scratch,
+    // reused across transfers.
+    RefList &refs = scratch_.verify_refs;
+    refs.clear();
+    for (unsigned i = 0; i < chosen.nrefs; ++i)
+        refs.push_back(&remote_.entryAt(chosen.ref_rlids[i]).data);
     CacheLine out;
     {
         CABLE_TIMED_SCOPE(stats_, "t_decompress_ns");
@@ -590,7 +606,7 @@ CableChannel::verifyResponse(const Chosen &chosen,
     }
     if (out != original)
         throw CableDesyncError(addr, /*writeback=*/false,
-                               chosen.ref_rlids,
+                               chosen.refVector(),
                                firstMismatchWord(out, original),
                                "decoded line differs from original");
 }
@@ -603,12 +619,14 @@ CableChannel::verifyWriteBack(const Chosen &chosen,
         return;
     // Home-side reconstruction: translate each RemoteLID through the
     // WMT into a home slot and read the home data array.
-    RefList refs;
-    for (LineID rlid : chosen.ref_rlids) {
+    RefList &refs = scratch_.verify_refs;
+    refs.clear();
+    for (unsigned i = 0; i < chosen.nrefs; ++i) {
+        LineID rlid = chosen.ref_rlids[i];
         auto hlid = wmt_.occupantHomeLID(rlid.set, rlid.way);
         if (!hlid)
             throw CableDesyncError(
-                addr, /*writeback=*/true, chosen.ref_rlids,
+                addr, /*writeback=*/true, chosen.refVector(),
                 CableDesyncError::kNoWord,
                 "reference to untracked remote line");
         refs.push_back(&home_.entryAt(*hlid).data);
@@ -620,7 +638,7 @@ CableChannel::verifyWriteBack(const Chosen &chosen,
     }
     if (out != original)
         throw CableDesyncError(addr, /*writeback=*/true,
-                               chosen.ref_rlids,
+                               chosen.refVector(),
                                firstMismatchWord(out, original),
                                "decoded line differs from original");
 }
@@ -733,7 +751,7 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
             throw;
         stats_.add("desyncs_detected", 1);
         traceControl(TraceEvent::Type::Desync, addr, writeback,
-                     chosen.ref_rlids.size());
+                     chosen.nrefs);
         recoverFromDesync();
         traceControl(TraceEvent::Type::RawFallback, addr, writeback,
                      /*aux=*/3);

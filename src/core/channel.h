@@ -30,11 +30,13 @@
 #ifndef CABLE_CORE_CHANNEL_H
 #define CABLE_CORE_CHANNEL_H
 
+#include <array>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.h"
@@ -352,13 +354,21 @@ class CableChannel
     }
 
   private:
+    /** Hard cap on references per DIFF: the wire ref-count field is
+     *  2 bits, so max_refs can never exceed 3. */
+    static constexpr unsigned kMaxRefsCap = 3;
+
     struct Chosen
     {
         BitVec diff;
-        BitVec payload;                // raw 512-bit data image
-        unsigned sigs_used = 0;        // search signatures extracted
-        std::vector<LineID> ref_rlids; // remote LIDs on the wire
-        RefList refs;                  // sender-side data
+        BitVec payload;         // raw 512-bit data image
+        unsigned sigs_used = 0; // search signatures extracted
+        unsigned nrefs = 0;     // references selected
+        /** Remote LIDs on the wire; fixed capacity (kMaxRefsCap)
+         *  keeps the steady-state encode path allocation-free. */
+        std::array<LineID, kMaxRefsCap> ref_rlids;
+        /** Sender-side reference data, parallel to ref_rlids. */
+        std::array<const CacheLine *, kMaxRefsCap> refs;
         bool self_only = false;
         bool raw = false;
         // ---- telemetry decision record ------------------------------
@@ -367,6 +377,46 @@ class CableChannel
         unsigned ranked = 0;        // candidates surviving pre-rank
         std::uint32_t cbv_union = 0; // union CBV of selected refs
         unsigned covered_words = 0;  // popcount of cbv_union
+
+        void
+        addRef(LineID rlid, const CacheLine *data)
+        {
+            ref_rlids[nrefs] = rlid;
+            refs[nrefs] = data;
+            ++nrefs;
+        }
+
+        /** Cold-path copy of the wire LIDs (desync diagnostics). */
+        std::vector<LineID>
+        refVector() const
+        {
+            return std::vector<LineID>(ref_rlids.begin(),
+                                       ref_rlids.begin() + nrefs);
+        }
+    };
+
+    /**
+     * Reusable arena for the per-transfer search pipeline (extract →
+     * probe → pre-rank → CBV → select → verify). Every container is
+     * either fixed-capacity or a vector that is clear()ed per
+     * transfer and so retains its capacity: after warm-up the encode
+     * search path performs zero heap allocations. (The compressed
+     * bitstreams themselves — Chosen::diff/payload and the engine's
+     * internals — still allocate; see DESIGN.md "Encode kernels &
+     * the allocation-free search path".)
+     */
+    struct SearchScratch
+    {
+        SigList sigs;              // search signatures of the line
+        std::vector<LineID> hits;  // raw hash-table hits
+        /** Pre-rank accumulator: (candidate, duplication count). */
+        std::vector<std::pair<LineID, unsigned>> ranked;
+        std::vector<LineID> cand_rlids; // surviving candidates
+        RefList cand_data;              // parallel data pointers
+        std::vector<std::uint32_t> cbvs; // parallel coverage vectors
+        std::array<unsigned, kMaxRefsCap> picks; // greedy selection
+        RefList engine_refs; // reused argument for engine calls
+        RefList verify_refs; // reused receiver-side reference list
     };
 
     /** Home→remote search (Fig 8) + engine delegation (§III-E). */
@@ -422,6 +472,7 @@ class CableChannel
     Cache &home_;
     Cache &remote_;
     CableConfig cfg_;
+    SearchScratch scratch_;
     WayMapTable wmt_;
     SignatureHashTable home_ht_;
     SignatureHashTable remote_ht_;

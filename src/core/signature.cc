@@ -1,8 +1,8 @@
 #include "core/signature.h"
 
-#include <algorithm>
+#include <bit>
 
-#include "common/bitops.h"
+#include "common/simd.h"
 
 namespace cable
 {
@@ -19,45 +19,62 @@ H3Hash::H3Hash(unsigned out_bits, std::uint64_t seed)
 namespace
 {
 
-bool
-containsSig(const std::vector<std::uint32_t> &v, std::uint32_t s)
+/** Bit i set iff word i of @p line is non-trivial. */
+std::uint32_t
+nonTrivialMask(const CacheLine &line, const SignatureConfig &cfg)
 {
-    return std::find(v.begin(), v.end(), s) != v.end();
+    return ~trivialMask16(line.data(), cfg.trivial_threshold)
+           & 0xffffu;
 }
 
 } // namespace
 
+void
+extractInsertSignaturesInto(const CacheLine &line,
+                            const SignatureConfig &cfg, SigList &out)
+{
+    out.clear();
+    std::uint32_t mask = nonTrivialMask(line, cfg);
+    for (unsigned k = 0; k < cfg.insert_count && k < 2; ++k) {
+        unsigned base = cfg.insert_offsets[k];
+        if (base >= kWordsPerLine)
+            continue;
+        std::uint32_t rest = mask >> base;
+        if (!rest)
+            continue;
+        unsigned off = base
+                       + static_cast<unsigned>(std::countr_zero(rest));
+        out.pushUnique(line.word(off));
+    }
+}
+
+void
+extractSearchSignaturesInto(const CacheLine &line,
+                            const SignatureConfig &cfg, SigList &out)
+{
+    out.clear();
+    std::uint32_t mask = nonTrivialMask(line, cfg);
+    while (mask) {
+        unsigned off = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        out.pushUnique(line.word(off));
+    }
+}
+
 std::vector<std::uint32_t>
 extractInsertSignatures(const CacheLine &line, const SignatureConfig &cfg)
 {
-    std::vector<std::uint32_t> sigs;
-    for (unsigned k = 0; k < cfg.insert_count && k < 2; ++k) {
-        for (unsigned off = cfg.insert_offsets[k]; off < kWordsPerLine;
-             ++off) {
-            std::uint32_t w = line.word(off);
-            if (isTrivialWord(w, cfg.trivial_threshold))
-                continue;
-            if (!containsSig(sigs, w))
-                sigs.push_back(w);
-            break;
-        }
-    }
-    return sigs;
+    SigList sigs;
+    extractInsertSignaturesInto(line, cfg, sigs);
+    return std::vector<std::uint32_t>(sigs.begin(), sigs.end());
 }
 
 std::vector<std::uint32_t>
 extractSearchSignatures(const CacheLine &line, const SignatureConfig &cfg)
 {
-    std::vector<std::uint32_t> sigs;
-    sigs.reserve(kWordsPerLine);
-    for (unsigned off = 0; off < kWordsPerLine; ++off) {
-        std::uint32_t w = line.word(off);
-        if (isTrivialWord(w, cfg.trivial_threshold))
-            continue;
-        if (!containsSig(sigs, w))
-            sigs.push_back(w);
-    }
-    return sigs;
+    SigList sigs;
+    extractSearchSignaturesInto(line, cfg, sigs);
+    return std::vector<std::uint32_t>(sigs.begin(), sigs.end());
 }
 
 } // namespace cable

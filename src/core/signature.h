@@ -12,6 +12,16 @@
  *    becomes shared; keeping this number low limits hash pollution;
  *  - search: every non-trivial word of the requested line (up to 16),
  *    deduplicated, used to probe the hash table (Fig 8 step 1).
+ *
+ * A line has kWordsPerLine (16) words, so after deduplication no
+ * extraction can yield more than 16 signatures; SigList makes that
+ * bound structural (fixed capacity, overflow panics) where the old
+ * vector-returning API merely documented it.
+ *
+ * The hot path (CableChannel::encode, once per transfer) uses the
+ * allocation-free *Into forms over a caller-owned SigList; trivial-
+ * word classification is one whole-line SIMD kernel
+ * (common/simd.h trivialMask16) instead of 16 scalar clz tests.
  */
 
 #ifndef CABLE_CORE_SIGNATURE_H
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "common/line.h"
+#include "common/log.h"
 #include "common/rng.h"
 
 namespace cable
@@ -72,17 +83,87 @@ struct SignatureConfig
 };
 
 /**
- * Extracts the insertion signatures of a line: for each base offset,
- * the first non-trivial word at or after it; duplicates removed.
- * Returns raw 32-bit signature words (unhashed).
+ * Fixed-capacity, allocation-free signature list. Capacity is
+ * kWordsPerLine (16): a 64-byte line has 16 words, so deduplicated
+ * extraction can never produce more. push() enforces the bound with
+ * a panic (live in Release builds, unlike assert) so a future
+ * extraction bug cannot silently overrun.
+ */
+class SigList
+{
+  public:
+    static constexpr unsigned kCapacity = kWordsPerLine;
+
+    unsigned size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    void clear() { count_ = 0; }
+
+    std::uint32_t operator[](unsigned i) const { return words_[i]; }
+    const std::uint32_t *begin() const { return words_.data(); }
+    const std::uint32_t *end() const { return words_.data() + count_; }
+
+    bool
+    contains(std::uint32_t s) const
+    {
+        for (unsigned i = 0; i < count_; ++i)
+            if (words_[i] == s)
+                return true;
+        return false;
+    }
+
+    void
+    push(std::uint32_t s)
+    {
+        if (count_ >= kCapacity)
+            panic("SigList: overflow past %u signatures", kCapacity);
+        words_[count_++] = s;
+    }
+
+    /** push() unless already present; returns whether it pushed. */
+    bool
+    pushUnique(std::uint32_t s)
+    {
+        if (contains(s))
+            return false;
+        push(s);
+        return true;
+    }
+
+  private:
+    std::array<std::uint32_t, kCapacity> words_;
+    unsigned count_ = 0;
+};
+
+/**
+ * Extracts the insertion signatures of a line into @p out (cleared
+ * first): for each base offset, the first non-trivial word at or
+ * after it; duplicates removed.
+ */
+void
+extractInsertSignaturesInto(const CacheLine &line,
+                            const SignatureConfig &cfg, SigList &out);
+
+/**
+ * Extracts the search signatures of a line into @p out (cleared
+ * first): every non-trivial word, deduplicated, in line order (at
+ * most SigList::kCapacity = 16).
+ */
+void
+extractSearchSignaturesInto(const CacheLine &line,
+                            const SignatureConfig &cfg, SigList &out);
+
+/**
+ * Vector-returning convenience form of extractInsertSignaturesInto.
+ * Returns raw 32-bit signature words (unhashed); never more than
+ * SigList::kCapacity entries.
  */
 std::vector<std::uint32_t>
 extractInsertSignatures(const CacheLine &line,
                         const SignatureConfig &cfg = SignatureConfig{});
 
 /**
- * Extracts the search signatures of a line: every non-trivial word,
- * deduplicated, in line order (up to 16).
+ * Vector-returning convenience form of extractSearchSignaturesInto;
+ * never more than SigList::kCapacity (16) entries.
  */
 std::vector<std::uint32_t>
 extractSearchSignatures(const CacheLine &line,

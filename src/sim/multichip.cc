@@ -3,6 +3,7 @@
 #include "common/bitops.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/worker_pool.h"
 
 namespace cable
 {
@@ -246,6 +247,64 @@ MultiChipSystem::effectiveRatio(unsigned link_width_bits) const
     double cap = static_cast<double>(kLineBytes * 8)
                  / static_cast<double>(link_width_bits);
     return r > cap ? cap : r;
+}
+
+// ---------------------------------------------------------------------
+// Replica batch (worker-pool driver)
+// ---------------------------------------------------------------------
+
+MultiChipBatch::MultiChipBatch(const MultiChipConfig &cfg,
+                               const WorkloadProfile &program,
+                               unsigned replicas)
+    : cfg_(cfg), program_(program), replicas_(replicas)
+{
+    if (replicas_ < 1)
+        fatal("MultiChipBatch: need at least 1 replica");
+}
+
+MultiChipConfig
+MultiChipBatch::replicaConfig(unsigned index) const
+{
+    MultiChipConfig rc = cfg_;
+    if (index == 0)
+        return rc; // the base config: batch-of-1 == plain run
+    // Replica streams are a pure function of (base seed, index):
+    // independent of worker count, schedule and wall clock. The
+    // hash seed is decorrelated too so replicas do not share H3
+    // row matrices.
+    std::uint64_t stream =
+        splitMix64(cfg_.seed ^ (0x9e3779b97f4a7c15ull * index));
+    rc.seed = stream;
+    rc.cable.hash_seed ^= splitMix64(stream ^ 0xcab1eull);
+    return rc;
+}
+
+MultiChipBatchResult
+MultiChipBatch::run(std::uint64_t ops, unsigned jobs)
+{
+    // Per-replica result slots: workers never touch shared state
+    // (contract rule 2); the merge below walks the slots in replica
+    // order (rule 3), so the outcome is identical for every value
+    // of `jobs`.
+    std::vector<StatSet> slots(replicas_);
+    parallelFor(replicas_, jobs, [&](std::size_t r) {
+        MultiChipSystem sys(replicaConfig(static_cast<unsigned>(r)),
+                            program_);
+        sys.run(ops);
+        slots[r] = sys.linkStats();
+    });
+
+    MultiChipBatchResult out;
+    out.replicas = replicas_;
+    for (const StatSet &s : slots)
+        out.link_stats.merge(s);
+    out.bit_ratio = out.link_stats.ratio("raw_bits", "wire_bits");
+    if (out.link_stats.get("wire_flits16"))
+        out.effective_ratio =
+            out.link_stats.ratio("raw_flits16", "wire_flits16");
+    else
+        out.effective_ratio = out.bit_ratio;
+    return out;
 }
 
 } // namespace cable

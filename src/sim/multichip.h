@@ -94,6 +94,48 @@ class MultiChipSystem
     std::uint64_t op_count_ = 0;
 };
 
+/** Merged outcome of a MultiChipBatch run. */
+struct MultiChipBatchResult
+{
+    /** Link stats merged across replicas, in replica order. */
+    StatSet link_stats;
+    double bit_ratio = 0.0;
+    double effective_ratio = 0.0;
+    unsigned replicas = 0;
+};
+
+/**
+ * A batch of independent MultiChipSystem replicas — the worker-pool
+ * driver behind `cable_sim coherence --replicas R --jobs N`. Each
+ * replica is a complete system with its own caches, channels and
+ * RNG streams; replica seeds derive deterministically from the base
+ * seed and the replica index alone, so a batch models R independent
+ * simulated machines and its merged statistics are bit-identical
+ * for every worker count (see common/worker_pool.h for the
+ * contract). Replica 0 runs the base config unchanged: a
+ * single-replica batch reproduces a plain MultiChipSystem run
+ * exactly.
+ */
+class MultiChipBatch
+{
+  public:
+    MultiChipBatch(const MultiChipConfig &cfg,
+                   const WorkloadProfile &program, unsigned replicas);
+
+    /** Config a given replica runs (derived seeds for index > 0). */
+    MultiChipConfig replicaConfig(unsigned index) const;
+
+    /** Runs @p ops per replica over @p jobs workers and merges. */
+    MultiChipBatchResult run(std::uint64_t ops, unsigned jobs);
+
+    unsigned replicas() const { return replicas_; }
+
+  private:
+    MultiChipConfig cfg_;
+    WorkloadProfile program_;
+    unsigned replicas_;
+};
+
 } // namespace cable
 
 #endif // CABLE_SIM_MULTICHIP_H

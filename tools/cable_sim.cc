@@ -20,6 +20,12 @@
  *   --threads N --group N --warmup N
  * coherence/numa options:
  *   --nodes N
+ * coherence batch options:
+ *   --replicas N    independent replica systems (seed-derived
+ *                   streams; stats merged in replica order)
+ *   --jobs N        worker threads for the replica batch (0 = all
+ *                   hardware threads). Results are bit-identical
+ *                   for every value of --jobs.
  * fault-injection options (ratio/throughput, cable scheme only):
  *   --fault-rate P      per-bit wire flip probability in [0,1]
  *   --burst-rate P      per-packet burst probability in [0,1]
@@ -67,6 +73,7 @@
 
 #include "common/json.h"
 #include "common/log.h"
+#include "common/worker_pool.h"
 #include "telemetry/timing.h"
 #include "telemetry/trace.h"
 #include "sim/memlink.h"
@@ -188,6 +195,8 @@ const std::set<std::string> kMemFlags = {
 const std::set<std::string> kThroughputFlags = {"threads", "group",
                                                 "warmup"};
 const std::set<std::string> kNodeFlags = {"nodes"};
+/** Replica-batch flags (coherence command). */
+const std::set<std::string> kBatchFlags = {"replicas", "jobs"};
 /** Telemetry export flags (ratio command). */
 const std::set<std::string> kTelemetryFlags = {
     "metrics-out", "snapshot-out", "trace-out", "trace-format",
@@ -723,7 +732,9 @@ cmdThroughput(const Args &a)
 int
 cmdCoherence(const Args &a)
 {
-    checkFlags(a, kNodeFlags);
+    std::set<std::string> allowed = kNodeFlags;
+    allowed.insert(kBatchFlags.begin(), kBatchFlags.end());
+    checkFlags(a, allowed);
     MultiChipConfig cfg;
     cfg.scheme = a.str("scheme", "cable");
     checkScheme(cfg.scheme);
@@ -738,16 +749,44 @@ cmdCoherence(const Args &a)
     std::uint64_t ops = a.num("ops", 400000);
     if (ops < 1)
         fail("--ops must be at least 1");
-    MultiChipSystem sys(cfg, benchmarkProfile(a.benchmark));
-    sys.run(ops);
+
+    std::uint64_t replicas = a.num("replicas", 1);
+    if (replicas < 1 || replicas > 1024)
+        fail("--replicas must be in [1, 1024], got %llu",
+             static_cast<unsigned long long>(replicas));
+    std::uint64_t jobs = a.num("jobs", 1);
+    if (jobs > 256)
+        fail("--jobs must be in [0, 256] (0 = all hardware "
+             "threads), got %llu",
+             static_cast<unsigned long long>(jobs));
+    unsigned njobs = jobs == 0 ? hardwareJobs()
+                               : static_cast<unsigned>(jobs);
+
+    // The batch driver: R independent replica systems run across
+    // the worker pool, stats merged in replica order — bit-identical
+    // output for every --jobs value. One replica with the base seed
+    // is exactly the legacy single-system run.
+    MultiChipBatch batch(cfg, benchmarkProfile(a.benchmark),
+                         static_cast<unsigned>(replicas));
+    MultiChipBatchResult res =
+        batch.run(ops, static_cast<unsigned>(njobs));
     std::printf("benchmark          %s\n", a.benchmark.c_str());
-    std::printf("scheme             %s, %u nodes\n",
-                cfg.scheme.c_str(), cfg.nodes);
-    std::printf("bit ratio          %.3fx\n", sys.bitRatio());
-    std::printf("effective ratio    %.3fx\n", sys.effectiveRatio());
+    if (replicas > 1)
+        std::printf("scheme             %s, %u nodes, %u replicas\n",
+                    cfg.scheme.c_str(), cfg.nodes, res.replicas);
+    else
+        std::printf("scheme             %s, %u nodes\n",
+                    cfg.scheme.c_str(), cfg.nodes);
+    std::printf("bit ratio          %.3fx\n", res.bit_ratio);
+    std::printf("effective ratio    %.3fx\n", res.effective_ratio);
     std::printf("link transfers     %llu\n",
                 static_cast<unsigned long long>(
-                    sys.linkStats().get("transfers")));
+                    res.link_stats.get("transfers")));
+    if (a.has("stats")) {
+        std::printf("\n");
+        std::fflush(stdout);
+        res.link_stats.dump(std::cout);
+    }
     return 0;
 }
 
