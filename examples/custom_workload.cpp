@@ -71,8 +71,8 @@ main()
             continue;
         }
         if (!home.probe(la))
-            channel.homeInstall(la, mem.lineAt(la));
-        channel.remoteFetch(la, op.store);
+            (void)channel.homeInstall(la, mem.lineAt(la));
+        (void)channel.remoteFetch(la, op.store);
         ++fetches;
     }
 

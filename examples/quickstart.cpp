@@ -48,8 +48,8 @@ main()
         if (remote.access(addr))
             continue; // LLC hit: no link traffic
         if (!home.probe(addr))
-            channel.homeInstall(addr, memory.lineAt(addr));
-        channel.remoteFetch(addr, /*store=*/false);
+            (void)channel.homeInstall(addr, memory.lineAt(addr));
+        (void)channel.remoteFetch(addr, /*store=*/false);
     }
 
     const StatSet &s = channel.stats();

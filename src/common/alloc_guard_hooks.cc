@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Replacement global allocation functions that feed the
+ * common/alloc_guard.h counter. Linked ONLY into test binaries (the
+ * cable_alloc_hooks target): replacing operator new is a
+ * whole-program decision, so production tools and benches never see
+ * these definitions and keep the toolchain allocator untouched.
+ *
+ * Every replaced form counts, then defers to malloc/free, which
+ * keeps the hooks compatible with sanitizer interception (ASan/TSan
+ * wrap malloc, so instrumented test runs still see every
+ * allocation).
+ */
+
+#include "common/alloc_guard.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+const bool kInstalled = []() {
+    cable::alloc_guard::g_hooks_installed = true;
+    return true;
+}();
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++cable::alloc_guard::t_alloc_count;
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t size, std::size_t align)
+{
+    ++cable::alloc_guard::t_alloc_count;
+    // aligned_alloc requires size to be a multiple of the alignment.
+    std::size_t rounded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, rounded ? rounded : align);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace cable
+{
+namespace alloc_guard
+{
+
+// Anchors the TU so linking the static library pulls the
+// replacement definitions in even though nothing references them by
+// name; see the CMake target's documented usage.
+bool
+hooksLinked() noexcept
+{
+    return kInstalled;
+}
+
+} // namespace alloc_guard
+} // namespace cable

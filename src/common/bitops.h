@@ -57,11 +57,11 @@ isPow2(std::uint64_t x)
     return x && std::has_single_bit(x);
 }
 
-/** Integer ceil division. */
+/** Integer ceil division; safe for a near UINT64_MAX (no a+b-1). */
 inline std::uint64_t
 ceilDiv(std::uint64_t a, std::uint64_t b)
 {
-    return (a + b - 1) / b;
+    return a / b + (a % b != 0 ? 1 : 0);
 }
 
 /** Population count of a 32-bit mask. */

@@ -410,7 +410,9 @@ class StatSet
     ratio(const std::string &num, const std::string &den) const
     {
         auto d = get(den);
-        return d ? static_cast<double>(get(num)) / d : 0.0;
+        return d ? static_cast<double>(get(num))
+                       / static_cast<double>(d)
+                 : 0.0;
     }
 
     /**

@@ -28,6 +28,8 @@ class BitVec
     bool
     bit(std::size_t i) const
     {
+        if (i >= num_bits_)
+            panic("BitVec::bit: index %zu out of %zu", i, num_bits_);
         return (bytes_[i >> 3] >> (7 - (i & 7))) & 1;
     }
 
@@ -37,7 +39,8 @@ class BitVec
         if ((num_bits_ & 7) == 0)
             bytes_.push_back(0);
         if (b)
-            bytes_.back() |= 1u << (7 - (num_bits_ & 7));
+            bytes_.back() |= static_cast<std::uint8_t>(
+                1u << (7 - (num_bits_ & 7)));
         ++num_bits_;
     }
 

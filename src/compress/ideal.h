@@ -84,6 +84,9 @@ class IdealDictModel
     unsigned ptr_bits_;
     std::vector<std::uint32_t> fifo_;
     std::size_t head_ = 0;
+    // cable-lint: allow(R002) point lookups and refcount updates
+    // only — the container is never iterated, so its order cannot
+    // influence compressed output
     std::unordered_map<std::uint32_t, unsigned> contains_;
 };
 

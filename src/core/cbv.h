@@ -28,6 +28,7 @@ namespace cable
  * line SIMD compare (common/simd.h) instead of a 16-iteration word
  * loop.
  */
+// cable-lint: no-alloc
 inline std::uint32_t
 coverageVector(const CacheLine &wanted, const CacheLine &candidate)
 {
@@ -58,6 +59,7 @@ coverageVectorScalar(const CacheLine &wanted,
  * Allocation-free: the used set is a 64-bit mask, so n is capped at
  * 64 candidates — the CLI already caps --data-accesses there.
  */
+// cable-lint: no-alloc
 inline unsigned
 selectByCoverageInto(const std::uint32_t *cbvs, unsigned n,
                      unsigned max_refs, unsigned *picks)

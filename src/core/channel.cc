@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/alloc_guard.h"
 #include "common/bitops.h"
 #include "common/crc.h"
 #include "common/log.h"
@@ -66,6 +67,30 @@ scaledEntries(double factor, std::uint64_t lines, unsigned ways)
     return e < 1.0 ? 1 : static_cast<std::uint64_t>(e);
 }
 
+/**
+ * Stable sort of the pre-rank list, descending by duplication
+ * count. std::stable_sort grabs a temporary merge buffer from the
+ * heap on every call, which would break the search pipeline's
+ * zero-allocation contract (rule R001's runtime twin in
+ * test_parallel measures exactly this region). The list is bounded
+ * by signatures x bucket ways, so insertion sort's O(n^2) is
+ * immaterial; shifting only on strict inequality preserves
+ * first-seen order among equal counts, matching the previous
+ * std::stable_sort ordering bit for bit.
+ */
+// cable-lint: no-alloc
+void
+sortByDuplication(std::vector<std::pair<LineID, unsigned>> &v)
+{
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        std::pair<LineID, unsigned> key = v[i];
+        std::size_t j = i;
+        for (; j > 0 && v[j - 1].second < key.second; --j)
+            v[j] = v[j - 1];
+        v[j] = key;
+    }
+}
+
 } // namespace
 
 CableDesyncError::CableDesyncError(Addr addr_in, bool writeback_in,
@@ -113,6 +138,19 @@ CableChannel::CableChannel(Cache &home, Cache &remote,
     unsigned way_bits = bitsToIndex(remote_.numWays());
     rlid_bits_ = bitsToIndex(remote_.numSets())
                  + (way_bits ? way_bits : 1);
+
+    // Pre-size the search arena to its architectural worst case so
+    // the encode search path never allocates — not even while
+    // warming toward a high-water mark: a line yields at most
+    // SigList::kCapacity search signatures, each hash-table probe
+    // appends at most ht_bucket LIDs, and the candidate lists are
+    // clipped to data_accesses entries before the data reads.
+    std::size_t max_hits =
+        std::size_t{SigList::kCapacity} * cfg_.ht_bucket;
+    scratch_.hits.reserve(max_hits);
+    scratch_.ranked.reserve(max_hits);
+    scratch_.cand_rlids.reserve(cfg_.data_accesses);
+    scratch_.cbvs.reserve(cfg_.data_accesses);
 }
 
 void
@@ -144,7 +182,7 @@ CableChannel::bitsOf(const CacheLine &data)
 {
     BitWriter bw;
     for (unsigned i = 0; i < kLineBytes; ++i)
-        bw.put(data.byte(i), 8);
+        bw.put(data.byte(i), kBitsPerByte);
     return bw.take();
 }
 
@@ -209,6 +247,9 @@ CableChannel::traceControl(TraceEvent::Type type, Addr addr,
     trace_->emit(ev);
 }
 
+// cable-lint: no-alloc (steady-state: the scratch arena retains its
+// high-water capacity, so the search pipeline stops allocating after
+// warm-up; the engine's DIFF bitstreams are exempt by design)
 CableChannel::Chosen
 CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 {
@@ -219,7 +260,8 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         return chosen;
     }
 
-    const std::size_t raw_cost = 1 + kLineBytes * 8;
+    const std::size_t raw_cost =
+        kWireRawHeaderBits + kLineBytes * kBitsPerByte;
     if (trace_)
         chosen.trivial_words = popcount32(trivialMask16(
             data.data(), cfg_.sig.trivial_threshold));
@@ -231,7 +273,8 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
         self = engine_->compress(data, {});
     }
-    std::size_t self_cost = 3 + self.sizeBits();
+    std::size_t self_cost =
+        kWireCompressedHeaderBits + self.sizeBits();
     if (self.sizeBits() > 0
         && static_cast<double>(kLineBytes * 8)
                    / static_cast<double>(self.sizeBits())
@@ -264,6 +307,11 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     // reached.
     stats_.add("searches", 1);
     SearchScratch &s = scratch_;
+    // Runtime twin of lint rule R001: counts heap allocations over
+    // the whole search pipeline (extract → probe → rank → CBV →
+    // select). test_parallel asserts the counter stops growing once
+    // the scratch arena reaches its high-water capacity.
+    alloc_guard::Scope search_allocs;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
         extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
@@ -290,11 +338,9 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         else
             ++it->second;
     }
-    std::stable_sort(s.ranked.begin(), s.ranked.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.second > b.second;
-                     });
+    sortByDuplication(s.ranked);
     if (s.ranked.size() > cfg_.data_accesses)
+        // cable-lint: allow(R001) shrink-only resize; capacity kept
         s.ranked.resize(cfg_.data_accesses);
 
     // (4) read candidates from the data array, build CBVs, and
@@ -331,6 +377,8 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
             s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
             cfg_.max_refs, s.picks.data());
     }
+    if (alloc_guard::hooksInstalled())
+        stats_.add("search_allocs", search_allocs.allocations());
 
     chosen.ranked = static_cast<unsigned>(s.cand_rlids.size());
     for (unsigned p = 0; p < npicks; ++p)
@@ -355,7 +403,8 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
         s.engine_refs.assign(with_refs.refs.begin(),
                              with_refs.refs.begin() + with_refs.nrefs);
         with_refs.diff = engine_->compress(data, s.engine_refs);
-        refs_cost = 3 + with_refs.nrefs * rlid_bits_
+        refs_cost = kWireCompressedHeaderBits
+                    + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
     }
 
@@ -375,6 +424,9 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 // Search + compress, remote → home (§III-G)
 // ---------------------------------------------------------------------
 
+// cable-lint: no-alloc (same steady-state contract as
+// compressForSend: the shared scratch arena stops allocating after
+// warm-up; DIFF bitstreams are exempt by design)
 CableChannel::Chosen
 CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 {
@@ -385,7 +437,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
         return chosen;
     }
 
-    const std::size_t raw_cost = 1 + kLineBytes * 8;
+    const std::size_t raw_cost =
+        kWireRawHeaderBits + kLineBytes * kBitsPerByte;
     if (trace_)
         chosen.trivial_words = popcount32(trivialMask16(
             data.data(), cfg_.sig.trivial_threshold));
@@ -394,7 +447,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
         self_bits = engine_->compress(data, {});
     }
-    std::size_t self_cost = 3 + self_bits.sizeBits();
+    std::size_t self_cost =
+        kWireCompressedHeaderBits + self_bits.sizeBits();
 
     // Degraded mode: reference compression is disarmed while the
     // metadata rebuilds after a desync (see compressForSend).
@@ -424,6 +478,7 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 
     stats_.add("wb_searches", 1);
     SearchScratch &s = scratch_;
+    alloc_guard::Scope search_allocs;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
         extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
@@ -447,11 +502,9 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
         else
             ++it->second;
     }
-    std::stable_sort(s.ranked.begin(), s.ranked.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.second > b.second;
-                     });
+    sortByDuplication(s.ranked);
     if (s.ranked.size() > cfg_.data_accesses)
+        // cable-lint: allow(R001) shrink-only resize; capacity kept
         s.ranked.resize(cfg_.data_accesses);
 
     s.cand_rlids.clear();
@@ -483,6 +536,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
             s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
             cfg_.max_refs, s.picks.data());
     }
+    if (alloc_guard::hooksInstalled())
+        stats_.add("search_allocs", search_allocs.allocations());
 
     chosen.ranked = static_cast<unsigned>(s.cand_rlids.size());
     for (unsigned p = 0; p < npicks; ++p)
@@ -507,7 +562,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
         s.engine_refs.assign(with_refs.refs.begin(),
                              with_refs.refs.begin() + with_refs.nrefs);
         with_refs.diff = engine_->compress(data, s.engine_refs);
-        refs_cost = 3 + with_refs.nrefs * rlid_bits_
+        refs_cost = kWireCompressedHeaderBits
+                    + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
     }
 
@@ -540,12 +596,12 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
         bw.appendBits(chosen.payload);
         t.raw = true;
     } else if (chosen.raw) {
-        bw.put(0, 1);
+        bw.put(0, kWireFlagBits);
         bw.appendBits(chosen.payload);
         t.raw = true;
     } else {
-        bw.put(1, 1);
-        bw.put(chosen.nrefs, 2);
+        bw.put(1, kWireFlagBits);
+        bw.put(chosen.nrefs, kWireNRefsBits);
         for (unsigned i = 0; i < chosen.nrefs; ++i) {
             LineID rlid = chosen.ref_rlids[i];
             unsigned way_bits = bitsToIndex(remote_.numWays());
@@ -767,7 +823,7 @@ CableChannel::rawFallbackResend(Transfer &t, const BitVec &payload)
 
     BitWriter bw;
     if (cfg_.compression_enabled)
-        bw.put(0, 1); // raw flag
+        bw.put(0, kWireFlagBits); // raw flag
     bw.appendBits(payload);
     if (cfg_.frame_crc_bits > 0)
         appendFrameCrc(bw, cfg_.frame_crc_bits);
@@ -1089,7 +1145,7 @@ CableChannel::remoteEvictSlot(LineID rlid)
                       "not resident at home",
                       static_cast<unsigned long long>(vaddr));
             // Non-inclusive: the home agent re-allocates the line.
-            homeInstall(vaddr, vdata, /*dirty=*/true);
+            (void)homeInstall(vaddr, vdata, /*dirty=*/true);
         } else {
             home_.writeLine(vaddr, vdata, true);
         }
@@ -1227,7 +1283,7 @@ CableChannel::writeBack(Addr addr, const CacheLine &data)
         if (cfg_.inclusive)
             panic("writeBack: inclusivity violated for %llx",
                   static_cast<unsigned long long>(addr));
-        homeInstall(addr, data, /*dirty=*/true);
+        (void)homeInstall(addr, data, /*dirty=*/true);
     } else {
         home_.writeLine(addr, data, true);
     }

@@ -45,6 +45,7 @@
 #include "core/eviction_buffer.h"
 #include "core/fault_model.h"
 #include "core/hash_table.h"
+#include "core/wire_format.h"
 #include "core/wmt.h"
 #include "telemetry/trace.h"
 
@@ -194,8 +195,8 @@ class CableChannel
      * displaced line to preserve inclusivity and cleaning up CABLE
      * metadata for both the displaced home line and its remote copy.
      */
-    HomeInstallResult homeInstall(Addr addr, const CacheLine &data,
-                                  bool dirty = false);
+    [[nodiscard]] HomeInstallResult
+    homeInstall(Addr addr, const CacheLine &data, bool dirty = false);
 
     /**
      * Full remote fetch: evicts the victim of @p addr's remote set
@@ -210,7 +211,7 @@ class CableChannel
      * @param store install Modified (store miss); the line is then
      *              excluded from reference tracking.
      */
-    FetchResult remoteFetch(Addr addr, bool store);
+    [[nodiscard]] FetchResult remoteFetch(Addr addr, bool store);
 
     /**
      * Evicts the occupant of remote slot @p rlid (if any): removes
@@ -219,14 +220,15 @@ class CableChannel
      * write-back transfer when it was dirty. Used directly by
      * multi-cache systems that pick victims across channels.
      */
-    std::optional<Transfer> remoteEvictSlot(LineID rlid);
+    [[nodiscard]] std::optional<Transfer> remoteEvictSlot(LineID rlid);
 
     /**
      * Compresses and sends the home copy of @p addr into the free
      * remote way @p vway. Precondition: the slot was vacated.
      */
-    Transfer respondAndInstall(Addr addr, std::uint8_t vway,
-                               bool store);
+    [[nodiscard]] Transfer respondAndInstall(Addr addr,
+                                             std::uint8_t vway,
+                                             bool store);
 
     /** Store hit on a Shared remote line: S→M upgrade (§III-F). */
     void remoteUpgrade(Addr addr);
@@ -236,23 +238,23 @@ class CableChannel
      * traffic from another sharer). Returns the write-back transfer
      * if the copy was dirty.
      */
-    std::optional<Transfer> remoteInvalidate(Addr addr);
+    [[nodiscard]] std::optional<Transfer> remoteInvalidate(Addr addr);
 
     /**
      * Remote-initiated write-back of a dirty line that stays
      * resident (e.g. periodic cleaning). Compresses remote→home.
      */
-    Transfer writeBack(Addr addr, const CacheLine &data);
+    [[nodiscard]] Transfer writeBack(Addr addr, const CacheLine &data);
 
     // ---- introspection ----------------------------------------------
 
-    Cache &home() { return home_; }
-    Cache &remote() { return remote_; }
+    [[nodiscard]] Cache &home() { return home_; }
+    [[nodiscard]] Cache &remote() { return remote_; }
     const WayMapTable &wmt() const { return wmt_; }
     const SignatureHashTable &homeTable() const { return home_ht_; }
     const SignatureHashTable &remoteTable() const { return remote_ht_; }
-    EvictionBuffer &evictionBuffer() { return evbuf_; }
-    StatSet &stats() { return stats_; }
+    [[nodiscard]] EvictionBuffer &evictionBuffer() { return evbuf_; }
+    [[nodiscard]] StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
     const CableConfig &config() const { return cfg_; }
 
@@ -267,7 +269,7 @@ class CableChannel
      * occupancy) when a sink is attached, so snapshots interleave
      * with the encode stream.
      */
-    StatSet snapshotStructures();
+    [[nodiscard]] StatSet snapshotStructures();
 
     /** Runtime on/off switch; metadata tracking continues. */
     void setCompressionEnabled(bool on) { cfg_.compression_enabled = on; }
@@ -316,7 +318,7 @@ class CableChannel
      * recovery (flush + resynchronize + degrade). Returns the
      * number of mismatched slots found.
      */
-    unsigned auditInvariant();
+    [[nodiscard]] unsigned auditInvariant();
 
     /** Clears both hash tables and the WMT. */
     void flushMetadata();
@@ -326,7 +328,9 @@ class CableChannel
      * resident on both sides with identical data is re-linked
      * (WMT + both signature tables). Returns lines re-linked.
      */
-    unsigned resynchronize();
+    unsigned resynchronize(); // cable-lint: allow(R004) re-link
+                              // count is advisory; recovery paths
+                              // resynchronize for the side effect
 
     /**
      * Invoked with the victim's address just before a home eviction
@@ -354,9 +358,9 @@ class CableChannel
     }
 
   private:
-    /** Hard cap on references per DIFF: the wire ref-count field is
-     *  2 bits, so max_refs can never exceed 3. */
-    static constexpr unsigned kMaxRefsCap = 3;
+    /** Hard cap on references per DIFF, fixed by the 2-bit wire
+     *  ref-count field (core/wire_format.h). */
+    static constexpr unsigned kMaxRefsCap = kWireMaxRefs;
 
     struct Chosen
     {
@@ -365,10 +369,14 @@ class CableChannel
         unsigned sigs_used = 0; // search signatures extracted
         unsigned nrefs = 0;     // references selected
         /** Remote LIDs on the wire; fixed capacity (kMaxRefsCap)
-         *  keeps the steady-state encode path allocation-free. */
-        std::array<LineID, kMaxRefsCap> ref_rlids;
+         *  keeps the steady-state encode path allocation-free. Both
+         *  arrays are value-initialized: Chosen objects are copied
+         *  whole before all slots are filled, and copying
+         *  indeterminate bytes is undefined behaviour
+         *  (-Wmaybe-uninitialized flagged it). */
+        std::array<LineID, kMaxRefsCap> ref_rlids{};
         /** Sender-side reference data, parallel to ref_rlids. */
-        std::array<const CacheLine *, kMaxRefsCap> refs;
+        std::array<const CacheLine *, kMaxRefsCap> refs{};
         bool self_only = false;
         bool raw = false;
         // ---- telemetry decision record ------------------------------

@@ -41,6 +41,8 @@ class EvictionBuffer
      * (safe only once acknowledged; callers should size the buffer
      * to the link's round-trip outstanding count).
      */
+    // cable-lint: allow(R004) the seq is advisory — it piggybacks on
+    // the next request; acknowledge() consumes lastSeq() instead
     std::uint64_t
     push(LineID lid, const CacheLine &data)
     {

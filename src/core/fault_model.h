@@ -27,16 +27,16 @@ class LinkFaultModel
     virtual ~LinkFaultModel() = default;
 
     /** Applies wire faults to @p wire in place; returns bits flipped. */
-    virtual unsigned corruptPacket(BitVec &wire) = 0;
+    [[nodiscard]] virtual unsigned corruptPacket(BitVec &wire) = 0;
 
     /** One metadata sync message crosses the link; true = lost. */
-    virtual bool dropSyncMessage() = 0;
+    [[nodiscard]] virtual bool dropSyncMessage() = 0;
 
     /** True when a metadata soft error should strike now. */
-    virtual bool corruptMetadata() = 0;
+    [[nodiscard]] virtual bool corruptMetadata() = 0;
 
     /** Uniform integer in [0, bound) for choosing corruption victims. */
-    virtual std::uint64_t pick(std::uint64_t bound) = 0;
+    [[nodiscard]] virtual std::uint64_t pick(std::uint64_t bound) = 0;
 };
 
 } // namespace cable

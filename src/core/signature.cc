@@ -20,6 +20,7 @@ namespace
 {
 
 /** Bit i set iff word i of @p line is non-trivial. */
+// cable-lint: no-alloc
 std::uint32_t
 nonTrivialMask(const CacheLine &line, const SignatureConfig &cfg)
 {
@@ -29,6 +30,7 @@ nonTrivialMask(const CacheLine &line, const SignatureConfig &cfg)
 
 } // namespace
 
+// cable-lint: no-alloc
 void
 extractInsertSignaturesInto(const CacheLine &line,
                             const SignatureConfig &cfg, SigList &out)
@@ -48,6 +50,7 @@ extractInsertSignaturesInto(const CacheLine &line,
     }
 }
 
+// cable-lint: no-alloc
 void
 extractSearchSignaturesInto(const CacheLine &line,
                             const SignatureConfig &cfg, SigList &out)

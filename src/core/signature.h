@@ -120,6 +120,8 @@ class SigList
     }
 
     /** push() unless already present; returns whether it pushed. */
+    // cable-lint: allow(R004) push-or-skip; the bool is advisory and
+    // extraction loops legitimately discard it
     bool
     pushUnique(std::uint32_t s)
     {

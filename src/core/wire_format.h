@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named widths of every field in CABLE's link-frame header (§III-E,
+ * Fig 8). The encoded frame layout is an exact-match contract: the
+ * receiver decodes against its own metadata, so a sender/receiver
+ * disagreement about any field width silently corrupts every
+ * reconstruction. Centralizing the widths here (and lint rule R003,
+ * tools/cable_lint.py) keeps bare literals out of the BitWriter
+ * calls that serialize the header.
+ *
+ * Frame layout, compressed transfer:
+ *
+ *   [flag:1 = 1][nrefs:2][RemoteLID:rlid_bits]*nrefs[DIFF bits...]
+ *
+ * and raw transfer:
+ *
+ *   [flag:1 = 0][512 payload bits]
+ *
+ * RemoteLID width is not a constant: it is derived from the remote
+ * cache's geometry (set index bits + way bits — 17 in the paper's
+ * 16MB/16-way config, Table III) and lives in
+ * CableChannel::remoteLidBits().
+ */
+
+#ifndef CABLE_CORE_WIRE_FORMAT_H
+#define CABLE_CORE_WIRE_FORMAT_H
+
+namespace cable
+{
+
+/** Bits per serialized payload byte (BitWriter byte fields). */
+inline constexpr unsigned kBitsPerByte = 8;
+
+/** Leading raw/compressed flag bit of every frame. */
+inline constexpr unsigned kWireFlagBits = 1;
+
+/** Reference-count field of a compressed frame. */
+inline constexpr unsigned kWireNRefsBits = 2;
+
+/**
+ * Hard cap on references per DIFF, derived from the wire field: a
+ * 2-bit nrefs can name at most 3 references. CableConfig::max_refs
+ * is validated against this at channel construction.
+ */
+inline constexpr unsigned kWireMaxRefs = (1u << kWireNRefsBits) - 1;
+
+/** Header bits of a compressed (referenced or self-only) frame. */
+inline constexpr unsigned kWireCompressedHeaderBits =
+    kWireFlagBits + kWireNRefsBits;
+
+/** Header bits of a raw (uncompressed escape) frame. */
+inline constexpr unsigned kWireRawHeaderBits = kWireFlagBits;
+
+} // namespace cable
+
+#endif // CABLE_CORE_WIRE_FORMAT_H

@@ -411,7 +411,7 @@ MemLinkSystem::pollFaultAudit()
     if (fault_channel_->degraded())
         fault_channel_->stats().add("degraded_cycles",
                                     cfg_.fault_audit_period);
-    fault_channel_->auditInvariant();
+    (void)fault_channel_->auditInvariant();
     next_fault_audit_ = now + cfg_.fault_audit_period;
 }
 

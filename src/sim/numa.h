@@ -129,6 +129,9 @@ class NumaSystem
     std::vector<LinkProtocolPtr> channels_;
     std::vector<std::unique_ptr<Thread>> threads_;
     std::unique_ptr<SyntheticMemory> mem_;
+    // cable-lint: allow(R002) keyed lookups plus one order-
+    // independent reduction (activelySharedLines counts sharers>=2);
+    // traversal order never reaches simulator output
     std::unordered_map<Addr, DirEntry> directory_;
     std::uint64_t invalidations_ = 0;
     std::uint64_t op_clock_ = 0;

@@ -1,0 +1,43 @@
+// Fixture: a file exercising the patterns the linter must accept —
+// zero findings expected anywhere.
+
+#include <cstdint>
+#include <vector>
+
+inline constexpr unsigned kHeaderBits = 3;
+
+struct BitWriter
+{
+    void put(unsigned long long value, unsigned nbits);
+};
+
+struct Scratch
+{
+    std::vector<std::uint32_t> sigs;
+};
+
+// cable-lint: no-alloc
+void
+extractInto(Scratch &s, std::uint32_t word)
+{
+    s.sigs.clear();
+    if (word)
+        s.sigs.push_back(word);
+}
+
+void
+emit(BitWriter &bw, unsigned header)
+{
+    bw.put(header, kHeaderBits);
+}
+
+class Counter
+{
+  public:
+    [[nodiscard]] std::uint64_t bump() { return ++n_; }
+    void clear() { n_ = 0; }
+    std::uint64_t value() const { return n_; }
+
+  private:
+    std::uint64_t n_ = 0;
+};

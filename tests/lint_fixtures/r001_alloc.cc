@@ -1,0 +1,44 @@
+// Fixture: every direct-allocation construct inside a no-alloc
+// function must trip R001; capacity-reusing scratch operations and
+// justified allowances must not.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Scratch
+{
+    std::vector<int> hits;
+};
+
+// cable-lint: no-alloc
+void
+searchPipeline(Scratch &s)
+{
+    s.hits.clear();       // allowed: capacity retained
+    s.hits.push_back(1);  // allowed: capacity retained
+    s.hits.assign(3, 0);  // allowed: capacity retained
+
+    int *p = new int(4);                       // expect: R001
+    delete p;
+    void *q = std::malloc(16);                 // expect: R001
+    std::free(q);
+    auto u = std::make_unique<int>(5);         // expect: R001
+    std::string label = std::to_string(*u);    // expect: R001
+    std::vector<int> local;                    // expect: R001
+    local.reserve(8);                          // expect: R001
+    s.hits.resize(2);                          // expect: R001
+
+    // cable-lint: allow(R001) shrink-only resize; capacity kept
+    s.hits.resize(1);
+    (void)label;
+}
+
+// Unmarked functions may allocate freely.
+std::vector<int>
+unmarked()
+{
+    std::vector<int> v(64);
+    return v;
+}

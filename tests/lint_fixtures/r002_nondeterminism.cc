@@ -1,0 +1,34 @@
+// Fixture: nondeterminism sources must trip R002 unless justified;
+// include lines never count.
+
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+unsigned
+entropySoup()
+{
+    std::srand(42);                            // expect: R002
+    unsigned r = static_cast<unsigned>(std::rand()); // expect: R002
+    r ^= static_cast<unsigned>(std::time(nullptr));  // expect: R002
+    std::random_device rd;                     // expect: R002
+    return r + rd();
+}
+
+struct Directory
+{
+    std::unordered_map<int, int> order_leaks;  // expect: R002
+
+    // cable-lint: allow(R002) point lookups only; the container is
+    // never iterated, so traversal order cannot reach any output
+    std::unordered_map<int, int> justified;
+};
+
+// Identifiers merely containing the banned substrings must not trip.
+int
+decoys(int operand, int timeout)
+{
+    int random_seed_label = operand + timeout; // named variable, no call
+    return random_seed_label;
+}

@@ -1,0 +1,33 @@
+// Fixture: BitWriter::put() widths written as bare integer literals
+// must trip R003; named constants, expressions, and justified
+// allowances must not.
+
+struct BitWriter
+{
+    void put(unsigned long long value, unsigned nbits);
+};
+
+inline constexpr unsigned kFlagBits = 1;
+inline constexpr unsigned kNRefsBits = 2;
+
+void
+packageTransfer(BitWriter &bw, unsigned nrefs, unsigned rlid_bits)
+{
+    bw.put(1, kFlagBits);          // named width: clean
+    bw.put(nrefs, kNRefsBits);     // named width: clean
+    bw.put(nrefs, rlid_bits - 1);  // expression width: clean
+
+    bw.put(0, 1);                  // expect: R003
+    bw.put(nrefs, 2);              // expect: R003
+    bw.put(0xdead, 16);            // expect: R003
+    // A multi-line call anchors the finding to the .put( line:
+    bw.put(nrefs,                  // expect: R003
+           17);
+}
+
+void
+justified(BitWriter &bw)
+{
+    // cable-lint: allow(R003) CRC trailer width is engine-local
+    bw.put(0, 8);
+}

@@ -1,0 +1,51 @@
+// Fixture: public non-const value-returning member functions must be
+// [[nodiscard]] (or justified); void returns, const accessors,
+// constructors, operators, statics and private members are exempt.
+
+#ifndef FIXTURE_R004_H
+#define FIXTURE_R004_H
+
+#include <cstdint>
+
+class Channel
+{
+  public:
+    Channel();
+    ~Channel();
+
+    unsigned install(std::uint64_t addr);      // expect: R004
+
+    bool
+    fetch(std::uint64_t addr)                  // expect: R004
+    {
+        return addr != 0;
+    }
+
+    [[nodiscard]] unsigned annotated(std::uint64_t addr);
+
+    [[nodiscard]] std::uint64_t
+    multiLineAnnotated(std::uint64_t addr, bool store,
+                       unsigned way);
+
+    // cable-lint: allow(R004) re-link count is advisory; callers
+    // that only need the side effect may drop it
+    unsigned resynchronize();
+
+    void reset();                        // void: exempt
+    unsigned size() const { return n_; } // const: exempt
+    static unsigned version();           // static: exempt
+    Channel &operator=(const Channel &); // operator: exempt
+
+  private:
+    unsigned hiddenMutator(); // private: exempt
+    unsigned n_ = 0;
+};
+
+struct PodLike
+{
+    std::uint64_t tag = 0; // data member: exempt
+
+    std::uint64_t grab();                      // expect: R004
+};
+
+#endif

@@ -51,7 +51,7 @@ struct Rig
             return FetchResult{};
         }
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
         return channel.remoteFetch(addr, store);
     }
 };
@@ -268,8 +268,8 @@ TEST(Channel, HomeEvictionBackInvalidatesRemote)
     // Inclusivity: every remote line still present at home.
     for (std::uint32_t set = 0; set < rig.remote.numSets(); ++set) {
         for (unsigned w = 0; w < rig.remote.numWays(); ++w) {
-            const Cache::Entry &re =
-                rig.remote.entryAt(LineID(set, w));
+            const Cache::Entry &re = rig.remote.entryAt(
+                LineID(set, static_cast<std::uint8_t>(w)));
             if (!re.valid())
                 continue;
             ASSERT_TRUE(rig.home.probe(re.tag << kLineShift));

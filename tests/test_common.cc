@@ -60,6 +60,14 @@ TEST(Bitops, CeilDiv)
     EXPECT_EQ(ceilDiv(512, 16), 32u);
 }
 
+TEST(Bitops, CeilDivNearMax)
+{
+    // The naive (a + b - 1) / b form wraps here and returns 0.
+    EXPECT_EQ(ceilDiv(UINT64_MAX, 16), (UINT64_MAX >> 4) + 1);
+    EXPECT_EQ(ceilDiv(UINT64_MAX, 1), UINT64_MAX);
+    EXPECT_EQ(ceilDiv(UINT64_MAX - 14, 16), (UINT64_MAX >> 4) + 1);
+}
+
 TEST(Bitops, IsPow2)
 {
     EXPECT_TRUE(isPow2(1));
@@ -178,6 +186,29 @@ TEST(BitStream, ToggleCount)
     bw2.put(0b1010, 4);
     bw2.put(0b1010, 4);
     EXPECT_EQ(bw2.bits().toggleCount(4), 0u);
+}
+
+TEST(BitStream, MsbFirstBytePacking)
+{
+    // pushBit must set bits MSB-first without narrowing surprises
+    // at byte boundaries.
+    BitVec v;
+    v.pushBit(true); // bit 7 of byte 0
+    for (int i = 0; i < 7; ++i)
+        v.pushBit(false);
+    v.pushBit(true); // bit 7 of byte 1
+    EXPECT_EQ(v.data()[0], 0x80u);
+    EXPECT_EQ(v.data()[1], 0x80u);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_TRUE(v.bit(8));
+}
+
+TEST(BitStreamDeathTest, BitOutOfRangePanics)
+{
+    BitVec v;
+    v.pushBit(true);
+    EXPECT_DEATH((void)v.bit(1), "out of");
+    EXPECT_DEATH(v.flipBit(1), "out of");
 }
 
 TEST(Rng, Deterministic)

@@ -85,7 +85,7 @@ struct Rig
             return FetchResult{};
         }
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
         return channel.remoteFetch(addr, store);
     }
 };
@@ -299,7 +299,7 @@ TEST(FaultChannel, DegradedModeReArmsAfterHealthyWindow)
     rig.fetch(mem, 0x4000);
     fault.drop_next_sync = true;
     rig.fetch(mem, 0x4000, /*store=*/true);
-    rig.channel.auditInvariant();
+    (void)rig.channel.auditInvariant();
     ASSERT_TRUE(rig.channel.degraded());
 
     // Clean transfers in degraded mode use self compression only...
@@ -329,12 +329,13 @@ TEST(FaultChannel, MetadataCorruptionNeverCorruptsDeliveredData)
         Addr addr = i * kLineBytes;
         bool store = (i % 7) == 0;
         rig.fetch(mem, addr, store);
-        if (!store)
+        if (!store) {
             ASSERT_EQ(rig.remote.entryAt(rig.remote.find(addr)).data,
                       mem.lineAt(addr))
                 << "line " << i << " corrupted";
+        }
         if (i % 50 == 49)
-            rig.channel.auditInvariant();
+            (void)rig.channel.auditInvariant();
     }
     EXPECT_GT(inj.stats().get("meta_corruptions"), 0u);
     EXPECT_GT(rig.channel.stats().get("meta_faults_wmt")
@@ -368,7 +369,7 @@ TEST(FaultChannel, DesyncWithoutFaultModelPropagates)
     // A write-back whose data duplicates the reference line picks it
     // via the remote hash table; home-side decode then mismatches.
     try {
-        rig.channel.writeBack(wb_addr, mem.lineAt(ref_addr));
+        (void)rig.channel.writeBack(wb_addr, mem.lineAt(ref_addr));
         FAIL() << "expected CableDesyncError";
     } catch (const CableDesyncError &e) {
         EXPECT_TRUE(e.writeback);

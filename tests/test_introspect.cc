@@ -272,8 +272,8 @@ struct Rig
         if (remote.access(addr))
             return;
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
-        channel.remoteFetch(addr, false);
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
+        (void)channel.remoteFetch(addr, false);
     }
 };
 

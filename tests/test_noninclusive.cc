@@ -49,10 +49,10 @@ struct Rig
         // write-back may itself allocate at the home — and only then
         // ensure the requested line is home-resident.
         std::uint8_t vway = remote.victimWay(addr);
-        channel.remoteEvictSlot(LineID(remote.setOf(addr), vway));
+        (void)channel.remoteEvictSlot(LineID(remote.setOf(addr), vway));
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
-        channel.respondAndInstall(addr, vway, store);
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
+        (void)channel.respondAndInstall(addr, vway, store);
     }
 };
 
@@ -83,7 +83,8 @@ TEST(NonInclusive, HomeEvictionKeepsRemoteCopy)
     unsigned orphans = 0;
     for (std::uint32_t set = 0; set < rig.remote.numSets(); ++set)
         for (unsigned w = 0; w < rig.remote.numWays(); ++w) {
-            const Cache::Entry &e = rig.remote.entryAt(LineID(set, w));
+            const Cache::Entry &e = rig.remote.entryAt(
+                LineID(set, static_cast<std::uint8_t>(w)));
             if (e.valid() && !rig.home.probe(e.tag << kLineShift))
                 ++orphans;
         }
@@ -134,7 +135,7 @@ TEST(NonInclusive, DirtyEvictionOfOrphanReallocatesAtHome)
     while (rig.home.probe(0) && guard++ < 20000) {
         Addr a = (rng.below(4096) + 1) * kLineBytes;
         if (!rig.home.probe(a))
-            rig.channel.homeInstall(a, mem.lineAt(a));
+            (void)rig.channel.homeInstall(a, mem.lineAt(a));
     }
     ASSERT_FALSE(rig.home.probe(0));
     ASSERT_TRUE(rig.remote.probe(0));

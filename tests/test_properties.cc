@@ -32,7 +32,7 @@ TEST(Properties, WireNeverExceedsRawPlusFlag)
         if (remote.access(addr))
             continue;
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
         FetchResult r = channel.remoteFetch(addr, rng.chance(0.25));
         ASSERT_LE(r.response.bits, kLineBytes * 8 + 1);
         if (r.victim_writeback) {
@@ -149,8 +149,8 @@ TEST(Properties, ChannelStatsMatchCacheState)
         if (remote.access(addr))
             continue;
         if (!home.probe(addr))
-            channel.homeInstall(addr, mem.lineAt(addr));
-        channel.remoteFetch(addr, false);
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
+        (void)channel.remoteFetch(addr, false);
     }
     std::uint64_t tracked = 0;
     for (std::uint32_t s = 0; s < remote.numSets(); ++s)

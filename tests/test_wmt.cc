@@ -39,7 +39,8 @@ TEST(Wmt, NormalizeDenormalizeRoundTrip)
 {
     WayMapTable wmt(paperOffChip());
     for (std::uint32_t hset : {0u, 1u, 16384u, 32767u}) {
-        for (std::uint8_t way : {0, 3, 7}) {
+        for (std::uint8_t way : {std::uint8_t{0}, std::uint8_t{3},
+                                 std::uint8_t{7}}) {
             LineID hlid(hset, way);
             std::uint32_t remote_set = hset & (16384 - 1);
             std::uint32_t norm = wmt.normalize(hlid);

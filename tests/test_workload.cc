@@ -157,7 +157,7 @@ TEST(AccessGen, PhasesMoveTheHotSet)
     for (int i = 0; i < 1000; ++i)
         phase1.insert(lineNumber(g.next().addr));
     // Hot windows of different phases should barely overlap.
-    unsigned common = 0;
+    std::size_t common = 0;
     for (auto l : phase1)
         common += phase0.count(l);
     EXPECT_LT(common, phase1.size() / 2);
