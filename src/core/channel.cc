@@ -112,6 +112,22 @@ CableDesyncError::CableDesyncError(Addr addr_in, bool writeback_in,
     what_ = buf;
 }
 
+CableTimeoutError::CableTimeoutError(Addr addr_in, bool writeback_in,
+                                     Cycles waited_in, Cycles budget_in)
+    : addr(addr_in), writeback(writeback_in), waited(waited_in),
+      budget(budget_in)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "CABLE ARQ watchdog timeout on %s of %llx: "
+                  "%llu retry cycles exceed budget %llu",
+                  writeback ? "write-back" : "response",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(waited),
+                  static_cast<unsigned long long>(budget));
+    what_ = buf;
+}
+
 CableChannel::CableChannel(Cache &home, Cache &remote,
                            const CableConfig &cfg)
     : home_(home), remote_(remote), cfg_(cfg),
@@ -769,6 +785,7 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
                 traceControl(TraceEvent::Type::RawFallback, addr,
                              writeback, /*aux=*/1);
                 rawFallbackResend(t, chosen.payload);
+                checkArqWatchdog(t, addr, writeback);
                 return;
             }
             stats_.add("crc_detected", 1);
@@ -778,6 +795,7 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
                 traceControl(TraceEvent::Type::RawFallback, addr,
                              writeback, /*aux=*/2);
                 rawFallbackResend(t, chosen.payload);
+                checkArqWatchdog(t, addr, writeback);
                 return;
             }
             ++attempt;
@@ -788,6 +806,7 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
             t.retrans_bits += t.bits + t.crc_bits;
             t.retry_cycles += cfg_.retry_backoff_cycles
                               << std::min(attempt - 1, 16u);
+            checkArqWatchdog(t, addr, writeback);
         }
     }
 
@@ -808,11 +827,31 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
         stats_.add("desyncs_detected", 1);
         traceControl(TraceEvent::Type::Desync, addr, writeback,
                      chosen.nrefs);
+        // Strict mode: the desync is counted and traced, then
+        // surfaced to the caller instead of being absorbed by the
+        // recovery path (chaos harness / debugging knob).
+        if (cfg_.strict_desync)
+            throw;
         recoverFromDesync();
         traceControl(TraceEvent::Type::RawFallback, addr, writeback,
                      /*aux=*/3);
         rawFallbackResend(t, chosen.payload);
+        checkArqWatchdog(t, addr, writeback);
     }
+}
+
+void
+CableChannel::checkArqWatchdog(const Transfer &t, Addr addr,
+                               bool writeback)
+{
+    if (cfg_.arq_watchdog_cycles == 0
+        || t.retry_cycles <= cfg_.arq_watchdog_cycles)
+        return;
+    stats_.add("arq_timeouts", 1);
+    traceControl(TraceEvent::Type::Timeout, addr, writeback,
+                 t.retry_cycles);
+    throw CableTimeoutError(addr, writeback, t.retry_cycles,
+                            cfg_.arq_watchdog_cycles);
 }
 
 void
@@ -856,6 +895,16 @@ CableChannel::recoverFromDesync()
     flushMetadata();
     unsigned relinked = resynchronize();
     stats_.add("resync_lines", relinked);
+    // Re-arming a reference costs a RemoteLID plus a line digest per
+    // relinked pair on a real link. Charged to the recovery counters
+    // — never to the payload counters — so compression ratios stay
+    // untouched while the wire-level recovery cost stays honest.
+    std::uint64_t rearm_bits =
+        std::uint64_t{relinked}
+        * (rlid_bits_ + kWireResyncLineDigestBits);
+    stats_.add("resync_rearm_bits", rearm_bits);
+    stats_.add("recovery_bits", rearm_bits);
+    ++epoch_;
     traceControl(TraceEvent::Type::Recovery, 0, false, relinked);
     if (health_ != Health::Degraded) {
         health_ = Health::Degraded;
@@ -991,8 +1040,17 @@ CableChannel::flushMetadata()
 unsigned
 CableChannel::resynchronize()
 {
+    return resynchronizeRange(0, remote_.numSets());
+}
+
+unsigned
+CableChannel::resynchronizeRange(std::uint32_t set_lo,
+                                 std::uint32_t set_hi)
+{
+    if (set_hi > remote_.numSets())
+        set_hi = remote_.numSets();
     unsigned relinked = 0;
-    for (std::uint32_t set = 0; set < remote_.numSets(); ++set) {
+    for (std::uint32_t set = set_lo; set < set_hi; ++set) {
         for (unsigned way = 0; way < remote_.numWays(); ++way) {
             LineID rlid(set, static_cast<std::uint8_t>(way));
             const Cache::Entry &re = remote_.entryAt(rlid);
@@ -1012,6 +1070,137 @@ CableChannel::resynchronize()
         }
     }
     return relinked;
+}
+
+// ---------------------------------------------------------------------
+// Crash/restart & incremental resync (DESIGN.md §12)
+// ---------------------------------------------------------------------
+
+void
+CableChannel::crashMetadata()
+{
+    // Endpoint crash model: the link-encoder metadata (hash tables,
+    // WMT, eviction-buffer entries) is volatile and lost; the cache
+    // data arrays survive (CXL-style link reset, coherence state
+    // intact). Sequence clocks keep counting so post-crash EvictSeqs
+    // stay monotone.
+    flushMetadata();
+    evbuf_.clearAll();
+    stats_.add("endpoint_crashes", 1);
+    ++epoch_;
+    if (health_ != Health::Degraded) {
+        health_ = Health::Degraded;
+        stats_.add("degraded_entries", 1);
+    }
+    healthy_streak_ = 0;
+    traceControl(TraceEvent::Type::Crash, 0, false, epoch_);
+}
+
+namespace
+{
+
+/** FNV-1a 64-bit fold, the resync digest primitive. */
+inline std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+
+} // namespace
+
+std::uint64_t
+CableChannel::metadataDigest(std::uint32_t set_lo,
+                             std::uint32_t set_hi) const
+{
+    // Digest of the home side's residency picture over a remote-set
+    // range: folds (set, way, normalized HomeLID) of every valid WMT
+    // slot. Cheap to compute, exchanged during resync to locate
+    // mismatched ranges.
+    std::uint64_t h = kFnvBasis;
+    std::uint32_t hi = std::min(set_hi, wmt_.config().remote_sets);
+    for (std::uint32_t set = set_lo; set < hi; ++set) {
+        for (unsigned way = 0; way < wmt_.config().remote_ways;
+             ++way) {
+            auto norm =
+                wmt_.occupant(set, static_cast<std::uint8_t>(way));
+            if (!norm)
+                continue;
+            h = fnv1a64(h, set);
+            h = fnv1a64(h, way);
+            h = fnv1a64(h, *norm);
+        }
+    }
+    return h;
+}
+
+std::uint64_t
+CableChannel::referenceDigest(std::uint32_t set_lo,
+                              std::uint32_t set_hi) const
+{
+    // Ground-truth twin of metadataDigest: folds the same tuple for
+    // every remote slot that *should* be tracked — resident, clean,
+    // and bit-identical on both sides (the resynchronize() criteria).
+    // A range whose two digests differ holds stale or missing WMT
+    // state and needs repair.
+    std::uint64_t h = kFnvBasis;
+    std::uint32_t hi = std::min(set_hi, remote_.numSets());
+    for (std::uint32_t set = set_lo; set < hi; ++set) {
+        for (unsigned way = 0; way < remote_.numWays(); ++way) {
+            LineID rlid(set, static_cast<std::uint8_t>(way));
+            const Cache::Entry &re = remote_.entryAt(rlid);
+            if (!re.valid() || re.dirty())
+                continue;
+            Addr vaddr = re.tag << kLineShift;
+            LineID hlid = home_.find(vaddr);
+            if (!hlid.valid)
+                continue;
+            const Cache::Entry &he = home_.entryAt(hlid);
+            if (he.dirty() || he.data != re.data)
+                continue;
+            h = fnv1a64(h, set);
+            h = fnv1a64(h, way);
+            h = fnv1a64(h, wmt_.normalize(hlid));
+        }
+    }
+    return h;
+}
+
+unsigned
+CableChannel::dropMetadataRange(std::uint32_t set_lo,
+                                std::uint32_t set_hi)
+{
+    unsigned dropped = 0;
+    std::uint32_t hi = std::min(set_hi, wmt_.config().remote_sets);
+    for (std::uint32_t set = set_lo; set < hi; ++set) {
+        for (unsigned way = 0; way < wmt_.config().remote_ways;
+             ++way) {
+            std::uint8_t w = static_cast<std::uint8_t>(way);
+            if (!wmt_.occupant(set, w))
+                continue;
+            wmt_.clear(set, w);
+            ++dropped;
+        }
+    }
+    return dropped;
+}
+
+void
+CableChannel::completeResync()
+{
+    // A verified resync re-armed every mismatched range, so the
+    // rearm_window probation that follows an in-band desync recovery
+    // is unnecessary: return to Healthy immediately (the bounded
+    // re-warm the protocol pays for).
+    if (health_ == Health::Degraded)
+        health_ = Health::Healthy;
+    healthy_streak_ = 0;
+    stats_.add("resync_completions", 1);
 }
 
 // ---------------------------------------------------------------------

@@ -104,6 +104,21 @@ struct CableConfig
     Cycles retry_backoff_cycles = 8;
     /** Clean transfers in degraded mode before re-arming references. */
     unsigned rearm_window = 256;
+    /**
+     * ARQ watchdog: cumulative backoff cycles one transfer may spend
+     * in retries before the channel gives up with a typed
+     * CableTimeoutError (a pathological fault schedule must reach a
+     * terminal state instead of spinning). 0 disables the watchdog,
+     * preserving the historical unbounded-retry behaviour.
+     */
+    Cycles arq_watchdog_cycles = 0;
+    /**
+     * Surface CableDesyncError to the caller even with a fault model
+     * attached (it is still counted and traced first). Off, the
+     * historical behaviour: detected desyncs are absorbed by the
+     * flush + resynchronize + degrade recovery path.
+     */
+    bool strict_desync = false;
 };
 
 /** Raw-fallback ARQ attempts before assuming link-layer recovery. */
@@ -160,6 +175,30 @@ class CableDesyncError : public std::exception
     bool writeback = false;      ///< direction: remote → home
     std::vector<LineID> refs;    ///< reference LIDs on the wire
     unsigned mismatch_word = kNoWord; ///< first differing 32b word
+
+  private:
+    std::string what_;
+};
+
+/**
+ * The ARQ watchdog fired: one transfer exhausted its cumulative
+ * retry-cycle budget (CableConfig::arq_watchdog_cycles) without a
+ * clean delivery. The transfer is abandoned; callers treat this as
+ * an endpoint stall and run crash recovery (crashMetadata + resync)
+ * instead of waiting on a link that is not making progress.
+ */
+class CableTimeoutError : public std::exception
+{
+  public:
+    CableTimeoutError(Addr addr, bool writeback, Cycles waited,
+                      Cycles budget);
+
+    const char *what() const noexcept override { return what_.c_str(); }
+
+    Addr addr = 0;          ///< line whose transfer stalled
+    bool writeback = false; ///< direction: remote → home
+    Cycles waited = 0;      ///< retry cycles actually spent
+    Cycles budget = 0;      ///< configured watchdog budget
 
   private:
     std::string what_;
@@ -332,6 +371,73 @@ class CableChannel
                               // count is advisory; recovery paths
                               // resynchronize for the side effect
 
+    // ---- crash recovery & resync protocol (DESIGN.md §12) -----------
+
+    /**
+     * Channel generation number: bumped on every crash, checkpoint
+     * restore and desync recovery. The resync handshake exchanges
+     * epochs first, so a restarted endpoint and its survivor agree
+     * on which generation's dictionaries they are reconciling.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** The attached fault model (nullptr when none). */
+    LinkFaultModel *faultModel() const { return fault_; }
+
+    /**
+     * Simulated endpoint crash: every piece of link-encoder state —
+     * both hash tables, the WMT, the eviction buffer — is lost, the
+     * epoch advances and the channel enters Degraded. Cache contents
+     * survive (a link reset does not lose memory); only the
+     * dictionaries must be rebuilt, by checkpoint restore and/or the
+     * resync protocol.
+     */
+    void crashMetadata();
+
+    /**
+     * Bounded resynchronize: re-links clean identical pairs whose
+     * remote set index lies in [set_lo, set_hi). The incremental
+     * re-arm step of the resync protocol; resynchronize() is the
+     * whole-cache special case.
+     */
+    // cable-lint: allow(R004) same advisory-count contract as
+    // resynchronize()
+    unsigned resynchronizeRange(std::uint32_t set_lo,
+                                std::uint32_t set_hi);
+
+    /**
+     * Order-independent digest of the current WMT tracking state for
+     * remote sets [set_lo, set_hi); one side of the resync protocol's
+     * per-range digest exchange.
+     */
+    std::uint64_t metadataDigest(std::uint32_t set_lo,
+                                 std::uint32_t set_hi) const;
+
+    /**
+     * Digest of what the WMT *should* track for remote sets
+     * [set_lo, set_hi): the clean identical pairs resynchronizeRange
+     * would link, computed from cache ground truth. A range whose
+     * metadataDigest matches needs no re-warm traffic.
+     */
+    std::uint64_t referenceDigest(std::uint32_t set_lo,
+                                  std::uint32_t set_hi) const;
+
+    /**
+     * Drops WMT tracking for remote sets [set_lo, set_hi) ahead of a
+     * range repair (stale entries must not survive a re-link).
+     * Returns the number of slots cleared.
+     */
+    // cable-lint: allow(R004) cleared-slot count is advisory
+    unsigned dropMetadataRange(std::uint32_t set_lo,
+                               std::uint32_t set_hi);
+
+    /**
+     * Resync-protocol completion: the digests verified clean, so the
+     * channel returns to Healthy immediately instead of waiting out
+     * the rearm_window (the protocol's bounded re-warm guarantee).
+     */
+    void completeResync();
+
     /**
      * Invoked with the victim's address just before a home eviction
      * back-invalidates the remote copy, so the surrounding system
@@ -358,6 +464,9 @@ class CableChannel
     }
 
   private:
+    /** Serializes/restores the full private state (checkpoint.h). */
+    friend class ChannelCheckpoint;
+
     /** Hard cap on references per DIFF, fixed by the 2-bit wire
      *  ref-count field (core/wire_format.h). */
     static constexpr unsigned kMaxRefsCap = kWireMaxRefs;
@@ -453,6 +562,9 @@ class CableChannel
     void rawFallbackResend(Transfer &t, const BitVec &payload);
     /** Flush + resynchronize + enter degraded mode. */
     void recoverFromDesync();
+    /** Throws CableTimeoutError when the retry budget is blown. */
+    void checkArqWatchdog(const Transfer &t, Addr addr,
+                          bool writeback);
     /** Healthy-window bookkeeping after each delivered transfer. */
     void trackHealth(const Transfer &t);
     /** Injects one metadata soft error, if the model says so. */
@@ -492,6 +604,7 @@ class CableChannel
     LinkFaultModel *fault_ = nullptr;
     Health health_ = Health::Healthy;
     unsigned healthy_streak_ = 0;
+    std::uint64_t epoch_ = 0;
     TraceSink *trace_ = nullptr;
     std::uint64_t trace_seq_ = 0;
 };

@@ -1,0 +1,584 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/crc.h"
+#include "core/channel.h"
+
+namespace cable
+{
+
+const char *
+CableCheckpointError::kindName(Kind k)
+{
+    switch (k) {
+    case Kind::IoError: return "io_error";
+    case Kind::Truncated: return "truncated";
+    case Kind::BadMagic: return "bad_magic";
+    case Kind::VersionSkew: return "version_skew";
+    case Kind::CrcMismatch: return "crc_mismatch";
+    case Kind::BadSection: return "bad_section";
+    case Kind::GeometryMismatch: return "geometry_mismatch";
+    }
+    return "unknown";
+}
+
+CableCheckpointError::CableCheckpointError(Kind kind,
+                                           const std::string &detail)
+    : kind_(kind)
+{
+    what_ = std::string("CABLE checkpoint ") + kindName(kind) + ": "
+            + detail;
+}
+
+namespace
+{
+
+[[noreturn]] void
+bad(CableCheckpointError::Kind kind, const std::string &detail)
+{
+    throw CableCheckpointError(kind, detail);
+}
+
+/**
+ * Bounded reader over the image body: every get() is checked against
+ * the declared body end, so a section whose element counts overrun
+ * the body raises a typed BadSection instead of tripping BitReader's
+ * hard panic.
+ */
+struct Cursor
+{
+    Cursor(const BitVec &image, std::size_t begin, std::size_t end)
+        : r(image), end_(end)
+    {
+        // Skip the header; BitReader has no seek, so consume it in
+        // 64-bit gulps (begin is the fixed header width).
+        std::size_t left = begin;
+        while (left > 0) {
+            unsigned n = left > 64 ? 64u : static_cast<unsigned>(left);
+            (void)r.get(n);
+            left -= n;
+        }
+    }
+
+    std::uint64_t
+    get(unsigned nbits, const char *what)
+    {
+        if (r.pos() + nbits > end_)
+            bad(CableCheckpointError::Kind::BadSection,
+                std::string("body ends inside ") + what);
+        return r.get(nbits);
+    }
+
+    void
+    expectTag(std::uint32_t tag, const char *name)
+    {
+        std::uint64_t got = get(kCkptSectionTagBits, "section tag");
+        if (got != tag)
+            bad(CableCheckpointError::Kind::BadSection,
+                std::string("expected section ") + name);
+    }
+
+    std::size_t pos() const { return r.pos(); }
+    std::size_t endPos() const { return end_; }
+
+  private:
+    BitReader r;
+    std::size_t end_;
+};
+
+/** Parsed hash-table section, pre-validation staging. */
+struct HtImage
+{
+    std::uint64_t age_clock = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t remove_misses = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t lookup_lids = 0;
+    struct Slot
+    {
+        std::uint32_t set;
+        std::uint8_t way;
+        std::uint64_t age;
+    };
+    std::vector<std::vector<Slot>> buckets;
+};
+
+/** Parsed eviction-buffer section. */
+struct EvbufImage
+{
+    std::uint64_t seq_clock = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t overflow_drops = 0;
+    std::uint64_t finds = 0;
+    std::uint64_t find_hits = 0;
+    struct Entry
+    {
+        std::uint64_t seq;
+        std::uint32_t set;
+        std::uint8_t way;
+        CacheLine data;
+    };
+    std::vector<Entry> entries;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Capture
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+putCounter(BitWriter &bw, std::uint64_t v)
+{
+    bw.put(v, kCkptCountBits);
+}
+
+} // namespace
+
+BitVec
+ChannelCheckpoint::capture(const CableChannel &ch)
+{
+    BitWriter body;
+
+    // GEOM — the restore target must present identical shapes.
+    body.put(kCkptTagGeom, kCkptSectionTagBits);
+    body.put(ch.remote_.numSets(), kCkptSetBits);
+    body.put(ch.remote_.numWays(), kCkptWayBits);
+    body.put(ch.home_.numSets(), kCkptSetBits);
+    body.put(ch.home_.numWays(), kCkptWayBits);
+    body.put(ch.rlid_bits_, kCkptRlidBits);
+    body.put(ch.home_ht_.buckets_.size(), kCkptBucketCountBits);
+    body.put(ch.home_ht_.cfg_.bucket_ways, kCkptBucketWaysBits);
+    body.put(ch.remote_ht_.buckets_.size(), kCkptBucketCountBits);
+    body.put(ch.remote_ht_.cfg_.bucket_ways, kCkptBucketWaysBits);
+    body.put(ch.evbuf_.capacity_, kCkptEvbufCapBits);
+
+    // CHANNEL — health machine, generation clocks, compression gate.
+    body.put(kCkptTagChannel, kCkptSectionTagBits);
+    body.put(ch.health_ == CableChannel::Health::Degraded ? 1u : 0u,
+             kCkptHealthBits);
+    putCounter(body, ch.healthy_streak_);
+    putCounter(body, ch.epoch_);
+    putCounter(body, ch.trace_seq_);
+    body.put(ch.cfg_.compression_enabled ? 1u : 0u, kCkptFlagBits);
+
+    // WMT — counters then the per-slot residency map, set-major.
+    body.put(kCkptTagWmt, kCkptSectionTagBits);
+    putCounter(body, ch.wmt_.sets_);
+    putCounter(body, ch.wmt_.overwrites_);
+    putCounter(body, ch.wmt_.clears_);
+    putCounter(body, ch.wmt_.lookups_);
+    putCounter(body, ch.wmt_.translate_misses_);
+    for (std::uint32_t set = 0; set < ch.wmt_.cfg_.remote_sets;
+         ++set) {
+        for (unsigned way = 0; way < ch.wmt_.cfg_.remote_ways;
+             ++way) {
+            const WayMapTable::Slot &s =
+                ch.wmt_.at(set, static_cast<std::uint8_t>(way));
+            body.put(s.valid ? 1u : 0u, kCkptFlagBits);
+            if (s.valid)
+                body.put(s.norm, kCkptNormBits);
+        }
+    }
+
+    // HT_HOME / HT_REMOTE — identical layout.
+    const SignatureHashTable *tables[2] = {&ch.home_ht_,
+                                           &ch.remote_ht_};
+    const std::uint32_t tags[2] = {kCkptTagHtHome, kCkptTagHtRemote};
+    for (unsigned ti = 0; ti < 2; ++ti) {
+        const SignatureHashTable &ht = *tables[ti];
+        body.put(tags[ti], kCkptSectionTagBits);
+        putCounter(body, ht.age_clock_);
+        putCounter(body, ht.inserts_);
+        putCounter(body, ht.evictions_);
+        putCounter(body, ht.refreshes_);
+        putCounter(body, ht.removes_);
+        putCounter(body, ht.remove_misses_);
+        putCounter(body, ht.lookups_);
+        putCounter(body, ht.lookup_lids_);
+        for (const auto &bucket : ht.buckets_) {
+            body.put(bucket.size(), kCkptSlotCountBits);
+            for (const auto &slot : bucket) {
+                body.put(slot.lid.set, kCkptSetBits);
+                body.put(slot.lid.way, kCkptWayBits);
+                body.put(slot.age, kCkptCountBits);
+            }
+        }
+    }
+
+    // EVBUF — clocks, counters, then the buffered line copies.
+    body.put(kCkptTagEvbuf, kCkptSectionTagBits);
+    putCounter(body, ch.evbuf_.seq_clock_);
+    putCounter(body, ch.evbuf_.pushes_);
+    putCounter(body, ch.evbuf_.retired_);
+    putCounter(body, ch.evbuf_.overflow_drops_);
+    putCounter(body, ch.evbuf_.finds_);
+    putCounter(body, ch.evbuf_.find_hits_);
+    body.put(ch.evbuf_.entries_.size(), kCkptEvbufLenBits);
+    for (const auto &e : ch.evbuf_.entries_) {
+        body.put(e.seq, kCkptCountBits);
+        body.put(e.lid.set, kCkptSetBits);
+        body.put(e.lid.way, kCkptWayBits);
+        for (unsigned i = 0; i < kLineBytes; ++i)
+            body.put(e.data.byte(i), kCkptByteBits);
+    }
+
+    // COUNTERS — every StatSet counter; std::map iteration order is
+    // sorted, so identical state yields a bit-identical image.
+    const auto &counters = ch.stats_.counters();
+    body.put(kCkptTagCounters, kCkptSectionTagBits);
+    body.put(counters.size(), kCkptNumCountersBits);
+    for (const auto &[name, value] : counters) {
+        body.put(name.size(), kCkptNameLenBits);
+        for (char c : name)
+            body.put(static_cast<unsigned char>(c), kCkptByteBits);
+        body.put(value, kCkptCountBits);
+    }
+
+    // Assemble: header, body, CRC over everything before the CRC.
+    BitWriter bw;
+    bw.put(kCkptMagic, kCkptMagicBits);
+    bw.put(kCkptVersion, kCkptVersionBits);
+    bw.put(body.sizeBits(), kCkptBodyLenBits);
+    bw.appendBits(body.bits());
+    std::uint16_t crc = crc16Bits(bw.bits(), 0, bw.sizeBits());
+    bw.put(crc, kCkptCrcBits);
+    return bw.take();
+}
+
+// ---------------------------------------------------------------------
+// Restore
+// ---------------------------------------------------------------------
+
+void
+ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
+{
+    using Kind = CableCheckpointError::Kind;
+
+    // Header checks. Magic and version are validated before the CRC
+    // so version skew surfaces as VersionSkew (a v2 writer also moves
+    // the CRC, which would otherwise mask the real cause).
+    if (image.sizeBits() < kCkptHeaderBits)
+        bad(Kind::Truncated, "image smaller than the fixed header");
+    {
+        BitReader hdr(image);
+        std::uint64_t magic = hdr.get(kCkptMagicBits);
+        if (magic != kCkptMagic)
+            bad(Kind::BadMagic, "leading magic number mismatch");
+        std::uint64_t version = hdr.get(kCkptVersionBits);
+        if (version != kCkptVersion)
+            bad(Kind::VersionSkew,
+                "image version " + std::to_string(version)
+                    + ", supported " + std::to_string(kCkptVersion));
+    }
+    BitReader hdr2(image);
+    (void)hdr2.get(kCkptMagicBits);
+    (void)hdr2.get(kCkptVersionBits);
+    std::size_t body_len =
+        static_cast<std::size_t>(hdr2.get(kCkptBodyLenBits));
+    std::size_t crc_end = kCkptHeaderBits + body_len;
+    std::size_t total = crc_end + kCkptCrcBits;
+    if (image.sizeBits() < total)
+        bad(Kind::Truncated, "image shorter than its declared size");
+    if (image.sizeBits() - total >= kCkptByteBits)
+        bad(Kind::BadSection, "trailing bytes after the image");
+
+    // Integrity: CRC-16 over header + body.
+    std::uint16_t want = crc16Bits(image, 0, crc_end);
+    std::uint16_t got = 0;
+    for (std::size_t i = crc_end; i < total; ++i)
+        got = static_cast<std::uint16_t>((got << 1)
+                                         | (image.bit(i) ? 1 : 0));
+    if (want != got)
+        bad(Kind::CrcMismatch, "image CRC check failed");
+
+    Cursor cur(image, kCkptHeaderBits, crc_end);
+
+    // GEOM.
+    cur.expectTag(kCkptTagGeom, "GEOM");
+    std::uint32_t remote_sets =
+        static_cast<std::uint32_t>(cur.get(kCkptSetBits, "GEOM"));
+    unsigned remote_ways =
+        static_cast<unsigned>(cur.get(kCkptWayBits, "GEOM"));
+    std::uint32_t home_sets =
+        static_cast<std::uint32_t>(cur.get(kCkptSetBits, "GEOM"));
+    unsigned home_ways =
+        static_cast<unsigned>(cur.get(kCkptWayBits, "GEOM"));
+    unsigned rlid_bits =
+        static_cast<unsigned>(cur.get(kCkptRlidBits, "GEOM"));
+    std::uint64_t home_buckets = cur.get(kCkptBucketCountBits, "GEOM");
+    unsigned home_bucket_ways =
+        static_cast<unsigned>(cur.get(kCkptBucketWaysBits, "GEOM"));
+    std::uint64_t remote_buckets =
+        cur.get(kCkptBucketCountBits, "GEOM");
+    unsigned remote_bucket_ways =
+        static_cast<unsigned>(cur.get(kCkptBucketWaysBits, "GEOM"));
+    std::size_t evbuf_cap =
+        static_cast<std::size_t>(cur.get(kCkptEvbufCapBits, "GEOM"));
+    if (remote_sets != ch.remote_.numSets()
+        || remote_ways != ch.remote_.numWays()
+        || home_sets != ch.home_.numSets()
+        || home_ways != ch.home_.numWays()
+        || rlid_bits != ch.rlid_bits_
+        || home_buckets != ch.home_ht_.buckets_.size()
+        || home_bucket_ways != ch.home_ht_.cfg_.bucket_ways
+        || remote_buckets != ch.remote_ht_.buckets_.size()
+        || remote_bucket_ways != ch.remote_ht_.cfg_.bucket_ways
+        || evbuf_cap != ch.evbuf_.capacity_)
+        bad(Kind::GeometryMismatch,
+            "image geometry differs from the restoring channel");
+
+    // CHANNEL.
+    cur.expectTag(kCkptTagChannel, "CHANNEL");
+    std::uint64_t health_raw = cur.get(kCkptHealthBits, "CHANNEL");
+    if (health_raw > 1)
+        bad(Kind::BadSection, "unknown health state");
+    std::uint64_t healthy_streak = cur.get(kCkptCountBits, "CHANNEL");
+    std::uint64_t epoch = cur.get(kCkptCountBits, "CHANNEL");
+    std::uint64_t trace_seq = cur.get(kCkptCountBits, "CHANNEL");
+    bool compression_enabled =
+        cur.get(kCkptFlagBits, "CHANNEL") != 0;
+
+    // WMT.
+    cur.expectTag(kCkptTagWmt, "WMT");
+    std::uint64_t wmt_sets = cur.get(kCkptCountBits, "WMT");
+    std::uint64_t wmt_overwrites = cur.get(kCkptCountBits, "WMT");
+    std::uint64_t wmt_clears = cur.get(kCkptCountBits, "WMT");
+    std::uint64_t wmt_lookups = cur.get(kCkptCountBits, "WMT");
+    std::uint64_t wmt_translate_misses =
+        cur.get(kCkptCountBits, "WMT");
+    std::vector<WayMapTable::Slot> wmt_slots;
+    wmt_slots.resize(std::size_t{remote_sets} * remote_ways);
+    unsigned entry_bits = ch.wmt_.entryBits();
+    for (auto &slot : wmt_slots) {
+        bool valid = cur.get(kCkptFlagBits, "WMT") != 0;
+        if (!valid)
+            continue;
+        std::uint32_t norm =
+            static_cast<std::uint32_t>(cur.get(kCkptNormBits, "WMT"));
+        if (entry_bits < kCkptNormBits
+            && norm >= (std::uint32_t{1} << entry_bits))
+            bad(Kind::BadSection, "WMT normalized LID out of range");
+        slot.norm = norm;
+        slot.valid = true;
+    }
+
+    // HT_HOME / HT_REMOTE.
+    HtImage hts[2];
+    const std::uint32_t tags[2] = {kCkptTagHtHome, kCkptTagHtRemote};
+    const char *ht_names[2] = {"HT_HOME", "HT_REMOTE"};
+    for (unsigned ti = 0; ti < 2; ++ti) {
+        const SignatureHashTable &live =
+            ti == 0 ? ch.home_ht_ : ch.remote_ht_;
+        std::uint32_t sets_limit = ti == 0 ? home_sets : remote_sets;
+        unsigned ways_limit = ti == 0 ? home_ways : remote_ways;
+        HtImage &img = hts[ti];
+        cur.expectTag(tags[ti], ht_names[ti]);
+        img.age_clock = cur.get(kCkptCountBits, ht_names[ti]);
+        img.inserts = cur.get(kCkptCountBits, ht_names[ti]);
+        img.evictions = cur.get(kCkptCountBits, ht_names[ti]);
+        img.refreshes = cur.get(kCkptCountBits, ht_names[ti]);
+        img.removes = cur.get(kCkptCountBits, ht_names[ti]);
+        img.remove_misses = cur.get(kCkptCountBits, ht_names[ti]);
+        img.lookups = cur.get(kCkptCountBits, ht_names[ti]);
+        img.lookup_lids = cur.get(kCkptCountBits, ht_names[ti]);
+        img.buckets.resize(live.buckets_.size());
+        for (auto &bucket : img.buckets) {
+            std::uint64_t count =
+                cur.get(kCkptSlotCountBits, ht_names[ti]);
+            if (count > live.cfg_.bucket_ways)
+                bad(Kind::BadSection,
+                    "hash bucket deeper than its configured ways");
+            bucket.resize(static_cast<std::size_t>(count));
+            for (auto &slot : bucket) {
+                slot.set = static_cast<std::uint32_t>(
+                    cur.get(kCkptSetBits, ht_names[ti]));
+                slot.way = static_cast<std::uint8_t>(
+                    cur.get(kCkptWayBits, ht_names[ti]));
+                slot.age = cur.get(kCkptCountBits, ht_names[ti]);
+                if (slot.set >= sets_limit || slot.way >= ways_limit)
+                    bad(Kind::BadSection,
+                        "hash-table LineID out of range");
+            }
+        }
+    }
+
+    // EVBUF.
+    EvbufImage ev;
+    cur.expectTag(kCkptTagEvbuf, "EVBUF");
+    ev.seq_clock = cur.get(kCkptCountBits, "EVBUF");
+    ev.pushes = cur.get(kCkptCountBits, "EVBUF");
+    ev.retired = cur.get(kCkptCountBits, "EVBUF");
+    ev.overflow_drops = cur.get(kCkptCountBits, "EVBUF");
+    ev.finds = cur.get(kCkptCountBits, "EVBUF");
+    ev.find_hits = cur.get(kCkptCountBits, "EVBUF");
+    std::uint64_t ev_len = cur.get(kCkptEvbufLenBits, "EVBUF");
+    if (ev_len > evbuf_cap)
+        bad(Kind::BadSection, "eviction buffer beyond its capacity");
+    ev.entries.resize(static_cast<std::size_t>(ev_len));
+    for (auto &e : ev.entries) {
+        e.seq = cur.get(kCkptCountBits, "EVBUF");
+        e.set = static_cast<std::uint32_t>(
+            cur.get(kCkptSetBits, "EVBUF"));
+        e.way = static_cast<std::uint8_t>(
+            cur.get(kCkptWayBits, "EVBUF"));
+        if (e.set >= remote_sets || e.way >= remote_ways)
+            bad(Kind::BadSection,
+                "eviction-buffer LineID out of range");
+        for (unsigned i = 0; i < kLineBytes; ++i)
+            e.data.setByte(i, static_cast<std::uint8_t>(
+                                  cur.get(kCkptByteBits, "EVBUF")));
+    }
+
+    // COUNTERS.
+    cur.expectTag(kCkptTagCounters, "COUNTERS");
+    std::uint64_t ncounters = cur.get(kCkptNumCountersBits, "COUNTERS");
+    std::map<std::string, std::uint64_t> counters;
+    for (std::uint64_t i = 0; i < ncounters; ++i) {
+        std::uint64_t len = cur.get(kCkptNameLenBits, "COUNTERS");
+        std::string name;
+        name.reserve(static_cast<std::size_t>(len));
+        for (std::uint64_t c = 0; c < len; ++c)
+            name.push_back(static_cast<char>(
+                cur.get(kCkptByteBits, "COUNTERS")));
+        counters[name] = cur.get(kCkptCountBits, "COUNTERS");
+    }
+
+    if (cur.pos() != cur.endPos())
+        bad(Kind::BadSection, "body longer than its sections");
+
+    // ---- apply (nothing above mutated the channel) ------------------
+
+    ch.health_ = health_raw ? CableChannel::Health::Degraded
+                            : CableChannel::Health::Healthy;
+    ch.healthy_streak_ = static_cast<unsigned>(healthy_streak);
+    ch.trace_seq_ = trace_seq;
+    ch.cfg_.compression_enabled = compression_enabled;
+
+    ch.wmt_.slots_ = std::move(wmt_slots);
+    ch.wmt_.sets_ = wmt_sets;
+    ch.wmt_.overwrites_ = wmt_overwrites;
+    ch.wmt_.clears_ = wmt_clears;
+    ch.wmt_.lookups_ = wmt_lookups;
+    ch.wmt_.translate_misses_ = wmt_translate_misses;
+
+    for (unsigned ti = 0; ti < 2; ++ti) {
+        SignatureHashTable &live =
+            ti == 0 ? ch.home_ht_ : ch.remote_ht_;
+        HtImage &img = hts[ti];
+        live.age_clock_ = img.age_clock;
+        live.inserts_ = img.inserts;
+        live.evictions_ = img.evictions;
+        live.refreshes_ = img.refreshes;
+        live.removes_ = img.removes;
+        live.remove_misses_ = img.remove_misses;
+        live.lookups_ = img.lookups;
+        live.lookup_lids_ = img.lookup_lids;
+        for (std::size_t b = 0; b < live.buckets_.size(); ++b) {
+            live.buckets_[b].clear();
+            for (const auto &slot : img.buckets[b])
+                live.buckets_[b].push_back(
+                    {LineID(slot.set, slot.way), slot.age});
+        }
+    }
+
+    ch.evbuf_.seq_clock_ = ev.seq_clock;
+    ch.evbuf_.pushes_ = ev.pushes;
+    ch.evbuf_.retired_ = ev.retired;
+    ch.evbuf_.overflow_drops_ = ev.overflow_drops;
+    ch.evbuf_.finds_ = ev.finds;
+    ch.evbuf_.find_hits_ = ev.find_hits;
+    ch.evbuf_.entries_.clear();
+    for (const auto &e : ev.entries)
+        ch.evbuf_.entries_.push_back(
+            {e.seq, LineID(e.set, e.way), e.data});
+
+    // Histograms are telemetry, not replicated channel state: a
+    // restored channel restarts them empty while every counter comes
+    // back exactly (the reconciliation tests depend on counters).
+    ch.stats_.clear();
+    for (const auto &[name, value] : counters)
+        ch.stats_.counter(name) = value;
+
+    // Every restore opens a new channel generation — the resync
+    // handshake compares epochs to detect a restarted peer.
+    ch.epoch_ = epoch + 1;
+    ch.stats_.add("checkpoint_restores", 1);
+    ch.traceControl(TraceEvent::Type::Checkpoint, 0, false, ch.epoch_);
+}
+
+// ---------------------------------------------------------------------
+// File I/O (atomic write + rename)
+// ---------------------------------------------------------------------
+
+void
+ChannelCheckpoint::writeImage(const BitVec &image,
+                              const std::string &path)
+{
+    using Kind = CableCheckpointError::Kind;
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        bad(Kind::IoError, "cannot open " + tmp + " for writing");
+    std::size_t nbytes = (image.sizeBits() + 7) / 8;
+    std::size_t written =
+        nbytes ? std::fwrite(image.data(), 1, nbytes, f) : 0;
+    bool flush_ok = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != nbytes || !flush_ok) {
+        std::remove(tmp.c_str());
+        bad(Kind::IoError, "short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        bad(Kind::IoError, "cannot rename " + tmp + " to " + path);
+    }
+}
+
+BitVec
+ChannelCheckpoint::readImage(const std::string &path)
+{
+    using Kind = CableCheckpointError::Kind;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        bad(Kind::IoError, "cannot open " + path + " for reading");
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    bool read_err = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_err)
+        bad(Kind::IoError, "read error on " + path);
+    BitVec image;
+    for (std::uint8_t b : bytes)
+        for (unsigned i = 0; i < 8; ++i)
+            image.pushBit(((b >> (7 - i)) & 1) != 0);
+    return image;
+}
+
+void
+ChannelCheckpoint::save(const CableChannel &ch, const std::string &path)
+{
+    writeImage(capture(ch), path);
+}
+
+void
+ChannelCheckpoint::load(CableChannel &ch, const std::string &path)
+{
+    restore(ch, readImage(path));
+}
+
+} // namespace cable

@@ -94,6 +94,13 @@ class EvictionBuffer
     std::size_t capacity() const { return capacity_; }
 
     /**
+     * Drops every entry without retiring it (endpoint crash: the
+     * buffered copies are gone). The sequence clock keeps counting
+     * so post-crash EvictSeqs stay monotone.
+     */
+    void clearAll() { entries_.clear(); }
+
+    /**
      * Structure introspection probe: current fill plus lifetime
      * traffic — pushes, retirements, capacity-overflow drops (a
      * non-zero value means the buffer is undersized for the link's
@@ -113,6 +120,10 @@ class EvictionBuffer
     }
 
   private:
+    /** Serializes/restores entries, the sequence clock and counters
+     *  (core/checkpoint.h). */
+    friend class ChannelCheckpoint;
+
     struct Entry
     {
         std::uint64_t seq;

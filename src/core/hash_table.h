@@ -82,6 +82,10 @@ class SignatureHashTable
     void clear();
 
   private:
+    /** Serializes/restores buckets, clocks and counters
+     *  (core/checkpoint.h). */
+    friend class ChannelCheckpoint;
+
     struct Slot
     {
         LineID lid;

@@ -51,6 +51,28 @@ inline constexpr unsigned kWireCompressedHeaderBits =
 /** Header bits of a raw (uncompressed escape) frame. */
 inline constexpr unsigned kWireRawHeaderBits = kWireFlagBits;
 
+// ---------------------------------------------------------------------
+// Resync handshake (DESIGN.md §12). The reconciliation protocol that
+// returns a crashed/desynced channel to Healthy exchanges epoch
+// numbers, per-range structure digests and per-line re-arm
+// confirmations; their widths are part of the wire contract exactly
+// like the frame header above, and all resync traffic is charged to
+// the recovery counters using these widths.
+// ---------------------------------------------------------------------
+
+/** Channel-generation (epoch) number in the resync hello. */
+inline constexpr unsigned kWireResyncEpochBits = 32;
+
+/** Per-range metadata digest exchanged during reconciliation. */
+inline constexpr unsigned kWireResyncDigestBits = 32;
+
+/**
+ * Per-line confirmation digest sent while re-arming a mismatched
+ * range: one RemoteLID (CableChannel::remoteLidBits()) plus this
+ * digest per re-linked line.
+ */
+inline constexpr unsigned kWireResyncLineDigestBits = 16;
+
 } // namespace cable
 
 #endif // CABLE_CORE_WIRE_FORMAT_H

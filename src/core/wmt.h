@@ -110,6 +110,9 @@ class WayMapTable
     void snapshot(StatSet &out, const std::string &prefix) const;
 
   private:
+    /** Serializes/restores slots and counters (core/checkpoint.h). */
+    friend class ChannelCheckpoint;
+
     struct Slot
     {
         std::uint32_t norm = 0;

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chaos/soak harness (DESIGN.md §12): a seed-deterministic schedule
+ * of composed failures driven against a full MemLinkSystem, with an
+ * online differential oracle.
+ *
+ * Two systems run the identical workload in lockstep: the *subject*
+ * (fault injection enabled, crashes scheduled) and a fault-free
+ * *twin*. The crash model loses only link-encoder metadata — cache
+ * contents survive a link reset — so subject and twin must remain
+ * architecturally identical: after every recovery, and at the end of
+ * the run, the oracle asserts
+ *
+ *   - transfer and raw-bit counters match the twin exactly, and
+ *   - LLC and L4 contents are bit-exact between the two systems;
+ *
+ * i.e. every line CABLE delivered through crashes, corrupt
+ * checkpoints, desyncs and resyncs decoded to the same data a
+ * fault-free link would have carried.
+ *
+ * At each scheduled crash step the harness captures a checkpoint
+ * (optionally round-tripping it through a file with the atomic
+ * write-rename path), kills the endpoint, then either restores the
+ * image or — with probability `corrupt_prob` — corrupts it first
+ * (rotating over bit-flip, truncation, magic and version damage) and
+ * asserts the load is rejected with a typed CableCheckpointError,
+ * falling back to a cold restart. Either way the resync protocol
+ * must complete and return the channel to Healthy.
+ *
+ * A separate watchdog scenario (single channel, always-corrupting
+ * fault model, small ARQ budget) exercises the stalled-ARQ path:
+ * CableTimeoutError must fire, crash recovery + resync must heal the
+ * channel, and the retried fetch must deliver correct data. It runs
+ * outside the lockstep pair because an aborted transfer would
+ * (correctly) desynchronize subject and twin cache contents.
+ */
+
+#ifndef CABLE_SIM_CHAOS_H
+#define CABLE_SIM_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/memlink.h"
+
+namespace cable
+{
+
+struct ChaosConfig
+{
+    /** Workload profile name (workload/profile.h). */
+    std::string benchmark = "mix";
+    /** Memory ops to run (single thread; see header comment). */
+    std::uint64_t ops = 20000;
+    /** Schedule seed: crash steps, corruption draws. */
+    std::uint64_t seed = 1;
+    /** Endpoint crash/restart events to schedule. */
+    unsigned crashes = 10;
+    /** Probability a captured checkpoint is corrupted before load. */
+    double corrupt_prob = 0.4;
+    /** Round-trip checkpoints through files here ("" = in-memory). */
+    std::string ckpt_dir;
+    /** Also run the ARQ-watchdog timeout scenario. */
+    bool watchdog_scenario = true;
+    /**
+     * Base system configuration; the harness forces scheme="cable",
+     * a single thread (the lockstep oracle requires an identical
+     * access interleave) and a disabled watchdog on the lockstep
+     * pair, and zeroes the fault knobs on the twin.
+     */
+    MemSystemConfig mem;
+};
+
+struct ChaosReport
+{
+    bool ok = false;
+    std::string failure; ///< first oracle violation ("" when ok)
+
+    unsigned crashes = 0;            ///< endpoint kills executed
+    unsigned checkpoints_saved = 0;  ///< images captured
+    unsigned restores_ok = 0;        ///< clean images restored
+    unsigned corrupt_images = 0;     ///< images corrupted on purpose
+    unsigned corrupt_rejected = 0;   ///< ...rejected with typed error
+    unsigned resyncs_completed = 0;  ///< resync sessions that healed
+    unsigned watchdog_timeouts = 0;  ///< CableTimeoutErrors observed
+    std::uint64_t recovery_bits = 0; ///< subject recovery traffic
+    std::uint64_t transfers = 0;     ///< subject link transfers
+
+    /** The seed-derived crash schedule (step ordinals), for replay. */
+    std::vector<std::uint64_t> crash_steps;
+    /** Subject channel counters at end of run. */
+    StatSet subject_stats;
+};
+
+/** Runs the full chaos schedule; never throws on oracle failure —
+ *  the report carries the verdict. */
+ChaosReport runChaos(const ChaosConfig &cfg);
+
+} // namespace cable
+
+#endif // CABLE_SIM_CHAOS_H

@@ -499,8 +499,12 @@ double
 MemLinkSystem::goodputRatio()
 {
     const StatSet &s = protocol_->stats();
+    // recovery_bits covers desync re-arm plus resync-protocol
+    // handshake traffic; zero on fault-free runs, so the ratio is
+    // unchanged there.
     std::uint64_t wire = s.get("wire_bits") + s.get("crc_overhead_bits")
-                         + s.get("retrans_bits");
+                         + s.get("retrans_bits")
+                         + s.get("recovery_bits");
     if (!wire)
         return 1.0;
     return static_cast<double>(s.get("raw_bits"))

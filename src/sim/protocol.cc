@@ -74,6 +74,12 @@ CableLinkProtocol::setCompressionEnabled(bool on)
     channel_.setCompressionEnabled(on);
 }
 
+ResyncResult
+CableLinkProtocol::restartAndResync()
+{
+    return ResyncSession(channel_).run();
+}
+
 // ---------------------------------------------------------------------
 // StreamLinkProtocol
 // ---------------------------------------------------------------------
@@ -236,6 +242,18 @@ void
 StreamLinkProtocol::setCompressionEnabled(bool on)
 {
     enabled_ = on;
+}
+
+void
+StreamLinkProtocol::crashEndpoint()
+{
+    // Fresh engine instances: any persistent dictionary or streaming
+    // window restarts cold. "raw" keeps its null engines.
+    if (scheme_ != "raw") {
+        resp_engine_ = makeCompressor(scheme_);
+        wb_engine_ = makeCompressor(scheme_);
+    }
+    stats_.add("endpoint_crashes", 1);
 }
 
 LinkProtocolPtr

@@ -29,6 +29,7 @@
 #include "common/stats.h"
 #include "compress/compressor.h"
 #include "core/channel.h"
+#include "sim/resync.h"
 
 namespace cable
 {
@@ -103,6 +104,32 @@ class LinkProtocol
      */
     virtual CableChannel *cableChannel() { return nullptr; }
 
+    // ---- crash recovery (DESIGN.md §12) -----------------------------
+
+    /**
+     * Simulated endpoint crash: volatile link-encoder state (CABLE
+     * dictionaries, persistent baseline dictionaries) is lost; cache
+     * contents survive. The default is a no-op — a stateless link has
+     * nothing to lose.
+     */
+    virtual void
+    crashEndpoint()
+    {
+    }
+
+    /**
+     * Post-restart reconciliation. CABLE runs the full resync
+     * handshake; stateless baselines complete trivially (their
+     * dictionaries rebuild inline, so restart needs no protocol).
+     */
+    virtual ResyncResult
+    restartAndResync()
+    {
+        ResyncResult r;
+        r.completed = true;
+        return r;
+    }
+
     SchemeLatency latency() const { return schemeLatency(schemeName()); }
 
     Cache &home() { return home_; }
@@ -151,6 +178,9 @@ class CableLinkProtocol : public LinkProtocol
     std::string schemeName() const override { return "cable"; }
     CableChannel *cableChannel() override { return &channel_; }
 
+    void crashEndpoint() override { channel_.crashMetadata(); }
+    ResyncResult restartAndResync() override;
+
     CableChannel &channel() { return channel_; }
 
   private:
@@ -174,6 +204,14 @@ class StreamLinkProtocol : public LinkProtocol
     void setCompressionEnabled(bool on) override;
     StatSet &stats() override { return stats_; }
     std::string schemeName() const override { return scheme_; }
+
+    /**
+     * Crash model for the baselines: per-line engines hold no state,
+     * but persistent-dictionary engines (cpack128, lbe256, gzip
+     * windows) lose their dictionaries — both directions restart
+     * cold, exactly like a power-cycled link PHY.
+     */
+    void crashEndpoint() override;
 
   private:
     Transfer encode(const CacheLine &data, Compressor *engine,

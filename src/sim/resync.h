@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dictionary resynchronization protocol (DESIGN.md §12). After an
+ * endpoint crash/restart (or any event that tears the link-encoder
+ * metadata), the survivor and the restarted side run a reconciliation
+ * handshake over the CableChannel:
+ *
+ *   1. Hello: both sides exchange channel epochs
+ *      (kWireResyncEpochBits each) so a restarted peer is detected.
+ *   2. Digest rounds: the remote set space is cut into fixed-size
+ *      ranges; per range each side sends a structure digest
+ *      (kWireResyncDigestBits). A range whose tracking digest
+ *      (metadataDigest) matches the ground-truth digest
+ *      (referenceDigest) needs no traffic at all.
+ *   3. Repair: each mismatched range is dropped and incrementally
+ *      re-armed (resynchronizeRange); the re-warm cost is one
+ *      RemoteLID plus a line digest per re-linked pair.
+ *   4. Verify: another digest round; the session completes when a
+ *      full round shows every range clean, at which point the
+ *      channel returns Degraded→Healthy immediately
+ *      (CableChannel::completeResync) — the protocol's bounded
+ *      re-warm guarantee.
+ *
+ * Mid-resync faults: when the channel carries a fault model, each
+ * repair round consults it and may re-tear a just-repaired range,
+ * forcing the verify round to find and fix it again. Injection stops
+ * before the final round so a fault schedule can delay but never
+ * prevent convergence.
+ *
+ * All handshake and re-arm traffic is charged to the channel's
+ * recovery counters (`resync_handshake_bits`, `resync_rearm_bits`,
+ * `recovery_bits`) — never to the payload counters, so compression
+ * ratios on fault-free runs are untouched.
+ */
+
+#ifndef CABLE_SIM_RESYNC_H
+#define CABLE_SIM_RESYNC_H
+
+#include <cstdint>
+
+namespace cable
+{
+
+class CableChannel;
+
+/** Knobs of one reconciliation session. */
+struct ResyncConfig
+{
+    /** Remote sets per digest range (granularity of repair). */
+    std::uint32_t range_sets = 64;
+    /** Digest/repair rounds before giving up (faults re-tear work). */
+    unsigned max_rounds = 4;
+};
+
+/** Outcome of one reconciliation session. */
+struct ResyncResult
+{
+    bool completed = false;  ///< a full digest round verified clean
+    std::uint64_t epoch = 0; ///< channel generation after the session
+    unsigned rounds = 0;     ///< digest rounds actually run
+    std::uint32_t ranges_total = 0;    ///< ranges per digest round
+    std::uint32_t ranges_repaired = 0; ///< repair operations (all rounds)
+    unsigned lines_relinked = 0;       ///< pairs re-armed (all rounds)
+    std::uint64_t handshake_bits = 0;  ///< hello + digest exchange bits
+    std::uint64_t rearm_bits = 0;      ///< incremental re-arm bits
+    unsigned faults_hit = 0;           ///< mid-resync faults injected
+};
+
+/**
+ * Runs the reconciliation handshake on one channel. The two
+ * endpoints of the simulated link share the channel object, so the
+ * session models the protocol's traffic and state repair without a
+ * second message-passing layer; the bit accounting is what a real
+ * two-sided exchange would pay.
+ */
+class ResyncSession
+{
+  public:
+    explicit ResyncSession(CableChannel &ch, ResyncConfig cfg = {});
+
+    /** Runs the session to completion (or max_rounds) and accounts
+     *  every bit into the channel's recovery counters. */
+    ResyncResult run();
+
+  private:
+    CableChannel &ch_;
+    ResyncConfig cfg_;
+};
+
+} // namespace cable
+
+#endif // CABLE_SIM_RESYNC_H

@@ -19,6 +19,10 @@ TraceEvent::typeName(Type t)
     case Type::SyncDrop: return "sync_drop";
     case Type::Fault: return "fault";
     case Type::StructSnapshot: return "struct_snapshot";
+    case Type::Crash: return "crash";
+    case Type::Resync: return "resync";
+    case Type::Checkpoint: return "checkpoint";
+    case Type::Timeout: return "timeout";
     }
     return "unknown";
 }

@@ -48,6 +48,10 @@ struct TraceEvent
         SyncDrop,    ///< eviction/upgrade notice lost
         Fault,       ///< injector corrupted a wire frame
         StructSnapshot, ///< structure probe taken (aux = HT occupancy)
+        Crash,       ///< endpoint crash lost the dictionaries
+        Resync,      ///< resync-protocol progress (aux = ranges/lines)
+        Checkpoint,  ///< checkpoint captured or restored
+        Timeout,     ///< ARQ watchdog fired (aux = retry cycles)
     };
 
     Type type = Type::Encode;

@@ -380,6 +380,120 @@ TEST(FaultChannel, DesyncWithoutFaultModelPropagates)
     }
 }
 
+namespace
+{
+
+/**
+ * Builds the deterministic delivery-desync setup: a clean shared
+ * reference line whose home copy is silently corrupted, then a
+ * write-back that duplicates the original reference data, which the
+ * remote hash table picks as a reference and home-side decode then
+ * rejects. Returns the write-back line to send.
+ */
+CacheLine
+armDeliveryDesync(Rig &rig, SyntheticMemory &mem, Addr ref_addr)
+{
+    rig.fetch(mem, ref_addr);
+    CacheLine original = mem.lineAt(ref_addr);
+    LineID hlid = rig.home.find(ref_addr);
+    EXPECT_TRUE(hlid.valid);
+    CacheLine bad = rig.home.entryAt(hlid).data;
+    bad.setWord(0, ~bad.word(0));
+    rig.home.entryAt(hlid).data = bad;
+    return original;
+}
+
+} // namespace
+
+TEST(FaultChannel, NonStrictDesyncRecoversInPlace)
+{
+    Rig rig; // strict_desync off: recovery is the default
+    ScriptedFault fault;
+    rig.channel.setFaultModel(&fault);
+    ValueProfile v;
+    v.random_line_frac = 1.0;
+    SyntheticMemory mem(v, 0, 6);
+
+    Addr wb_addr = 0x6000;
+    rig.fetch(mem, wb_addr);
+    CacheLine dup = armDeliveryDesync(rig, mem, 0x5000);
+
+    Transfer t = rig.channel.writeBack(wb_addr, dup);
+    EXPECT_TRUE(t.raw_fallback);
+    EXPECT_EQ(rig.channel.stats().get("desyncs_detected"), 1u);
+    EXPECT_EQ(rig.channel.stats().get("desync_recoveries"), 1u);
+    EXPECT_TRUE(rig.channel.degraded());
+    // The raw fallback still delivered the correct data.
+    EXPECT_EQ(rig.home.entryAt(rig.home.find(wb_addr)).data, dup);
+    // Re-arm traffic is charged to the recovery counters only.
+    const StatSet &st = rig.channel.stats();
+    EXPECT_EQ(st.get("recovery_bits"), st.get("resync_rearm_bits"));
+    // The in-recovery resynchronize ran an instant before the
+    // write-back landed at home, so one stale link can remain (the
+    // protocol's eviction path would have dropped it); the audit
+    // repairs it and a re-audit is clean.
+    (void)rig.channel.auditInvariant();
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+}
+
+TEST(FaultChannel, StrictDesyncSurfacesTypedError)
+{
+    CableConfig cfg;
+    cfg.strict_desync = true;
+    Rig rig(cfg);
+    ScriptedFault fault;
+    rig.channel.setFaultModel(&fault);
+    ValueProfile v;
+    v.random_line_frac = 1.0;
+    SyntheticMemory mem(v, 0, 6);
+
+    Addr wb_addr = 0x6000;
+    rig.fetch(mem, wb_addr);
+    CacheLine dup = armDeliveryDesync(rig, mem, 0x5000);
+
+    EXPECT_THROW((void)rig.channel.writeBack(wb_addr, dup),
+                 CableDesyncError);
+    // Strict mode counts and surfaces — it never enters recovery.
+    EXPECT_EQ(rig.channel.stats().get("desyncs_detected"), 1u);
+    EXPECT_EQ(rig.channel.stats().get("desync_recoveries"), 0u);
+}
+
+TEST(FaultChannel, SecondDesyncWithinAuditWindowRecovers)
+{
+    CableConfig cfg;
+    cfg.rearm_window = 64; // stay degraded across both desyncs
+    Rig rig(cfg);
+    ScriptedFault fault;
+    rig.channel.setFaultModel(&fault);
+    SyntheticMemory mem(similarValues(), 0, 8);
+
+    std::uint64_t epoch0 = rig.channel.epoch();
+    rig.fetch(mem, 0x7000);
+    fault.drop_next_sync = true;
+    rig.fetch(mem, 0x7000, /*store=*/true);
+    EXPECT_GE(rig.channel.auditInvariant(), 1u);
+    EXPECT_EQ(rig.channel.stats().get("desync_recoveries"), 1u);
+    ASSERT_TRUE(rig.channel.degraded());
+
+    // Second lost sync while the first recovery's degraded window is
+    // still open: the audit must catch and repair it again rather
+    // than assuming a degraded channel cannot re-desync.
+    rig.fetch(mem, 0x8000);
+    fault.drop_next_sync = true;
+    rig.fetch(mem, 0x8000, /*store=*/true);
+    EXPECT_GE(rig.channel.auditInvariant(), 1u);
+    EXPECT_EQ(rig.channel.stats().get("desync_recoveries"), 2u);
+    EXPECT_TRUE(rig.channel.degraded());
+    EXPECT_EQ(rig.channel.stats().get("degraded_entries"), 1u);
+    EXPECT_GE(rig.channel.epoch(), epoch0 + 2);
+
+    // Both recoveries leave a consistent channel behind.
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+    rig.fetch(mem, 0x9000);
+    EXPECT_EQ(rig.remote.entryAt(rig.remote.find(0x9000)).data,
+              mem.lineAt(0x9000));
+}
+
 // ---------------------------------------------------------------------
 // End-to-end: MemLinkSystem with injection
 // ---------------------------------------------------------------------

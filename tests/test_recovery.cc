@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Crash-recovery tests (DESIGN.md §12): checkpoint capture/restore
+ * round-trips, typed rejection of every corruption class, atomic
+ * file save/load, format stability against a committed golden
+ * image, the resync protocol's Degraded→Healthy guarantee, the ARQ
+ * watchdog's terminal timeout, and the chaos harness's differential
+ * oracle over a ≥10-crash schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cache/cache.h"
+#include "common/rng.h"
+#include "core/channel.h"
+#include "core/checkpoint.h"
+#include "sim/chaos.h"
+#include "sim/fault.h"
+#include "sim/resync.h"
+#include "workload/profile.h"
+#include "workload/value_model.h"
+
+using namespace cable;
+
+namespace
+{
+
+struct Rig
+{
+    Cache home;
+    Cache remote;
+    CableChannel channel;
+
+    explicit Rig(const CableConfig &cfg = CableConfig{})
+        : home({"home", 1u << 20, 8}), remote({"remote", 256u << 10, 8}),
+          channel(home, remote, cfg)
+    {
+    }
+
+    FetchResult
+    fetch(SyntheticMemory &mem, Addr addr, bool store = false)
+    {
+        if (remote.access(addr)) {
+            if (store && !remote.entryAt(remote.find(addr)).dirty())
+                channel.remoteUpgrade(addr);
+            return FetchResult{};
+        }
+        if (!home.probe(addr))
+            (void)channel.homeInstall(addr, mem.lineAt(addr));
+        return channel.remoteFetch(addr, store);
+    }
+};
+
+ValueProfile
+similarValues()
+{
+    ValueProfile v;
+    v.zero_line_frac = 0.1;
+    v.zero_word_frac = 0.3;
+    v.template_count = 16;
+    v.region_lines = 8;
+    v.template_vocab = 6;
+    v.mutation_rate = 0.05;
+    v.random_line_frac = 0.05;
+    return v;
+}
+
+/** Drives a deterministic warm-up mix through the rig. */
+void
+warm(Rig &rig, SyntheticMemory &mem, unsigned ops, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (unsigned i = 0; i < ops; ++i) {
+        Addr addr = (rng.below(512) * 64) & ~Addr{63};
+        (void)rig.fetch(mem, addr, rng.chance(0.2));
+    }
+}
+
+/** Every-packet corruptor: ARQ can never succeed under it. */
+struct AlwaysCorrupt : LinkFaultModel
+{
+    unsigned
+    corruptPacket(BitVec &wire) override
+    {
+        if (wire.sizeBits() == 0)
+            return 0;
+        wire.flipBit(0);
+        return 1;
+    }
+    bool dropSyncMessage() override { return false; }
+    bool corruptMetadata() override { return false; }
+    std::uint64_t pick(std::uint64_t) override { return 0; }
+};
+
+std::uint64_t
+fullDigest(const CableChannel &ch)
+{
+    return ch.metadataDigest(0, 1u << 30);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Checkpoint image format
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, CaptureIsDeterministic)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 11);
+    warm(rig, mem, 600, 11);
+    BitVec a = ChannelCheckpoint::capture(rig.channel);
+    BitVec b = ChannelCheckpoint::capture(rig.channel);
+    ASSERT_EQ(a.sizeBits(), b.sizeBits());
+    for (std::size_t i = 0; i < a.sizeBits(); ++i)
+        ASSERT_EQ(a.bit(i), b.bit(i)) << "bit " << i;
+}
+
+TEST(Checkpoint, RoundTripRestoresStateAndBumpsEpoch)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 12);
+    warm(rig, mem, 800, 12);
+
+    std::uint64_t digest0 = fullDigest(rig.channel);
+    std::uint64_t transfers0 = rig.channel.stats().get("transfers");
+    std::uint64_t epoch0 = rig.channel.epoch();
+    BitVec image = ChannelCheckpoint::capture(rig.channel);
+
+    // Mutate well past the captured state.
+    warm(rig, mem, 800, 13);
+    EXPECT_NE(rig.channel.stats().get("transfers"), transfers0);
+
+    ChannelCheckpoint::restore(rig.channel, image);
+    EXPECT_EQ(fullDigest(rig.channel), digest0);
+    EXPECT_EQ(rig.channel.stats().get("transfers"), transfers0);
+    EXPECT_EQ(rig.channel.stats().get("checkpoint_restores"), 1u);
+    EXPECT_GT(rig.channel.epoch(), epoch0);
+
+    // The caches moved on since the capture, so the restored
+    // metadata is stale — exactly the state the resync protocol
+    // reconciles. After it, the channel must decode cleanly again.
+    EXPECT_TRUE(ResyncSession(rig.channel).run().completed);
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+    warm(rig, mem, 400, 14);
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+}
+
+TEST(Checkpoint, EveryCorruptionClassRejectedTyped)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 15);
+    warm(rig, mem, 500, 15);
+    const BitVec image = ChannelCheckpoint::capture(rig.channel);
+    const std::uint64_t digest0 = fullDigest(rig.channel);
+
+    auto expectKind = [&](const BitVec &bad,
+                          CableCheckpointError::Kind kind) {
+        try {
+            ChannelCheckpoint::restore(rig.channel, bad);
+            FAIL() << "corrupt image accepted (expected "
+                   << CableCheckpointError::kindName(kind) << ")";
+        } catch (const CableCheckpointError &e) {
+            EXPECT_EQ(e.kind(), kind) << e.what();
+        }
+        // Strong guarantee: a rejected load changes nothing.
+        EXPECT_EQ(fullDigest(rig.channel), digest0);
+    };
+
+    {
+        BitVec bad = image; // body bit-flip
+        bad.flipBit(kCkptHeaderBits + 17);
+        expectKind(bad, CableCheckpointError::Kind::CrcMismatch);
+    }
+    {
+        BitVec bad = image; // magic damage
+        bad.flipBit(3);
+        expectKind(bad, CableCheckpointError::Kind::BadMagic);
+    }
+    {
+        BitVec bad = image; // version skew
+        bad.flipBit(kCkptMagicBits + kCkptVersionBits - 1);
+        expectKind(bad, CableCheckpointError::Kind::VersionSkew);
+    }
+    {
+        BitVec bad; // truncated inside the body
+        for (std::size_t i = 0; i < image.sizeBits() / 2; ++i)
+            bad.pushBit(image.bit(i));
+        expectKind(bad, CableCheckpointError::Kind::Truncated);
+    }
+    {
+        BitVec bad; // truncated inside the header
+        for (std::size_t i = 0; i + 5 < kCkptHeaderBits; ++i)
+            bad.pushBit(image.bit(i));
+        expectKind(bad, CableCheckpointError::Kind::Truncated);
+    }
+    {
+        BitVec bad = image; // a byte of trailing garbage
+        for (int i = 0; i < 8; ++i)
+            bad.pushBit(i & 1);
+        expectKind(bad, CableCheckpointError::Kind::BadSection);
+    }
+    expectKind(BitVec{}, CableCheckpointError::Kind::Truncated);
+}
+
+TEST(Checkpoint, GeometryMismatchRejected)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 16);
+    warm(rig, mem, 300, 16);
+    BitVec image = ChannelCheckpoint::capture(rig.channel);
+
+    Cache home({"home", 1u << 20, 8});
+    Cache remote({"remote", 128u << 10, 8}); // half the remote sets
+    CableChannel other(home, remote, CableConfig{});
+    EXPECT_THROW(ChannelCheckpoint::restore(other, image),
+                 CableCheckpointError);
+    try {
+        ChannelCheckpoint::restore(other, image);
+    } catch (const CableCheckpointError &e) {
+        EXPECT_EQ(e.kind(),
+                  CableCheckpointError::Kind::GeometryMismatch);
+    }
+}
+
+TEST(Checkpoint, AtomicFileSaveLoad)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 17);
+    warm(rig, mem, 500, 17);
+
+    std::string path =
+        testing::TempDir() + "cable_ckpt_roundtrip.ckpt";
+    ChannelCheckpoint::save(rig.channel, path);
+    std::uint64_t digest0 = fullDigest(rig.channel);
+
+    warm(rig, mem, 500, 18);
+    ChannelCheckpoint::load(rig.channel, path);
+    EXPECT_EQ(fullDigest(rig.channel), digest0);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(ChannelCheckpoint::load(
+                     rig.channel, testing::TempDir() + "nonexistent"),
+                 CableCheckpointError);
+}
+
+// ---------------------------------------------------------------------
+// Format stability: the committed golden fixture must keep loading.
+// Regenerate (after a deliberate, version-bumped format change) with
+//   CABLE_WRITE_GOLDEN=1 ./test_recovery
+//       --gtest_filter=CheckpointFormat.GoldenFixtureLoads
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** The canonical channel state behind the golden fixture. */
+BitVec
+goldenImage()
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 2026);
+    warm(rig, mem, 1000, 2026);
+    return ChannelCheckpoint::capture(rig.channel);
+}
+
+} // namespace
+
+TEST(CheckpointFormat, GoldenFixtureLoads)
+{
+    const std::string path =
+        std::string(CABLE_TEST_DATA_DIR) + "/checkpoint_v1.golden";
+    if (std::getenv("CABLE_WRITE_GOLDEN")) {
+        ChannelCheckpoint::writeImage(goldenImage(), path);
+        GTEST_SKIP() << "golden fixture regenerated at " << path;
+    }
+
+    BitVec image = ChannelCheckpoint::readImage(path);
+    Rig rig; // golden geometry: the default Rig
+    ChannelCheckpoint::restore(rig.channel, image);
+    EXPECT_EQ(rig.channel.stats().get("checkpoint_restores"), 1u);
+    EXPECT_GT(rig.channel.stats().get("transfers"), 0u);
+
+    // The fixture is bit-identical to a fresh capture of the same
+    // canonical state (modulo the file format's byte-boundary pad):
+    // the serializer itself is format-stable.
+    BitVec fresh = goldenImage();
+    ASSERT_GE(image.sizeBits(), fresh.sizeBits());
+    ASSERT_LT(image.sizeBits() - fresh.sizeBits(), 8u);
+    for (std::size_t i = 0; i < fresh.sizeBits(); ++i)
+        ASSERT_EQ(image.bit(i), fresh.bit(i)) << "bit " << i;
+    for (std::size_t i = fresh.sizeBits(); i < image.sizeBits(); ++i)
+        ASSERT_FALSE(image.bit(i)) << "pad bit " << i << " set";
+}
+
+// ---------------------------------------------------------------------
+// Resync protocol
+// ---------------------------------------------------------------------
+
+TEST(Resync, ColdRestartReturnsToHealthy)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 21);
+    warm(rig, mem, 1000, 21);
+
+    rig.channel.crashMetadata();
+    EXPECT_TRUE(rig.channel.degraded());
+    EXPECT_EQ(fullDigest(rig.channel), fullDigest(Rig{}.channel));
+
+    ResyncResult r = ResyncSession(rig.channel).run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(rig.channel.health(), CableChannel::Health::Healthy);
+    EXPECT_GT(r.lines_relinked, 0u);
+    EXPECT_GT(r.handshake_bits, 0u);
+    EXPECT_GT(r.rearm_bits, 0u);
+
+    // Honest accounting: recovery_bits is exactly the sum of the
+    // handshake and re-arm components.
+    const StatSet &st = rig.channel.stats();
+    EXPECT_EQ(st.get("recovery_bits"),
+              st.get("resync_handshake_bits")
+                  + st.get("resync_rearm_bits"));
+
+    // Post-resync metadata equals cache ground truth.
+    EXPECT_EQ(rig.channel.metadataDigest(0, 1u << 30),
+              rig.channel.referenceDigest(0, 1u << 30));
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+}
+
+TEST(Resync, WarmRestoreNeedsNoRearmTraffic)
+{
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 22);
+    warm(rig, mem, 1000, 22);
+
+    BitVec image = ChannelCheckpoint::capture(rig.channel);
+    rig.channel.crashMetadata();
+    ChannelCheckpoint::restore(rig.channel, image);
+
+    ResyncResult r = ResyncSession(rig.channel).run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(rig.channel.health(), CableChannel::Health::Healthy);
+    // The checkpoint already matches ground truth: digests agree on
+    // every range, so the handshake finds nothing to repair.
+    EXPECT_EQ(r.ranges_repaired, 0u);
+    EXPECT_EQ(r.rearm_bits, 0u);
+    EXPECT_GT(r.handshake_bits, 0u);
+}
+
+TEST(Resync, MidResyncFaultsStillConverge)
+{
+    FaultConfig fc;
+    fc.meta_corrupt_rate = 1.0; // every corruptMetadata() draw fires
+    fc.seed = 99;
+    FaultInjector inj(fc);
+
+    Rig rig;
+    SyntheticMemory mem(similarValues(), 0, 23);
+    warm(rig, mem, 1000, 23);
+    rig.channel.crashMetadata();
+    rig.channel.setFaultModel(&inj);
+
+    ResyncResult r = ResyncSession(rig.channel).run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.faults_hit, 0u);
+    EXPECT_EQ(rig.channel.health(), CableChannel::Health::Healthy);
+    EXPECT_EQ(rig.channel.auditInvariant(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ARQ watchdog
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, StalledArqRaisesTypedTimeout)
+{
+    CableConfig cfg;
+    cfg.arq_watchdog_cycles = 100;
+    Rig rig(cfg);
+    SyntheticMemory mem(similarValues(), 0, 31);
+
+    const Addr addr = 0x2040;
+    (void)rig.channel.homeInstall(addr, mem.lineAt(addr));
+
+    AlwaysCorrupt hostile;
+    rig.channel.setFaultModel(&hostile);
+    EXPECT_THROW((void)rig.channel.remoteFetch(addr, false),
+                 CableTimeoutError);
+    EXPECT_EQ(rig.channel.stats().get("arq_timeouts"), 1u);
+
+    // Recovery after the link heals: crash, resync, retry.
+    rig.channel.setFaultModel(nullptr);
+    rig.channel.crashMetadata();
+    EXPECT_TRUE(ResyncSession(rig.channel).run().completed);
+    (void)rig.channel.remoteFetch(addr, false);
+    LineID rlid = rig.remote.find(addr);
+    ASSERT_TRUE(rlid.valid);
+    EXPECT_TRUE(rig.remote.entryAt(rlid).data == mem.lineAt(addr));
+}
+
+TEST(Watchdog, DisabledByDefault)
+{
+    Rig rig; // arq_watchdog_cycles = 0
+    SyntheticMemory mem(similarValues(), 0, 32);
+    const Addr addr = 0x3040;
+    (void)rig.channel.homeInstall(addr, mem.lineAt(addr));
+
+    // Scripted burst long enough to exhaust compressed retries and
+    // the raw-fallback ladder would have tripped a 100-cycle budget;
+    // with the watchdog off the transfer must still complete.
+    FaultConfig fc;
+    fc.bit_error_rate = 0.02;
+    fc.seed = 7;
+    FaultInjector inj(fc);
+    rig.channel.setFaultModel(&inj);
+    for (unsigned i = 0; i < 50; ++i)
+        (void)rig.fetch(mem, addr + i * 64);
+    EXPECT_EQ(rig.channel.stats().get("arq_timeouts"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Chaos harness: the acceptance demo as a regression test.
+// ---------------------------------------------------------------------
+
+TEST(Chaos, TenCrashScheduleSurvivesDifferentialOracle)
+{
+    ChaosConfig cfg;
+    cfg.benchmark = "mcf";
+    cfg.ops = 12000;
+    cfg.seed = 7;
+    cfg.crashes = 10;
+    cfg.corrupt_prob = 0.5;
+    cfg.mem.fault.bit_error_rate = 1e-4;
+    cfg.mem.fault.drop_sync_rate = 2e-3;
+    cfg.mem.fault.meta_corrupt_rate = 1e-3;
+
+    ChaosReport r = runChaos(cfg);
+    EXPECT_TRUE(r.ok) << r.failure;
+    EXPECT_EQ(r.crashes, 10u);
+    EXPECT_EQ(r.corrupt_rejected, r.corrupt_images);
+    EXPECT_EQ(r.restores_ok + r.corrupt_images, r.crashes);
+    // Every crash recovery plus the watchdog scenario resynced.
+    EXPECT_EQ(r.resyncs_completed, r.crashes + 1);
+    EXPECT_EQ(r.watchdog_timeouts, 1u);
+    EXPECT_GT(r.recovery_bits, 0u);
+}
+
+TEST(Chaos, FileRoundTripScheduleDeterministic)
+{
+    ChaosConfig cfg;
+    cfg.benchmark = "omnetpp";
+    cfg.ops = 6000;
+    cfg.seed = 42;
+    cfg.crashes = 4;
+    cfg.corrupt_prob = 0.25;
+    cfg.ckpt_dir = testing::TempDir();
+    cfg.watchdog_scenario = false;
+    cfg.mem.fault.bit_error_rate = 1e-4;
+
+    ChaosReport a = runChaos(cfg);
+    ChaosReport b = runChaos(cfg);
+    EXPECT_TRUE(a.ok) << a.failure;
+    EXPECT_TRUE(b.ok) << b.failure;
+    EXPECT_EQ(a.crash_steps, b.crash_steps);
+    EXPECT_EQ(a.transfers, b.transfers);
+    EXPECT_EQ(a.recovery_bits, b.recovery_bits);
+}

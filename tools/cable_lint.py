@@ -25,6 +25,14 @@ Enforces four invariants that generic linters cannot express:
   R004  result discipline: public non-const member functions in
         src/core/*.h that return a value must be [[nodiscard]] (or
         carry a justified ``allow(R004)``).
+  R005  serialization discipline: the checkpoint/resync persistence
+        layer (src/core/checkpoint.*, src/sim/resync.*) must encode
+        every field through the bit-stream API with a named width —
+        bare literal widths in put()/get() calls and raw memory
+        images (memcpy/memmove/reinterpret_cast of structures) are
+        findings. Raw images bake host layout into the on-disk
+        format and silently break the format-stability guarantee
+        that the committed golden checkpoint enforces.
 
 Directives (in comments):
 
@@ -68,11 +76,13 @@ RULES = {
     "R002": "nondeterminism in a deterministic subsystem",
     "R003": "wire-format width written as a bare literal",
     "R004": "public mutating API without [[nodiscard]]",
+    "R005": "raw-memory or bare-width serialization in checkpoint/resync",
 }
 
 R002_DIRS = ("src/core/", "src/compress/", "src/sim/")
 R003_DIRS = ("src/core/",)
 R004_GLOB = re.compile(r"src/core/[^/]+\.h$")
+R005_FILE_RE = re.compile(r"src/(?:core/checkpoint|sim/resync)\.(?:h|cc)$")
 
 DIRECTIVE_RE = re.compile(r"//\s*cable-lint:\s*(no-alloc|allow\((R\d{3})\))")
 EXPECT_RE = re.compile(r"//\s*expect:\s*(R\d{3})")
@@ -366,6 +376,56 @@ def check_r003(src: SourceFile, findings: list[Finding]):
 
 
 # ---------------------------------------------------------------------
+# R005: serialization must be field-by-field with named widths
+# ---------------------------------------------------------------------
+
+R005_RAW_MEMORY = [
+    (re.compile(r"\b(?:std::)?memcpy\s*\("), "memcpy"),
+    (re.compile(r"\b(?:std::)?memmove\s*\("), "memmove"),
+    (re.compile(r"\breinterpret_cast\s*<"), "reinterpret_cast"),
+]
+
+
+def check_r005(src: SourceFile, findings: list[Finding]):
+    if not R005_FILE_RE.search(src.path):
+        return
+    text = "\n".join(src.code_lines)
+    # Width arguments of the bit-stream API must be named constants:
+    # the writer's put(value, WIDTH) and the reader's get(WIDTH) are
+    # the two call sites where a wire width can be spelled.
+    for m in re.finditer(r"\.(put|get)\s*\(", text):
+        args = split_top_level_args(text[m.end():m.end() + 400])
+        if args is None:
+            continue
+        call = m.group(1)
+        if call == "put" and len(args) >= 2:
+            width = args[-1]
+        elif call == "get" and len(args) == 1:
+            width = args[0]
+        else:
+            continue
+        if INT_LITERAL_RE.match(width):
+            idx = text.count("\n", 0, m.start())
+            if not allowed(src, "R005", idx):
+                findings.append(Finding(
+                    "R005", src.path, idx + 1,
+                    f"{call}() width '{width}' is a bare literal; "
+                    f"name it in core/wire_format.h"))
+    # Structures cross the persistence boundary field by field; a raw
+    # memory image would bake host endianness and padding into the
+    # on-disk format.
+    for idx, line in enumerate(src.code_lines):
+        if src.raw_lines[idx].lstrip().startswith("#include"):
+            continue
+        for pat, what in R005_RAW_MEMORY:
+            if pat.search(line) and not allowed(src, "R005", idx):
+                findings.append(Finding(
+                    "R005", src.path, idx + 1,
+                    f"{what} in serialization code; encode through the "
+                    f"bit-stream API field by field"))
+
+
+# ---------------------------------------------------------------------
 # R004: public mutating API must be [[nodiscard]] or void
 # ---------------------------------------------------------------------
 
@@ -546,6 +606,7 @@ def lint_file(src: SourceFile, root: str) -> list[Finding]:
     check_r002(src, findings)
     check_r003(src, findings)
     check_r004(src, findings)
+    check_r005(src, findings)
     return findings
 
 
@@ -580,10 +641,11 @@ def run_self_test(fixtures_dir: str) -> int:
     ``// expect: RXXX`` markers on the lines that must trip; a file
     with no markers must produce zero findings. Directory scoping is
     disabled so fixtures exercise every rule."""
-    global R002_DIRS, R003_DIRS, R004_GLOB
+    global R002_DIRS, R003_DIRS, R004_GLOB, R005_FILE_RE
     R002_DIRS = ("",)
     R003_DIRS = ("",)
     R004_GLOB = re.compile(r"\.h$")
+    R005_FILE_RE = re.compile(r"r005")
 
     failures = 0
     files = sorted(
@@ -621,7 +683,7 @@ def run_self_test(fixtures_dir: str) -> int:
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="cable_lint.py",
-        description="CABLE invariant linter (rules R001-R004)")
+        description="CABLE invariant linter (rules R001-R005)")
     ap.add_argument("--root", default=".",
                     help="repository root (default: cwd)")
     ap.add_argument("--compile-commands", default=None,

@@ -8,6 +8,7 @@
  *   cable_sim throughput <benchmark> [options]
  *   cable_sim coherence <benchmark> [options]
  *   cable_sim numa <benchmark> [options]
+ *   cable_sim chaos <benchmark> [options]
  *
  * Common options:
  *   --scheme S      raw|zero|bdi|fpc|cpack|cpack128|lbe256|gzip|cable
@@ -36,6 +37,18 @@
  *   --max-retries N     compressed resends before raw fallback
  *   --crc-bits N        frame CRC width: 0, 8 or 16
  *   --audit-period N    cycles between §III-F invariant audits
+ *   --arq-watchdog N    retry-cycle budget before CableTimeoutError
+ *                       (0 = unbounded, the default)
+ *   --strict-desync     surface desyncs as CableDesyncError (exit 3)
+ *                       instead of recovering in place
+ * chaos options (crash/recovery soak; DESIGN.md §12):
+ *   --crashes N         endpoint crash/restart events (default 10)
+ *   --corrupt-prob P    probability a checkpoint image is damaged
+ *                       before reload (default 0.4)
+ *   --ckpt-dir D        round-trip checkpoints through files in D
+ *   --chaos-out F       machine-readable report JSON
+ *                       (schema "cable-chaos-v1")
+ *   --no-watchdog       skip the ARQ-watchdog timeout scenario
  * telemetry options (ratio):
  *   --metrics-out F     machine-readable metrics JSON
  *                       (schema "cable-metrics-v1"); also enables
@@ -63,6 +76,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -73,9 +87,11 @@
 
 #include "common/json.h"
 #include "common/log.h"
+#include "core/checkpoint.h"
 #include "common/worker_pool.h"
 #include "telemetry/timing.h"
 #include "telemetry/trace.h"
+#include "sim/chaos.h"
 #include "sim/memlink.h"
 #include "sim/multichip.h"
 #include "sim/numa.h"
@@ -190,7 +206,11 @@ const std::set<std::string> kMemFlags = {
     "max-refs",  "ht-factor",  "link-bits",  "timing",
     "prefetch",  "fault-rate", "burst-rate", "burst-len",
     "drop-sync-rate", "meta-rate", "fault-seed", "max-retries",
-    "crc-bits",  "audit-period",
+    "crc-bits",  "audit-period", "arq-watchdog", "strict-desync",
+};
+/** Chaos-soak flags (chaos command). */
+const std::set<std::string> kChaosFlags = {
+    "crashes", "corrupt-prob", "ckpt-dir", "chaos-out", "no-watchdog",
 };
 const std::set<std::string> kThroughputFlags = {"threads", "group",
                                                 "warmup"};
@@ -203,7 +223,9 @@ const std::set<std::string> kTelemetryFlags = {
     "trace-sample", "stats-interval",
 };
 /** Presence-only switches; everything else must carry a value. */
-const std::set<std::string> kBoolFlags = {"stats", "timing"};
+const std::set<std::string> kBoolFlags = {"stats", "timing",
+                                          "strict-desync",
+                                          "no-watchdog"};
 
 void
 checkFlags(const Args &a, const std::set<std::string> &allowed)
@@ -251,8 +273,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: cable_sim <list|ratio|throughput|coherence|numa> "
-        "[benchmark] [--flag value ...]\n"
+        "usage: cable_sim <list|ratio|throughput|coherence|numa"
+        "|chaos> [benchmark] [--flag value ...]\n"
         "run 'cable_sim list' for benchmarks and schemes.\n");
     return 2;
 }
@@ -367,6 +389,11 @@ memCfg(const Args &a)
         fail("--audit-period must be at least 1000 cycles, got %llu",
              static_cast<unsigned long long>(audit));
     cfg.fault_audit_period = audit;
+
+    cfg.cable.arq_watchdog_cycles = a.num("arq-watchdog", 0);
+    cfg.cable.strict_desync = a.has("strict-desync");
+    if (cfg.cable.strict_desync && cfg.scheme != "cable")
+        fail("--strict-desync requires --scheme cable");
 
     if (cfg.fault.anyEnabled() && cfg.scheme != "cable")
         fail("fault injection (--fault-rate/--burst-rate/"
@@ -491,6 +518,28 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
         sys.faultInjector()->stats().dumpJson(jw);
     } else {
         jw.nullField("fault");
+    }
+
+    // Recovery section (cable only): the DESIGN.md §12 counters.
+    // check_metrics.py asserts recovery_bits reconciles with its
+    // handshake + re-arm components, so desync/resync traffic can
+    // never silently fold into the payload ratios.
+    if (const CableChannel *ch = sys.protocol().cableChannel()) {
+        jw.key("recovery");
+        jw.beginObject();
+        jw.field("epoch", ch->epoch());
+        for (const char *name :
+             {"desyncs_detected", "desync_recoveries", "rearms",
+              "degraded_entries", "endpoint_crashes",
+              "checkpoint_restores", "arq_timeouts",
+              "resync_sessions", "resync_completions",
+              "resync_lines", "resync_ranges_repaired",
+              "resync_faults", "resync_handshake_bits",
+              "resync_rearm_bits", "recovery_bits"})
+            jw.field(name, st.get(name));
+        jw.endObject();
+    } else {
+        jw.nullField("recovery");
     }
 
     jw.key("epochs");
@@ -639,19 +688,34 @@ cmdRatio(const Args &a)
         setTimingEnabled(true);
 
     std::vector<Epoch> epochs;
-    if (tel.stats_interval > 0) {
-        // run() targets absolute op counts and is re-entrant, so
-        // stepping epoch by epoch reproduces the single-run schedule.
-        StatSet prev;
-        std::uint64_t next = 0;
-        do {
-            next = std::min(next + tel.stats_interval, ops);
-            sys.run(next);
-            epochs.push_back({next, sys.protocol().stats().delta(prev)});
-            prev = sys.protocol().stats();
-        } while (next < ops);
-    } else {
-        sys.run(ops);
+    try {
+        if (tel.stats_interval > 0) {
+            // run() targets absolute op counts and is re-entrant, so
+            // stepping epoch by epoch reproduces the single-run
+            // schedule.
+            StatSet prev;
+            std::uint64_t next = 0;
+            do {
+                next = std::min(next + tel.stats_interval, ops);
+                sys.run(next);
+                epochs.push_back(
+                    {next, sys.protocol().stats().delta(prev)});
+                prev = sys.protocol().stats();
+            } while (next < ops);
+        } else {
+            sys.run(ops);
+        }
+    } catch (const CableDesyncError &e) {
+        // Only reachable under --strict-desync: recovery is the
+        // default; strict mode turns the first desync terminal.
+        std::fprintf(stderr, "cable_sim: strict desync: %s\n",
+                     e.what());
+        return 3;
+    } catch (const CableTimeoutError &e) {
+        // Only reachable with a finite --arq-watchdog budget.
+        std::fprintf(stderr, "cable_sim: ARQ watchdog: %s\n",
+                     e.what());
+        return 3;
     }
 
     // End-of-run structure probe (before the trace flush so its
@@ -824,6 +888,140 @@ cmdNuma(const Args &a)
     return 0;
 }
 
+/** Writes the cable-chaos-v1 report document. */
+void
+writeChaosReport(const std::string &path, const Args &a,
+                 const ChaosConfig &cfg, const ChaosReport &r)
+{
+    std::ofstream os(path);
+    if (!os)
+        fail("cannot open --chaos-out file '%s'", path.c_str());
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", "cable-chaos-v1");
+    jw.field("tool", "cable_sim");
+    jw.field("benchmark", a.benchmark);
+    jw.field("ok", r.ok);
+    jw.field("failure", r.failure);
+
+    jw.key("config");
+    jw.beginObject();
+    jw.field("ops", cfg.ops);
+    jw.field("seed", cfg.seed);
+    jw.field("crashes", cfg.crashes);
+    jw.field("corrupt_prob", cfg.corrupt_prob);
+    jw.field("ckpt_dir", cfg.ckpt_dir);
+    jw.field("watchdog_scenario", cfg.watchdog_scenario);
+    jw.endObject();
+
+    jw.key("report");
+    jw.beginObject();
+    jw.field("crashes", r.crashes);
+    jw.field("checkpoints_saved", r.checkpoints_saved);
+    jw.field("restores_ok", r.restores_ok);
+    jw.field("corrupt_images", r.corrupt_images);
+    jw.field("corrupt_rejected", r.corrupt_rejected);
+    jw.field("resyncs_completed", r.resyncs_completed);
+    jw.field("watchdog_timeouts", r.watchdog_timeouts);
+    jw.field("recovery_bits", r.recovery_bits);
+    jw.field("transfers", r.transfers);
+    jw.endObject();
+
+    // The schedule: replaying with the same seed reproduces it.
+    jw.key("crash_steps");
+    jw.beginArray();
+    for (std::uint64_t s : r.crash_steps)
+        jw.value(s);
+    jw.endArray();
+
+    jw.key("stats");
+    r.subject_stats.dumpJson(jw);
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        fail("write to --chaos-out file '%s' failed", path.c_str());
+}
+
+int
+cmdChaos(const Args &a)
+{
+    std::set<std::string> allowed = kMemFlags;
+    allowed.insert(kChaosFlags.begin(), kChaosFlags.end());
+    checkFlags(a, allowed);
+    MemSystemConfig mem = memCfg(a);
+    if (mem.scheme != "cable")
+        fail("chaos requires --scheme cable; scheme '%s' has no "
+             "checkpoint/resync machinery",
+             mem.scheme.c_str());
+
+    ChaosConfig cfg;
+    cfg.mem = mem;
+    cfg.benchmark = a.benchmark;
+    cfg.ops = a.num("ops", 20000);
+    if (cfg.ops < 100)
+        fail("--ops must be at least 100 for a meaningful schedule");
+    cfg.seed = mem.seed;
+    std::uint64_t crashes = a.num("crashes", 10);
+    if (crashes < 1 || crashes > 10000)
+        fail("--crashes must be in [1, 10000], got %llu",
+             static_cast<unsigned long long>(crashes));
+    cfg.crashes = static_cast<unsigned>(crashes);
+    cfg.corrupt_prob =
+        a.has("corrupt-prob") ? a.probability("corrupt-prob") : 0.4;
+    cfg.ckpt_dir = a.str("ckpt-dir", "");
+    if (!cfg.ckpt_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.ckpt_dir, ec);
+        if (ec)
+            fail("cannot create --ckpt-dir %s: %s",
+                 cfg.ckpt_dir.c_str(), ec.message().c_str());
+    }
+    cfg.watchdog_scenario = !a.has("no-watchdog");
+    // Chaos without faults would only exercise the crash schedule;
+    // default to a hostile link so desync recovery, mid-resync
+    // faults and ARQ all see traffic. Explicit rates still win.
+    if (!cfg.mem.fault.anyEnabled()) {
+        cfg.mem.fault.bit_error_rate = 1e-4;
+        cfg.mem.fault.drop_sync_rate = 2e-3;
+        cfg.mem.fault.meta_corrupt_rate = 1e-3;
+    }
+
+    ChaosReport r;
+    try {
+        r = runChaos(cfg);
+    } catch (const CableCheckpointError &e) {
+        // The harness rejects corrupt images internally; only real
+        // file-system trouble (unwritable --ckpt-dir, disk full)
+        // reaches this handler.
+        std::fprintf(stderr, "cable_sim: checkpoint I/O: %s\n",
+                     e.what());
+        return 2;
+    }
+
+    std::printf("benchmark          %s\n", a.benchmark.c_str());
+    std::printf("memory ops         %llu\n",
+                static_cast<unsigned long long>(cfg.ops));
+    std::printf("crashes            %u\n", r.crashes);
+    std::printf("restores ok        %u\n", r.restores_ok);
+    std::printf("corrupt rejected   %u/%u\n", r.corrupt_rejected,
+                r.corrupt_images);
+    std::printf("resyncs completed  %u\n", r.resyncs_completed);
+    std::printf("watchdog timeouts  %u\n", r.watchdog_timeouts);
+    std::printf("recovery bits      %llu\n",
+                static_cast<unsigned long long>(r.recovery_bits));
+    std::printf("oracle             %s\n",
+                r.ok ? "PASS (bit-exact vs fault-free twin)"
+                     : r.failure.c_str());
+    if (a.has("stats")) {
+        std::printf("--- subject stats ---\n");
+        r.subject_stats.dump(std::cout, "  ");
+    }
+    std::string out = a.str("chaos-out", "");
+    if (!out.empty())
+        writeChaosReport(out, a, cfg, r);
+    return r.ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -843,7 +1041,8 @@ main(int argc, char **argv)
     if (a.command.empty())
         return usage();
     if (a.command != "ratio" && a.command != "throughput"
-        && a.command != "coherence" && a.command != "numa") {
+        && a.command != "coherence" && a.command != "numa"
+        && a.command != "chaos") {
         std::fprintf(stderr, "cable_sim: error: unknown command '%s'\n",
                      a.command.c_str());
         return usage();
@@ -859,5 +1058,7 @@ main(int argc, char **argv)
         return cmdThroughput(a);
     if (a.command == "coherence")
         return cmdCoherence(a);
+    if (a.command == "chaos")
+        return cmdChaos(a);
     return cmdNuma(a);
 }

@@ -10,6 +10,7 @@ Dispatches on the document's "schema" field:
   cable-structures-v1   cable_sim --snapshot-out documents
   cable-bench-v1        bench-binary CABLE_METRICS_OUT documents
   cable-trajectory-v1   bench_runner.py BENCH_cable.json files
+  cable-chaos-v1        cable_sim chaos --chaos-out documents
 
 For cable-metrics-v1 it validates the invariants the telemetry
 pipeline promises:
@@ -24,6 +25,9 @@ pipeline promises:
   - the "structures" section (cable scheme) satisfies the occupancy
     invariants: each hash table's bucket-occupancy histogram sums to
     its live-slot count, which equals inserts - evictions;
+  - the "recovery" section (cable scheme) reconciles: recovery_bits
+    is exactly the handshake bits plus the re-arm bits, so desync
+    and resync traffic can never silently fold into payload ratios;
   - when a full-resolution JSONL trace rides along (sample == 1),
     the per-event in/out bit totals reconcile exactly with the
     aggregate raw_bits/wire_bits counters.
@@ -139,6 +143,43 @@ def check_structures(stats, where):
             err(f"{where}: {gauge} exceeds {cap}")
 
 
+RECOVERY_FIELDS = (
+    "epoch", "desyncs_detected", "desync_recoveries", "rearms",
+    "degraded_entries", "endpoint_crashes", "checkpoint_restores",
+    "arq_timeouts", "resync_sessions", "resync_completions",
+    "resync_lines", "resync_ranges_repaired", "resync_faults",
+    "resync_handshake_bits", "resync_rearm_bits", "recovery_bits",
+)
+
+
+def check_recovery(r, where):
+    """DESIGN.md §12 recovery-section reconciliation."""
+    for name in RECOVERY_FIELDS:
+        v = r.get(name)
+        if not isinstance(v, int) or isinstance(v, bool):
+            err(f"{where}: '{name}' missing or non-integer: {v!r}")
+        elif v < 0 or v >= MAX_COUNTER:
+            err(f"{where}: '{name}' out of range: {v}")
+    if errors:
+        return
+    # The honest-accounting invariant: every recovery bit is either
+    # handshake or re-arm traffic, and is charged to neither the
+    # payload counters nor anything else.
+    expect = r["resync_handshake_bits"] + r["resync_rearm_bits"]
+    if r["recovery_bits"] != expect:
+        err(f"{where}: recovery_bits {r['recovery_bits']} != "
+            f"handshake {r['resync_handshake_bits']} + rearm "
+            f"{r['resync_rearm_bits']}")
+    if r["resync_completions"] > r["resync_sessions"]:
+        err(f"{where}: more resync completions "
+            f"({r['resync_completions']}) than sessions "
+            f"({r['resync_sessions']})")
+    if r["degraded_entries"] > r["endpoint_crashes"] \
+            + r["desync_recoveries"]:
+        err(f"{where}: degraded_entries {r['degraded_entries']} "
+            f"exceeds crash + desync-recovery count")
+
+
 def check_metrics_v1(m, trace_path):
     for key in ("tool", "command", "benchmark", "scheme", "config",
                 "results", "stats", "epochs", "structures"):
@@ -158,6 +199,14 @@ def check_metrics_v1(m, trace_path):
             check_structures(m["structures"], "structures")
     elif m.get("structures") is not None:
         err(f"scheme '{m['scheme']}' must not export 'structures'")
+
+    if m["scheme"] == "cable":
+        if m.get("recovery") is None:
+            err("cable scheme but 'recovery' section is null")
+        else:
+            check_recovery(m["recovery"], "recovery")
+    elif m.get("recovery") is not None:
+        err(f"scheme '{m['scheme']}' must not export 'recovery'")
 
     for key in ("bit_ratio", "effective_ratio", "goodput_ratio"):
         check_ratio(m["results"], key)
@@ -324,6 +373,47 @@ def check_trajectory_v1(m):
               f"{nm} metrics in latest)")
 
 
+def check_chaos_v1(m):
+    for key in ("tool", "benchmark", "ok", "failure", "config",
+                "report", "crash_steps", "stats"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return
+    if not isinstance(m["ok"], bool):
+        err(f"'ok' must be a boolean, got {m['ok']!r}")
+    r = m["report"]
+    for name in ("crashes", "checkpoints_saved", "restores_ok",
+                 "corrupt_images", "corrupt_rejected",
+                 "resyncs_completed", "watchdog_timeouts",
+                 "recovery_bits", "transfers"):
+        v = r.get(name)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            err(f"report.{name} missing or invalid: {v!r}")
+    if errors:
+        return
+    if r["restores_ok"] + r["corrupt_images"] != r["crashes"]:
+        err(f"report: restores_ok {r['restores_ok']} + corrupt "
+            f"{r['corrupt_images']} != crashes {r['crashes']}")
+    if m["ok"]:
+        if r["corrupt_rejected"] != r["corrupt_images"]:
+            err(f"ok run but only {r['corrupt_rejected']} of "
+                f"{r['corrupt_images']} corrupt images rejected")
+        if m["failure"]:
+            err(f"ok run carries a failure message: {m['failure']!r}")
+    steps = m["crash_steps"]
+    if sorted(steps) != steps or len(set(steps)) != len(steps):
+        err("crash_steps must be sorted and distinct")
+    if len(steps) != r["crashes"]:
+        err(f"{len(steps)} crash_steps but report.crashes is "
+            f"{r['crashes']}")
+    check_stats_block(m["stats"], "stats")
+    if not errors:
+        verdict = "PASS" if m["ok"] else "FAIL"
+        print(f"check_metrics: OK (chaos report, {r['crashes']} "
+              f"crashes, oracle {verdict})")
+
+
 def main():
     if len(sys.argv) < 2 or len(sys.argv) > 3:
         print(__doc__, file=sys.stderr)
@@ -341,6 +431,8 @@ def main():
         check_bench_v1(m)
     elif schema == "cable-trajectory-v1":
         check_trajectory_v1(m)
+    elif schema == "cable-chaos-v1":
+        check_chaos_v1(m)
     else:
         err(f"unexpected schema: {schema!r}")
 
