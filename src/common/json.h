@@ -5,7 +5,13 @@
  * trace_event) and all of them need correct string escaping — a
  * counter named "refs 0" or an engine called "cpack\\128" must not
  * produce invalid output. No parsing, no DOM: just escape + a small
- * stack-based writer that keeps commas and nesting straight.
+ * writer that keeps commas and nesting straight.
+ *
+ * The writer itself is allocation-free: nesting state is an inline
+ * 64-level bit stack and strings are escaped straight into the
+ * stream, so constructing a JsonWriter per trace event keeps the
+ * emit path inside the no-alloc discipline (trace.cc). jsonEscape()
+ * remains for callers that want an escaped std::string.
  */
 
 #ifndef CABLE_COMMON_JSON_H
@@ -14,9 +20,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <string>
-#include <vector>
 
 namespace cable
 {
@@ -57,9 +63,10 @@ jsonEscape(const std::string &s)
  *   jw.endObject();
  *
  * Values are emitted immediately; the writer only tracks whether a
- * comma is due at each nesting level. Doubles that are NaN or
- * infinite (e.g. a ratio whose denominator never moved) are emitted
- * as null, which is what "n/a" means in JSON.
+ * comma is due at each nesting level (up to 64 levels — far beyond
+ * any document this tree writes). Doubles that are NaN or infinite
+ * (e.g. a ratio whose denominator never moved) are emitted as null,
+ * which is what "n/a" means in JSON.
  */
 class JsonWriter
 {
@@ -71,7 +78,7 @@ class JsonWriter
     {
         sep();
         os_ << "{";
-        need_comma_.push_back(false);
+        push();
     }
 
     void
@@ -86,7 +93,7 @@ class JsonWriter
     {
         sep();
         os_ << "[";
-        need_comma_.push_back(false);
+        push();
     }
 
     void
@@ -98,10 +105,22 @@ class JsonWriter
 
     /** Emits the key; the next begin/value call supplies the value. */
     void
+    key(const char *k)
+    {
+        sep();
+        os_ << "\"";
+        writeEscaped(k, std::strlen(k));
+        os_ << "\":";
+        pending_key_ = true;
+    }
+
+    void
     key(const std::string &k)
     {
         sep();
-        os_ << "\"" << jsonEscape(k) << "\":";
+        os_ << "\"";
+        writeEscaped(k.data(), k.size());
+        os_ << "\":";
         pending_key_ = true;
     }
 
@@ -109,13 +128,18 @@ class JsonWriter
     value(const std::string &v)
     {
         sep();
-        os_ << "\"" << jsonEscape(v) << "\"";
+        os_ << "\"";
+        writeEscaped(v.data(), v.size());
+        os_ << "\"";
     }
 
     void
     value(const char *v)
     {
-        value(std::string(v));
+        sep();
+        os_ << "\"";
+        writeEscaped(v, std::strlen(v));
+        os_ << "\"";
     }
 
     void
@@ -173,10 +197,25 @@ class JsonWriter
 
     template <typename T>
     void
+    field(const char *k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    template <typename T>
+    void
     field(const std::string &k, const T &v)
     {
         key(k);
         value(v);
+    }
+
+    void
+    nullField(const char *k)
+    {
+        key(k);
+        null();
     }
 
     void
@@ -188,6 +227,29 @@ class JsonWriter
 
   private:
     void
+    writeEscaped(const char *s, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            unsigned char c = static_cast<unsigned char>(s[i]);
+            switch (c) {
+            case '"': os_ << "\\\""; break;
+            case '\\': os_ << "\\\\"; break;
+            case '\n': os_ << "\\n"; break;
+            case '\r': os_ << "\\r"; break;
+            case '\t': os_ << "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os_ << buf;
+                } else {
+                    os_ << static_cast<char>(c);
+                }
+            }
+        }
+    }
+
+    void
     sep()
     {
         if (pending_key_) {
@@ -195,22 +257,35 @@ class JsonWriter
             pending_key_ = false;
             return;
         }
-        if (!need_comma_.empty()) {
-            if (need_comma_.back())
+        if (depth_ > 0 && depth_ <= 64) {
+            std::uint64_t bit = std::uint64_t{1} << (depth_ - 1);
+            if (comma_bits_ & bit)
                 os_ << ",";
-            need_comma_.back() = true;
+            comma_bits_ |= bit;
         }
+    }
+
+    void
+    push()
+    {
+        // Comma tracking covers the first 64 levels; no document in
+        // this tree nests past ~6. Depth itself stays exact so
+        // push/pop remain balanced regardless.
+        ++depth_;
+        if (depth_ <= 64)
+            comma_bits_ &= ~(std::uint64_t{1} << (depth_ - 1));
     }
 
     void
     pop()
     {
-        if (!need_comma_.empty())
-            need_comma_.pop_back();
+        if (depth_ > 0)
+            --depth_;
     }
 
     std::ostream &os_;
-    std::vector<bool> need_comma_;
+    std::uint64_t comma_bits_ = 0;
+    unsigned depth_ = 0;
     bool pending_key_ = false;
 };
 

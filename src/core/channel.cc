@@ -250,7 +250,8 @@ CableChannel::recordSearchShape(const Chosen &chosen, bool writeback)
 
 void
 CableChannel::traceControl(TraceEvent::Type type, Addr addr,
-                           bool writeback, std::uint64_t aux)
+                           bool writeback, std::uint64_t aux,
+                           const StageSpan *span)
 {
     if (!trace_)
         return;
@@ -260,6 +261,15 @@ CableChannel::traceControl(TraceEvent::Type type, Addr addr,
     ev.addr = addr;
     ev.writeback = writeback;
     ev.aux = aux;
+    if (span) {
+        // Control-path work (resync) rides its own event and lands
+        // in the same stage histograms the critpath report
+        // reconciles against.
+        ev.nspans = 1;
+        ev.spans[0] = *span;
+        stats_.hist(stageHistName(span->stage))
+            .record(span->durationNs());
+    }
     trace_->emit(ev);
 }
 
@@ -271,6 +281,11 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 {
     maybeCorruptMetadata();
     Chosen chosen;
+    // Span sampling decision for this transfer ordinal; unsampled
+    // transfers (and every transfer when sampling is off) pay this
+    // branch and nothing else.
+    if (trace_)
+        (void)spans_.arm(trace_seq_);
     if (!cfg_.compression_enabled) {
         chosen.raw = true;
         return chosen;
@@ -278,16 +293,20 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 
     const std::size_t raw_cost =
         kWireRawHeaderBits + kLineBytes * kBitsPerByte;
+    int sp_line = spans_.open(Stage::Line, -1);
     if (trace_)
         chosen.trivial_words = popcount32(trivialMask16(
             data.data(), cfg_.sig.trivial_threshold));
+    spans_.close(sp_line);
 
     // Self-compression runs concurrently with the search (§III-E);
     // a high enough ratio skips the reference path entirely.
     BitVec self;
     {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        int sp_self = spans_.open(Stage::Serialize, sp_line);
         self = engine_->compress(data, {});
+        spans_.close(sp_self);
     }
     std::size_t self_cost =
         kWireCompressedHeaderBits + self.sizeBits();
@@ -330,10 +349,17 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     alloc_guard::Scope search_allocs;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
+        // The search branch forks off the Line span, parallel to the
+        // self-compress Serialize span (§III-E concurrency) — the
+        // critpath analyzer sees a genuine two-branch DAG.
+        int sp_sig = spans_.open(Stage::Signature, sp_line);
         extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
+        spans_.close(sp_sig);
+        int sp_probe = spans_.open(Stage::Probe);
         s.hits.clear();
         for (std::uint32_t sig : s.sigs)
             home_ht_.lookup(sig, s.hits);
+        spans_.close(sp_probe);
     }
     chosen.sigs_used = s.sigs.size();
     chosen.ht_hits = static_cast<unsigned>(s.hits.size());
@@ -341,6 +367,7 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
 
     // (3) pre-rank by duplication count (first-seen order breaks
     // ties), keep the top data_accesses candidates.
+    int sp_score = spans_.open(Stage::Score);
     s.ranked.clear();
     for (LineID lid : s.hits) {
         if (lid == self_home)
@@ -393,6 +420,7 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
             s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
             cfg_.max_refs, s.picks.data());
     }
+    spans_.close(sp_score);
     if (alloc_guard::hooksInstalled())
         stats_.add("search_allocs", search_allocs.allocations());
 
@@ -416,12 +444,15 @@ CableChannel::compressForSend(const CacheLine &data, LineID self_home)
     std::size_t refs_cost = raw_cost + 1;
     if (with_refs.nrefs > 0) {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        int sp_refs = spans_.open(Stage::Serialize, sp_score);
         s.engine_refs.assign(with_refs.refs.begin(),
                              with_refs.refs.begin() + with_refs.nrefs);
         with_refs.diff = engine_->compress(data, s.engine_refs);
         refs_cost = kWireCompressedHeaderBits
                     + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
+        spans_.close(sp_refs,
+                     static_cast<std::uint16_t>(with_refs.nrefs));
     }
 
     // (5) pick the cheapest representation.
@@ -448,6 +479,8 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 {
     maybeCorruptMetadata();
     Chosen chosen;
+    if (trace_)
+        (void)spans_.arm(trace_seq_);
     if (!cfg_.compression_enabled || !cfg_.writeback_compression) {
         chosen.raw = true;
         return chosen;
@@ -455,13 +488,17 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
 
     const std::size_t raw_cost =
         kWireRawHeaderBits + kLineBytes * kBitsPerByte;
+    int sp_line = spans_.open(Stage::Line, -1);
     if (trace_)
         chosen.trivial_words = popcount32(trivialMask16(
             data.data(), cfg_.sig.trivial_threshold));
+    spans_.close(sp_line);
     BitVec self_bits;
     {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        int sp_self = spans_.open(Stage::Serialize, sp_line);
         self_bits = engine_->compress(data, {});
+        spans_.close(sp_self);
     }
     std::size_t self_cost =
         kWireCompressedHeaderBits + self_bits.sizeBits();
@@ -497,14 +534,19 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     alloc_guard::Scope search_allocs;
     {
         CABLE_TIMED_SCOPE(stats_, "t_search_ns");
+        int sp_sig = spans_.open(Stage::Signature, sp_line);
         extractSearchSignaturesInto(data, cfg_.sig, s.sigs);
         chosen.sigs_used = s.sigs.size();
+        spans_.close(sp_sig);
+        int sp_probe = spans_.open(Stage::Probe);
         s.hits.clear();
         for (std::uint32_t sig : s.sigs)
             remote_ht_.lookup(sig, s.hits);
+        spans_.close(sp_probe);
     }
     chosen.ht_hits = static_cast<unsigned>(s.hits.size());
 
+    int sp_score = spans_.open(Stage::Score);
     s.ranked.clear();
     for (LineID lid : s.hits) {
         if (lid == self)
@@ -552,6 +594,7 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
             s.cbvs.data(), static_cast<unsigned>(s.cbvs.size()),
             cfg_.max_refs, s.picks.data());
     }
+    spans_.close(sp_score);
     if (alloc_guard::hooksInstalled())
         stats_.add("search_allocs", search_allocs.allocations());
 
@@ -575,12 +618,15 @@ CableChannel::compressForWriteBack(const CacheLine &data, LineID self)
     std::size_t refs_cost = raw_cost + 1;
     if (with_refs.nrefs > 0) {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        int sp_refs = spans_.open(Stage::Serialize, sp_score);
         s.engine_refs.assign(with_refs.refs.begin(),
                              with_refs.refs.begin() + with_refs.nrefs);
         with_refs.diff = engine_->compress(data, s.engine_refs);
         refs_cost = kWireCompressedHeaderBits
                     + with_refs.nrefs * rlid_bits_
                     + with_refs.diff.sizeBits();
+        spans_.close(sp_refs,
+                     static_cast<std::uint16_t>(with_refs.nrefs));
     }
 
     if (refs_cost < self_cost && refs_cost < raw_cost)
@@ -606,6 +652,10 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
     t.raw_bits = kLineBytes * 8;
     t.sigs = chosen.sigs_used;
 
+    // Wire serialization chains onto whichever representation won
+    // the cost comparison (self/refs Serialize span, or the Line
+    // root for raw transfers).
+    int sp_ser = spans_.open(Stage::Serialize);
     BitWriter bw;
     if (!cfg_.compression_enabled) {
         // Baseline link: data only, no flag bit.
@@ -634,9 +684,12 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
     // comparable to a CRC-less link; the framing cost rides in
     // crc_bits and shows up in wireBits().
     std::size_t payload_bits = bw.sizeBits();
+    spans_.close(sp_ser);
     if (cfg_.frame_crc_bits > 0) {
+        int sp_frame = spans_.open(Stage::Frame);
         appendFrameCrc(bw, cfg_.frame_crc_bits);
         t.crc_bits = cfg_.frame_crc_bits;
+        spans_.close(sp_frame);
     }
     t.wire = bw.take();
     t.bits = payload_bits;
@@ -725,8 +778,10 @@ CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
 {
     Transfer t = packageTransfer(chosen, writeback);
     deliver(t, chosen, writeback, addr, original);
+    int sp_ack = spans_.open(Stage::Ack);
     accountTransfer(t);
     trackHealth(t);
+    spans_.close(sp_ack);
 
     // Per-line distributions: the wire cost and reference-selection
     // quality of every transfer, the paper's Figs 5/9/20 material.
@@ -756,7 +811,10 @@ CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
         ev.in_bits = t.raw_bits;
         ev.out_bits = t.bits;
         ev.aux = t.retries;
+        spans_.drainTo(ev, stats_);
         trace_->emit(ev);
+    } else {
+        spans_.disarm();
     }
     ++trace_seq_;
     return t;
@@ -772,9 +830,17 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
         // until clean or the retry budget runs out.
         unsigned attempt = 0;
         while (true) {
+            // First pass is the receive-side CRC check (Frame);
+            // every retry is a Retransmit span whose aux records the
+            // attempt number — ARQ stalls become visible links in
+            // the transfer's critical path.
+            int sp_rx = spans_.open(attempt == 0 ? Stage::Frame
+                                                 : Stage::Retransmit);
             BitVec received = t.wire;
             unsigned flips = fault_->corruptPacket(received);
             bool crc_ok = checkFrameCrc(received, cfg_.frame_crc_bits);
+            spans_.close(sp_rx,
+                         static_cast<std::uint16_t>(attempt));
             if (flips == 0 && crc_ok)
                 break;
             if (crc_ok) {
@@ -812,12 +878,15 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
 
     if (t.raw)
         return;
+    int sp_link = spans_.open(Stage::Link);
     try {
         if (writeback)
             verifyWriteBack(chosen, original, addr);
         else
             verifyResponse(chosen, original, addr);
+        spans_.close(sp_link);
     } catch (const CableDesyncError &) {
+        spans_.close(sp_link, /*aux=*/1);
         // Without a fault model a failed decode is a genuine bug —
         // let it propagate. Under injection it is the expected
         // consequence of a lost sync message or a metadata soft
@@ -857,6 +926,7 @@ CableChannel::checkArqWatchdog(const Transfer &t, Addr addr,
 void
 CableChannel::rawFallbackResend(Transfer &t, const BitVec &payload)
 {
+    int sp = spans_.open(Stage::Retransmit);
     t.raw_fallback = true;
     stats_.add("raw_fallbacks", 1);
 
@@ -886,11 +956,18 @@ CableChannel::rawFallbackResend(Transfer &t, const BitVec &payload)
         t.retry_cycles += cfg_.retry_backoff_cycles
                           << std::min(attempt, 16u);
     }
+    spans_.close(sp, static_cast<std::uint16_t>(
+                         std::min(t.retries, 0xffffu)));
 }
 
 void
 CableChannel::recoverFromDesync()
 {
+    // Recovery is rare and expensive — when span sampling is on it
+    // is always timed (not 1-in-N) and rides the Recovery control
+    // event as a Resync span.
+    bool timed = trace_ && spans_.enabled();
+    std::uint64_t span_begin = timed ? spans_.nowNs() : 0;
     stats_.add("desync_recoveries", 1);
     flushMetadata();
     unsigned relinked = resynchronize();
@@ -905,7 +982,17 @@ CableChannel::recoverFromDesync()
     stats_.add("resync_rearm_bits", rearm_bits);
     stats_.add("recovery_bits", rearm_bits);
     ++epoch_;
-    traceControl(TraceEvent::Type::Recovery, 0, false, relinked);
+    if (timed) {
+        StageSpan sp;
+        sp.stage = Stage::Resync;
+        sp.dep = -1;
+        sp.begin_ns = span_begin;
+        sp.end_ns = spans_.nowNs();
+        traceControl(TraceEvent::Type::Recovery, 0, false, relinked,
+                     &sp);
+    } else {
+        traceControl(TraceEvent::Type::Recovery, 0, false, relinked);
+    }
     if (health_ != Health::Degraded) {
         health_ = Health::Degraded;
         stats_.add("degraded_entries", 1);

@@ -47,6 +47,7 @@
 #include "core/hash_table.h"
 #include "core/wire_format.h"
 #include "core/wmt.h"
+#include "telemetry/spans.h"
 #include "telemetry/trace.h"
 
 namespace cable
@@ -323,6 +324,27 @@ class CableChannel
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
     TraceSink *traceSink() const { return trace_; }
 
+    /**
+     * Critical-path span sampling: 1-in-@p period transfers record
+     * causal stage spans onto their Encode trace event (DESIGN.md
+     * §13). 0 (the default) disables recording entirely; spans are
+     * only captured when a trace sink is also attached, so the
+     * unsampled hot path pays a single branch.
+     */
+    void setSpanSampling(std::uint64_t period)
+    {
+        spans_.configure(period);
+    }
+    /** Recorder counters for the measured-overhead self-report. */
+    const SpanRecorder &spanRecorder() const { return spans_; }
+    /** Recorder clock (counted reads) — the resync protocol (sim
+     *  layer) stamps its handshake span with the same clock so its
+     *  cost lands in the same overhead self-report. */
+    [[nodiscard]] std::uint64_t spanClockNs()
+    {
+        return spans_.nowNs();
+    }
+
     // ---- fault tolerance --------------------------------------------
 
     /**
@@ -581,9 +603,15 @@ class CableChannel
     /** Metadata cleanup for the remote slot @p rlid's occupant. */
     void detachRemoteSlot(LineID rlid);
 
-    /** Emits a non-encode (control) trace event, if tracing is on. */
+    /**
+     * Emits a non-encode (control) trace event, if tracing is on.
+     * A non-null @p span rides on the event (recovery paths) and is
+     * recorded into its stage-duration histogram, so control-path
+     * work reconciles with the critpath report like encode spans.
+     */
     void traceControl(TraceEvent::Type type, Addr addr, bool writeback,
-                      std::uint64_t aux);
+                      std::uint64_t aux,
+                      const StageSpan *span = nullptr);
     /** Records the candidate/coverage histograms for one search. */
     void recordSearchShape(const Chosen &chosen, bool writeback);
     /** Logical event time for trace ordering. */
@@ -607,6 +635,7 @@ class CableChannel
     std::uint64_t epoch_ = 0;
     TraceSink *trace_ = nullptr;
     std::uint64_t trace_seq_ = 0;
+    SpanRecorder spans_;
 };
 
 /** Delegate-engine factory: per-line (non-persistent) variants. */

@@ -399,6 +399,12 @@ MemLinkSystem::setTraceSink(TraceSink *sink)
 }
 
 void
+MemLinkSystem::setSpanSampling(std::uint64_t period)
+{
+    protocol_->setSpanSampling(period);
+}
+
+void
 MemLinkSystem::pollFaultAudit()
 {
     if (!fault_channel_)

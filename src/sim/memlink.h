@@ -167,6 +167,10 @@ class MemLinkSystem
      */
     void setTraceSink(TraceSink *sink);
 
+    /** Critical-path span sampling on the link protocol (1-in-
+     *  @p period transfers; 0 disables) — see DESIGN.md §13. */
+    void setSpanSampling(std::uint64_t period);
+
     LinkProtocol &protocol() { return *protocol_; }
     LinkModel &link() { return *link_; }
     /** The fault injector, when fault injection is configured. */

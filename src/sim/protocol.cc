@@ -102,12 +102,24 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
     t.writeback = writeback;
     t.raw_bits = kLineBytes * 8;
 
+    // Baselines record a two-span chain (Line setup → Serialize)
+    // so critpath reports compare across schemes; the same 1-in-N
+    // arming discipline as CableChannel keeps the unsampled path to
+    // a single branch.
+    if (trace_)
+        (void)spans_.arm(stats_.get("transfers"));
+    int sp_line = spans_.open(Stage::Line, -1);
+    spans_.close(sp_line);
+
     if (!engine || !enabled_) {
+        int sp_raw = spans_.open(Stage::Serialize, sp_line);
         t.raw = true;
         t.wire = CableChannel::bitsOf(data);
         t.bits = t.wire.sizeBits();
+        spans_.close(sp_raw);
     } else {
         CABLE_TIMED_SCOPE(stats_, "t_compress_ns");
+        int sp_ser = spans_.open(Stage::Serialize, sp_line);
         BitVec enc = engine->compress(data, {});
         BitWriter bw;
         if (enc.sizeBits() + 1 < kLineBytes * 8 + 1) {
@@ -120,6 +132,7 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
         }
         t.wire = bw.take();
         t.bits = t.wire.sizeBits();
+        spans_.close(sp_ser);
     }
 
     stats_.add("transfers", 1);
@@ -146,7 +159,10 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
         ev.mode = t.raw ? "raw" : "self";
         ev.in_bits = t.raw_bits;
         ev.out_bits = t.bits;
+        spans_.drainTo(ev, stats_);
         trace_->emit(ev);
+    } else {
+        spans_.disarm();
     }
     return t;
 }

@@ -83,6 +83,25 @@ class LinkProtocol
     }
 
     /**
+     * Critical-path span sampling: 1-in-@p period transfers record
+     * causal stage spans onto their Encode event (DESIGN.md §13);
+     * 0 disables. Spans are captured only when a trace sink is also
+     * attached.
+     */
+    virtual void
+    setSpanSampling(std::uint64_t period)
+    {
+        spans_.configure(period);
+    }
+
+    /**
+     * The recorder behind this protocol's spans (overhead
+     * self-report); never null — CABLE redirects to its channel's
+     * recorder, the stream baselines own one directly.
+     */
+    virtual const SpanRecorder &spanRecorder() const { return spans_; }
+
+    /**
      * Hook invoked with a line address just before homeFill()
      * back-invalidates that line's remote copy; the system flushes
      * dirtier private-cache copies into the remote cache here.
@@ -147,6 +166,7 @@ class LinkProtocol
     Cache &remote_;
     std::function<void(Addr)> backinval_hook_;
     TraceSink *trace_ = nullptr;
+    SpanRecorder spans_;
 };
 
 using LinkProtocolPtr = std::unique_ptr<LinkProtocol>;
@@ -173,6 +193,16 @@ class CableLinkProtocol : public LinkProtocol
     setTraceSink(TraceSink *sink) override
     {
         channel_.setTraceSink(sink);
+    }
+    void
+    setSpanSampling(std::uint64_t period) override
+    {
+        channel_.setSpanSampling(period);
+    }
+    const SpanRecorder &
+    spanRecorder() const override
+    {
+        return channel_.spanRecorder();
     }
     StatSet &stats() override { return channel_.stats(); }
     std::string schemeName() const override { return "cable"; }

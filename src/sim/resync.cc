@@ -22,6 +22,14 @@ ResyncSession::run()
     StatSet &stats = ch_.stats();
     stats.add("resync_sessions", 1);
 
+    // A resync session is rare and heavyweight: when span sampling
+    // is on it is always timed (no 1-in-N) and its cost rides the
+    // Resync trace event, stamped with the channel recorder's clock
+    // so it lands in the same overhead self-report.
+    bool timed =
+        ch_.spanRecorder().enabled() && ch_.traceSink() != nullptr;
+    std::uint64_t span_begin = timed ? ch_.spanClockNs() : 0;
+
     // Hello: both sides announce their channel epoch. A survivor
     // seeing a lower epoch than its own knows the peer restarted.
     res.handshake_bits += 2ull * kWireResyncEpochBits;
@@ -95,6 +103,18 @@ ResyncSession::run()
         ev.type = TraceEvent::Type::Resync;
         ev.when = res.epoch;
         ev.aux = res.lines_relinked;
+        if (timed) {
+            StageSpan &sp = ev.spans[0];
+            sp.stage = Stage::Resync;
+            sp.dep = -1;
+            sp.aux = static_cast<std::uint16_t>(
+                res.rounds < 0xffff ? res.rounds : 0xffff);
+            sp.begin_ns = span_begin;
+            sp.end_ns = ch_.spanClockNs();
+            ev.nspans = 1;
+            stats.hist(stageHistName(Stage::Resync))
+                .record(sp.durationNs());
+        }
         ts->emit(ev);
     }
     return res;

@@ -6,10 +6,23 @@
  * paths — hash lookup, CBV compute, delegate compress — become
  * individually attributable histograms in the metrics export.
  *
- * Timing is globally gated: when disabled (the default) a scope is
- * one relaxed atomic load and no clock read, so simulation-speed
- * runs pay effectively nothing. cable_sim enables it whenever a
- * metrics file is requested.
+ * Timing is gated by a runtime sample period:
+ *
+ *   0  (the default)  off — a scope is one relaxed atomic load and
+ *                     no clock read, so simulation-speed runs pay
+ *                     effectively nothing;
+ *   1                 record every scope entry (exact histograms;
+ *                     cable_sim: `--timing-sample 1`);
+ *   N                 record 1-in-N entries *per call site* (each
+ *                     site keeps its own thread-local tick, so a
+ *                     fixed scope rotation cannot alias one site
+ *                     into always-sampled and another into never).
+ *
+ * Sampled histograms hold 1/N of the events; multiply sums by the
+ * period to estimate totals. setTimingEnabled() is the boolean
+ * convenience over periods {0, 1}. bench/micro_trace.cc measures and
+ * asserts the overhead of the sampled mode (<2% at the default
+ * 1-in-64 sample rate, ~0 when disabled).
  *
  * These are host-time measurements of the simulator's own stages —
  * profiling data for "make the hot path faster" PRs — not simulated
@@ -21,6 +34,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 
 #include "common/stats.h"
 
@@ -29,25 +43,45 @@ namespace cable
 
 namespace detail
 {
-inline std::atomic<bool> g_timing_enabled{false};
+/** Global sample period: 0 = off, 1 = every entry, N = 1-in-N. */
+inline std::atomic<std::uint64_t> g_timing_period{0};
 } // namespace detail
 
 inline bool
 timingEnabled()
 {
-    return detail::g_timing_enabled.load(std::memory_order_relaxed);
+    return detail::g_timing_period.load(std::memory_order_relaxed)
+           != 0;
 }
 
 inline void
 setTimingEnabled(bool on)
 {
-    detail::g_timing_enabled.store(on, std::memory_order_relaxed);
+    detail::g_timing_period.store(on ? 1 : 0,
+                                  std::memory_order_relaxed);
+}
+
+/** Runtime sampled mode: record 1-in-@p period scope entries per
+ *  call site; 0 disables timing entirely. */
+inline void
+setTimingSamplePeriod(std::uint64_t period)
+{
+    detail::g_timing_period.store(period, std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+timingSamplePeriod()
+{
+    return detail::g_timing_period.load(std::memory_order_relaxed);
 }
 
 /**
  * RAII scope: on destruction, records elapsed nanoseconds into
  * @p stats under histogram @p name. @p name must outlive the scope
- * (string literals at every call site).
+ * (string literals at every call site). The three-argument form
+ * takes the call site's thread-local tick counter (supplied by the
+ * CABLE_TIMED_SCOPE macro) and implements the 1-in-N sampling; the
+ * two-argument form records on every entry while timing is enabled.
  */
 class TimedScope
 {
@@ -57,6 +91,26 @@ class TimedScope
     {
         if (stats_)
             start_ = std::chrono::steady_clock::now();
+    }
+
+    TimedScope(StatSet &stats, const char *name, std::uint64_t &tick)
+        : stats_(nullptr), name_(name)
+    {
+        std::uint64_t period =
+            detail::g_timing_period.load(std::memory_order_relaxed);
+        if (period == 0)
+            return;
+        // Countdown instead of `tick % period`: the skip path — the
+        // overwhelmingly common one — must not pay a runtime integer
+        // division. The first entry of each site samples (tick
+        // starts at 0), then every period-th after it.
+        if (tick > 0) {
+            --tick;
+            return;
+        }
+        tick = period - 1;
+        stats_ = &stats;
+        start_ = std::chrono::steady_clock::now();
     }
 
     ~TimedScope()
@@ -84,9 +138,14 @@ class TimedScope
 
 #define CABLE_TIMED_SCOPE_CAT2(a, b) a##b
 #define CABLE_TIMED_SCOPE_CAT(a, b) CABLE_TIMED_SCOPE_CAT2(a, b)
-#define CABLE_TIMED_SCOPE(stats, name)                                \
+#define CABLE_TIMED_SCOPE_IMPL(stats, name, id)                       \
+    static thread_local std::uint64_t CABLE_TIMED_SCOPE_CAT(          \
+        cable_timed_tick_, id){0};                                    \
     ::cable::TimedScope CABLE_TIMED_SCOPE_CAT(cable_timed_scope_,     \
-                                              __COUNTER__)((stats),   \
-                                                           (name))
+                                              id)(                    \
+        (stats), (name),                                              \
+        CABLE_TIMED_SCOPE_CAT(cable_timed_tick_, id))
+#define CABLE_TIMED_SCOPE(stats, name)                                \
+    CABLE_TIMED_SCOPE_IMPL(stats, name, __COUNTER__)
 
 #endif // CABLE_TELEMETRY_TIMING_H

@@ -1,5 +1,8 @@
 #include "telemetry/trace.h"
 
+#include <cstring>
+
+#include "common/alloc_guard.h"
 #include "common/json.h"
 
 namespace cable
@@ -30,7 +33,54 @@ TraceEvent::typeName(Type t)
 namespace
 {
 
+/** Indexable by static_cast<unsigned>(Stage). */
+const char *const kStageNames[kStageCount] = {
+    "line",  "signature", "probe", "score",      "serialize",
+    "frame", "link",      "ack",   "retransmit", "resync",
+};
+
+const char *const kStageHistNames[kStageCount] = {
+    "t_stage_line_ns",      "t_stage_signature_ns",
+    "t_stage_probe_ns",     "t_stage_score_ns",
+    "t_stage_serialize_ns", "t_stage_frame_ns",
+    "t_stage_link_ns",      "t_stage_ack_ns",
+    "t_stage_retransmit_ns", "t_stage_resync_ns",
+};
+
+} // namespace
+
+const char *
+stageName(Stage s)
+{
+    unsigned i = static_cast<unsigned>(s);
+    return i < kStageCount ? kStageNames[i] : "unknown";
+}
+
+const char *
+stageHistName(Stage s)
+{
+    unsigned i = static_cast<unsigned>(s);
+    return i < kStageCount ? kStageHistNames[i]
+                           : "t_stage_unknown_ns";
+}
+
+bool
+stageFromName(const char *name, Stage &out)
+{
+    for (unsigned i = 0; i < kStageCount; ++i)
+        if (std::strcmp(name, kStageNames[i]) == 0) {
+            out = static_cast<Stage>(i);
+            return true;
+        }
+    return false;
+}
+
+namespace
+{
+
 /** Shared field emission so both sinks agree on the schema. */
+// cable-lint: no-alloc (JsonWriter escapes straight into the stream;
+// every key is a literal and every value a scalar or static string)
 void
 writeEventFields(JsonWriter &jw, const TraceEvent &ev)
 {
@@ -52,13 +102,33 @@ writeEventFields(JsonWriter &jw, const TraceEvent &ev)
     }
     if (ev.aux)
         jw.field("aux", ev.aux);
+    if (ev.nspans > 0) {
+        jw.key("spans");
+        jw.beginArray();
+        for (unsigned i = 0; i < ev.nspans; ++i) {
+            const StageSpan &s = ev.spans[i];
+            jw.beginObject();
+            jw.field("stage", stageName(s.stage));
+            jw.field("dep", static_cast<int>(s.dep));
+            jw.field("begin_ns", s.begin_ns);
+            jw.field("end_ns", s.end_ns);
+            if (s.aux)
+                jw.field("aux", static_cast<unsigned>(s.aux));
+            jw.endObject();
+        }
+        jw.endArray();
+    }
 }
 
 } // namespace
 
+// cable-lint: no-alloc (steady state: the stream's buffer is owned
+// by the caller and may grow on first use; the writer itself never
+// allocates — emitAllocs() is the runtime check)
 void
 JsonlTraceSink::emit(const TraceEvent &ev)
 {
+    alloc_guard::Scope guard;
     ++emitted_;
     JsonWriter jw(os_);
     jw.beginObject();
@@ -68,6 +138,7 @@ JsonlTraceSink::emit(const TraceEvent &ev)
     writeEventFields(jw, ev);
     jw.endObject();
     os_ << "\n";
+    emit_allocs_ += guard.allocations();
 }
 
 void
@@ -117,6 +188,8 @@ ChromeTraceSink::writeMetadata()
     }
 }
 
+// cable-lint: no-alloc (same steady-state contract as the JSONL
+// sink; spans become ph "X" duration slices on the direction track)
 void
 ChromeTraceSink::emit(const TraceEvent &ev)
 {
@@ -124,6 +197,7 @@ ChromeTraceSink::emit(const TraceEvent &ev)
         return;
     if (!open_)
         writeMetadata();
+    alloc_guard::Scope guard;
     ++emitted_;
     os_ << (open_ ? ",\n" : "[\n");
     open_ = true;
@@ -140,6 +214,32 @@ ChromeTraceSink::emit(const TraceEvent &ev)
     writeEventFields(jw, ev);
     jw.endObject();
     jw.endObject();
+    // Stage spans as complete ("X") slices on the recorder's own
+    // nanosecond clock, microsecond units per the trace_event spec;
+    // chrome://tracing renders them as a flame-style timeline.
+    for (unsigned i = 0; i < ev.nspans; ++i) {
+        const StageSpan &s = ev.spans[i];
+        os_ << ",\n";
+        JsonWriter sw(os_);
+        sw.beginObject();
+        sw.field("name", stageName(s.stage));
+        sw.field("ph", "X");
+        sw.field("pid", 1);
+        sw.field("tid", ev.writeback ? 2 : 1);
+        sw.field("ts",
+                 static_cast<double>(s.begin_ns) / 1000.0);
+        sw.field("dur",
+                 static_cast<double>(s.durationNs()) / 1000.0);
+        sw.key("args");
+        sw.beginObject();
+        sw.field("seq", ev.when);
+        sw.field("dep", static_cast<int>(s.dep));
+        if (s.aux)
+            sw.field("aux", static_cast<unsigned>(s.aux));
+        sw.endObject();
+        sw.endObject();
+    }
+    emit_allocs_ += guard.allocations();
 }
 
 void

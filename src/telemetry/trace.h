@@ -33,6 +33,60 @@
 namespace cable
 {
 
+/**
+ * Pipeline stages of one transfer, the node vocabulary of the
+ * critical-path DAG (DESIGN.md §13). The encode chain is
+ * line → signature → probe → score → serialize → frame → link →
+ * ack; retransmit and resync appear only on the fault paths. A
+ * stage may occur more than once per transfer (e.g. the
+ * self-compression probe and the reference DIFF are both
+ * `serialize` spans) — spans are the nodes, the stage is a label.
+ */
+enum class Stage : std::uint8_t
+{
+    Line,       ///< payload acquisition + trivial-word scan
+    Signature,  ///< search-signature extraction (§III-B)
+    Probe,      ///< signature hash-table probe
+    Score,      ///< pre-rank + CBV scoring + greedy select (§III-C)
+    Serialize,  ///< delegate-engine compress + wire serialization
+    Frame,      ///< frame CRC append / check
+    Link,       ///< receive side: decode + end-to-end verify
+    Ack,        ///< post-delivery accounting (clean ACK path)
+    Retransmit, ///< NACK-triggered resend stall (aux = attempt)
+    Resync,     ///< desync recovery / resync-epoch work
+};
+
+/** Number of Stage enumerators (array sizing). */
+constexpr unsigned kStageCount = 10;
+
+/** Stable lower-case stage name ("line", "signature", ...). */
+const char *stageName(Stage s);
+
+/** Parses a stageName() string; returns false on no match. */
+bool stageFromName(const char *name, Stage &out);
+
+/**
+ * One causal stage span of a transfer: a begin/end interval on the
+ * recorder's monotonic nanosecond clock plus an explicit dependency
+ * edge (`dep` = index of the parent span within the same event,
+ * -1 for a root). Spans ride on the owning TraceEvent, so sampling
+ * and serialization follow the event stream.
+ */
+struct StageSpan
+{
+    Stage stage = Stage::Line;
+    std::int8_t dep = -1;  ///< parent span index; -1 = root
+    std::uint16_t aux = 0; ///< per-stage detail (retry attempt, ...)
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+
+    std::uint64_t
+    durationNs() const
+    {
+        return end_ns >= begin_ns ? end_ns - begin_ns : 0;
+    }
+};
+
 /** One telemetry event. Encode carries the full decision record. */
 struct TraceEvent
 {
@@ -76,6 +130,18 @@ struct TraceEvent
     std::uint64_t aux = 0; ///< retries, mismatch word, flips,
                            ///< relinked lines — per type
 
+    // ---- causal stage spans (critical-path profiling) ---------------
+    /** Fixed capacity keeps the event stack-built and the recording
+     *  path allocation-free; the deepest real chain (encode + ARQ
+     *  retries + fallback) fits comfortably. */
+    static constexpr unsigned kMaxSpans = 12;
+    std::uint8_t nspans = 0; ///< 0 on unsampled transfers
+    /** Only [0, nspans) is ever written or read, so the array is
+     *  deliberately not zero-initialized: a TraceEvent is built on
+     *  the hot path for every traced transfer, and a ~300-byte
+     *  memset per event is measurable at trace-sample 1. */
+    StageSpan spans[kMaxSpans];
+
     static const char *typeName(Type t);
 };
 
@@ -89,8 +155,19 @@ class TraceSink
     /** Events actually serialized (post-sampling). */
     std::uint64_t emitted() const { return emitted_; }
 
+    /**
+     * Heap allocations observed inside emit() calls — the runtime
+     * twin of the emit paths' `// cable-lint: no-alloc` contract.
+     * Always 0 unless the alloc-guard hooks are linked (test
+     * binaries only; see common/alloc_guard.h), and 0 in steady
+     * state there too: enabling sampled tracing must not violate
+     * the allocation-free encode invariant.
+     */
+    std::uint64_t emitAllocs() const { return emit_allocs_; }
+
   protected:
     std::uint64_t emitted_ = 0;
+    std::uint64_t emit_allocs_ = 0;
 };
 
 /** Swallows every event. */

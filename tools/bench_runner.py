@@ -235,14 +235,18 @@ def cmd_run(args):
             fail("cable_sim binary '%s' not built" % sim)
         out = os.path.join(tmp, "ratio_mcf.json")
         snap = os.path.join(tmp, "ratio_mcf_structures.json")
+        critpath = os.path.join(tmp, "ratio_mcf_critpath.json")
         ops = "50000" if args.quick else "400000"
         print("[ratio_mcf]", flush=True)
         run_cmd([sim, "ratio", "mcf", "--scheme", "cable", "--ops",
-                 ops, "--metrics-out", out, "--snapshot-out", snap])
+                 ops, "--metrics-out", out, "--snapshot-out", snap,
+                 "--critpath-out", critpath])
         ratio_doc = read_json(out, "cable_sim metrics")
         entry["benches"]["ratio_mcf"] = ratio_doc
         entry["benches"]["ratio_mcf_structures"] = read_json(
             snap, "cable_sim snapshot")
+        entry["benches"]["ratio_mcf_critpath"] = read_json(
+            critpath, "cable_sim critpath report")
 
     entry["unoptimized"] = unoptimized
     if unoptimized:
@@ -270,6 +274,14 @@ def cmd_run(args):
         m = hist_mean(ratio_doc, hist)
         if m is not None:
             metrics[key] = m
+
+    # Critical-path attribution: which pipeline stage bound this run.
+    # The stage name lives in the entry (compare only tracks numeric
+    # metrics); its critical-path share is a numeric metric.
+    cp = ratio_doc.get("critpath") or {}
+    if cp.get("binding_stage") is not None:
+        entry["binding_stage"] = cp["binding_stage"]
+        metrics["binding_share"] = cp["binding_share"]
 
     def gbench_time(bench, name):
         for b in entry["benches"][bench]["benchmarks"]:

@@ -62,6 +62,17 @@
  *   --trace-format T    jsonl (default) or chrome (trace_event)
  *   --trace-sample N    keep 1-in-N encode events (deterministic,
  *                       counter-based; control events always pass)
+ *   --critpath-out F    per-stage critical-path attribution report
+ *                       (schema "cable-critpath-v1"); enables stage
+ *                       span recording
+ *   --critpath-sample N record spans on 1-in-N transfers
+ *                       (default 64, deterministic by transfer
+ *                       ordinal; requires --critpath-out or
+ *                       --metrics-out)
+ *   --timing-sample N   record 1-in-N timed-scope entries into the
+ *                       t_* histograms (default 64; pass 1 for
+ *                       exact histograms on every entry; requires
+ *                       --metrics-out)
  *   --stats-interval K  epoch stats snapshot every K ops/thread
  * global options:
  *   --log-level L       quiet|warn|info|debug (default info)
@@ -89,6 +100,8 @@
 #include "common/log.h"
 #include "core/checkpoint.h"
 #include "common/worker_pool.h"
+#include "telemetry/critpath.h"
+#include "telemetry/spans.h"
 #include "telemetry/timing.h"
 #include "telemetry/trace.h"
 #include "sim/chaos.h"
@@ -220,7 +233,8 @@ const std::set<std::string> kBatchFlags = {"replicas", "jobs"};
 /** Telemetry export flags (ratio command). */
 const std::set<std::string> kTelemetryFlags = {
     "metrics-out", "snapshot-out", "trace-out", "trace-format",
-    "trace-sample", "stats-interval",
+    "trace-sample", "stats-interval", "critpath-out",
+    "critpath-sample", "timing-sample",
 };
 /** Presence-only switches; everything else must carry a value. */
 const std::set<std::string> kBoolFlags = {"stats", "timing",
@@ -413,9 +427,20 @@ struct TelemetryArgs
     std::string metrics_path;
     std::string snapshot_path;
     std::string trace_path;
+    std::string critpath_path;
     std::string trace_format = "jsonl";
     std::uint64_t trace_sample = 1;
+    std::uint64_t critpath_sample = 64;
+    std::uint64_t timing_sample = 64;
     std::uint64_t stats_interval = 0; // ops per epoch; 0 = off
+
+    /** Stage-span recording is on when any consumer of the critpath
+     *  report (standalone or metrics section) asked for it. */
+    bool
+    wantCritPath() const
+    {
+        return !critpath_path.empty() || !metrics_path.empty();
+    }
 };
 
 TelemetryArgs
@@ -432,12 +457,25 @@ telemetryArgs(const Args &a)
     t.trace_sample = a.num("trace-sample", 1);
     if (t.trace_sample < 1)
         fail("--trace-sample must be at least 1 (1 = every event)");
+    t.critpath_path = a.str("critpath-out", "");
+    t.critpath_sample = a.num("critpath-sample", 64);
+    if (t.critpath_sample < 1)
+        fail("--critpath-sample must be at least 1 "
+             "(1 = every transfer)");
+    t.timing_sample = a.num("timing-sample", 64);
+    if (t.timing_sample < 1)
+        fail("--timing-sample must be at least 1 (1 = every entry)");
     t.stats_interval = a.num("stats-interval", 0);
     if (a.has("stats-interval") && t.stats_interval < 1)
         fail("--stats-interval must be at least 1 op");
     if (t.trace_path.empty()
         && (a.has("trace-format") || a.has("trace-sample")))
         fail("--trace-format/--trace-sample require --trace-out");
+    if (a.has("critpath-sample") && !t.wantCritPath())
+        fail("--critpath-sample requires --critpath-out or "
+             "--metrics-out");
+    if (a.has("timing-sample") && t.metrics_path.empty())
+        fail("--timing-sample requires --metrics-out");
     return t;
 }
 
@@ -447,6 +485,88 @@ struct Epoch
     std::uint64_t ops_reached;
     StatSet stats;
 };
+
+/**
+ * Tee at the head of the sink chain: every event reaches the
+ * critical-path analyzer *before* the trace sampler, so
+ * --trace-sample thins the exported trace without starving the
+ * attribution report.
+ */
+class AnalyzerTraceSink : public TraceSink
+{
+  public:
+    AnalyzerTraceSink(CritPathAnalyzer &analyzer, TraceSink *next)
+        : analyzer_(analyzer), next_(next)
+    {
+    }
+
+    void
+    emit(const TraceEvent &ev) override
+    {
+        analyzer_.addEvent(ev);
+        ++emitted_;
+        if (next_)
+            next_->emit(ev);
+    }
+
+    void
+    flush() override
+    {
+        if (next_)
+            next_->flush();
+    }
+
+  private:
+    CritPathAnalyzer &analyzer_;
+    TraceSink *next_;
+};
+
+/** The recorder's measurement-cost self-report, for the report. */
+CritPathOverhead
+spanOverhead(const SpanRecorder &rec)
+{
+    CritPathOverhead oh;
+    oh.sampled_transfers = rec.sampledTransfers();
+    oh.clock_reads = rec.clockReads();
+    oh.clock_cost_ns = SpanRecorder::clockReadCostNs();
+    oh.estimated_ns = rec.overheadNsEstimate();
+    return oh;
+}
+
+/**
+ * Writes the standalone cable-critpath-v1 document: run identity,
+ * the span-sampling period, and the analyzer's per-stage bottleneck
+ * attribution (tools/check_metrics.py validates the schema;
+ * tools/critpath.py recomputes the same report from a JSONL trace).
+ */
+void
+writeCritPath(const TelemetryArgs &tel, const Args &a,
+              const MemSystemConfig &cfg, std::uint64_t ops,
+              MemLinkSystem &sys, const CritPathAnalyzer &analyzer)
+{
+    std::ofstream os(tel.critpath_path);
+    if (!os)
+        fail("cannot open --critpath-out file '%s'",
+             tel.critpath_path.c_str());
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", "cable-critpath-v1");
+    jw.field("tool", "cable_sim");
+    jw.field("command", a.command);
+    jw.field("benchmark", a.benchmark);
+    jw.field("scheme", cfg.scheme);
+    jw.field("ops", ops);
+    jw.field("seed", cfg.seed);
+    jw.field("sample", tel.critpath_sample);
+    jw.key("critpath");
+    CritPathOverhead oh = spanOverhead(sys.protocol().spanRecorder());
+    analyzer.writeReport(jw, &oh);
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        fail("write to --critpath-out file '%s' failed",
+             tel.critpath_path.c_str());
+}
 
 /**
  * Writes the cable-metrics-v1 JSON document: run identity, derived
@@ -459,7 +579,8 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
              const MemSystemConfig &cfg, std::uint64_t ops,
              MemLinkSystem &sys, const std::vector<Epoch> &epochs,
              const SamplingTraceSink *sampler,
-             const StatSet *structures)
+             const StatSet *structures,
+             const CritPathAnalyzer *critpath)
 {
     std::ofstream os(tel.metrics_path);
     if (!os)
@@ -481,6 +602,9 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
     jw.field("link_bits", cfg.link.width_bits);
     jw.field("timing", cfg.timing);
     jw.field("stats_interval", tel.stats_interval);
+    jw.field("timing_sample", tel.timing_sample);
+    jw.field("critpath_sample",
+             critpath ? tel.critpath_sample : 0);
     jw.endObject();
 
     const StatSet &st = sys.protocol().stats();
@@ -564,6 +688,19 @@ writeMetrics(const TelemetryArgs &tel, const Args &a,
         jw.endObject();
     } else {
         jw.nullField("trace");
+    }
+
+    // Bottleneck attribution (same object as --critpath-out's
+    // "critpath" key): per-stage totals reconcile with the
+    // t_stage_*_ns histograms in "stats" — check_metrics.py holds
+    // them to 1%.
+    if (critpath) {
+        jw.key("critpath");
+        CritPathOverhead oh =
+            spanOverhead(sys.protocol().spanRecorder());
+        critpath->writeReport(jw, &oh);
+    } else {
+        jw.nullField("critpath");
     }
     jw.endObject();
     os << "\n";
@@ -665,11 +802,15 @@ cmdRatio(const Args &a)
         fail("--ops must be at least 1");
     MemLinkSystem sys(cfg, {benchmarkProfile(a.benchmark)});
 
-    // Trace sink chain: file sink wrapped in the deterministic
-    // sampler (period 1 forwards everything).
+    // Trace sink chain: critpath analyzer tee → deterministic
+    // sampler (period 1 forwards everything) → file sink. The
+    // analyzer sits ahead of the sampler so a thinned export cannot
+    // starve the attribution report.
     std::ofstream trace_os;
     std::unique_ptr<TraceSink> file_sink;
     std::unique_ptr<SamplingTraceSink> sampler;
+    CritPathAnalyzer analyzer;
+    std::unique_ptr<AnalyzerTraceSink> analyzer_sink;
     if (!tel.trace_path.empty()) {
         trace_os.open(tel.trace_path);
         if (!trace_os)
@@ -681,11 +822,19 @@ cmdRatio(const Args &a)
             file_sink = std::make_unique<JsonlTraceSink>(trace_os);
         sampler = std::make_unique<SamplingTraceSink>(
             *file_sink, tel.trace_sample);
+    }
+    if (tel.wantCritPath()) {
+        analyzer_sink = std::make_unique<AnalyzerTraceSink>(
+            analyzer, sampler.get());
+        sys.setTraceSink(analyzer_sink.get());
+        sys.setSpanSampling(tel.critpath_sample);
+    } else if (sampler) {
         sys.setTraceSink(sampler.get());
     }
-    // Per-stage wall-clock histograms ride along with metrics export.
+    // Per-stage wall-clock histograms ride along with metrics
+    // export; --timing-sample thins them 1-in-N per call site.
     if (!tel.metrics_path.empty())
-        setTimingEnabled(true);
+        setTimingSamplePeriod(tel.timing_sample);
 
     std::vector<Epoch> epochs;
     try {
@@ -724,7 +873,9 @@ cmdRatio(const Args &a)
     if (CableChannel *ch = sys.protocol().cableChannel())
         structures =
             std::make_unique<StatSet>(ch->snapshotStructures());
-    if (sampler)
+    if (analyzer_sink)
+        analyzer_sink->flush();
+    else if (sampler)
         sampler->flush();
 
     std::printf("benchmark          %s\n", a.benchmark.c_str());
@@ -749,12 +900,15 @@ cmdRatio(const Args &a)
     }
     if (!tel.metrics_path.empty())
         writeMetrics(tel, a, cfg, ops, sys, epochs, sampler.get(),
-                     structures.get());
+                     structures.get(),
+                     analyzer_sink ? &analyzer : nullptr);
     if (!tel.snapshot_path.empty()) {
         if (!structures)
             fail("--snapshot-out: no cable channel in this system");
         writeSnapshot(tel, a, cfg, ops, *structures);
     }
+    if (!tel.critpath_path.empty())
+        writeCritPath(tel, a, cfg, ops, sys, analyzer);
     return 0;
 }
 

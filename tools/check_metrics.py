@@ -11,6 +11,8 @@ Dispatches on the document's "schema" field:
   cable-bench-v1        bench-binary CABLE_METRICS_OUT documents
   cable-trajectory-v1   bench_runner.py BENCH_cable.json files
   cable-chaos-v1        cable_sim chaos --chaos-out documents
+  cable-critpath-v1     cable_sim --critpath-out / critpath.py
+                        bottleneck-attribution reports
 
 For cable-metrics-v1 it validates the invariants the telemetry
 pipeline promises:
@@ -30,7 +32,12 @@ pipeline promises:
     and resync traffic can never silently fold into payload ratios;
   - when a full-resolution JSONL trace rides along (sample == 1),
     the per-event in/out bit totals reconcile exactly with the
-    aggregate raw_bits/wire_bits counters.
+    aggregate raw_bits/wire_bits counters;
+  - the "critpath" section (when span sampling was on) is internally
+    consistent (per-stage critical <= total, stage totals re-add to
+    the report totals, binding stage is the critical-ns argmax) and
+    its per-stage totals reconcile with the t_stage_*_ns histograms
+    within 1% — both sides derive from the same measurements.
 
 Exits 0 when everything holds, 1 with one line per violation.
 """
@@ -180,6 +187,101 @@ def check_recovery(r, where):
             f"exceeds crash + desync-recovery count")
 
 
+STAGES = (
+    "line", "signature", "probe", "score", "serialize",
+    "frame", "link", "ack", "retransmit", "resync",
+)
+
+CRITPATH_TOLERANCE = 0.01
+
+
+def check_critpath_report(r, where, stats=None):
+    """Internal consistency of a critpath report object; when the
+    metrics stats block rides along, per-stage totals must reconcile
+    with the t_stage_*_ns histograms within 1%."""
+    for key in ("events", "spanned_events", "spans", "critical_ns",
+                "total_ns"):
+        v = r.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            err(f"{where}: '{key}' missing or invalid: {v!r}")
+            return
+    rows = r.get("stages")
+    if not isinstance(rows, list) or len(rows) != len(STAGES):
+        err(f"{where}: 'stages' must list all {len(STAGES)} stages")
+        return
+    total = critical = 0
+    best = None
+    for i, row in enumerate(rows):
+        stage = row.get("stage")
+        if stage != STAGES[i]:
+            err(f"{where}: stages[{i}] is '{stage}', expected "
+                f"'{STAGES[i]}'")
+            continue
+        for key in ("count", "total_ns", "critical_ns", "slack_ns"):
+            v = row.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                err(f"{where}: stage '{stage}' {key} invalid: {v!r}")
+                return
+        if row["critical_ns"] > row["total_ns"]:
+            err(f"{where}: stage '{stage}' critical_ns "
+                f"{row['critical_ns']} exceeds total_ns "
+                f"{row['total_ns']}")
+        if row["count"] == 0 and row["total_ns"] != 0:
+            err(f"{where}: stage '{stage}' has zero spans but "
+                f"total_ns {row['total_ns']}")
+        total += row["total_ns"]
+        critical += row["critical_ns"]
+        if best is None or row["critical_ns"] > best[1]:
+            best = (stage, row["critical_ns"])
+    if total != r["total_ns"]:
+        err(f"{where}: stage total_ns sum {total} != total_ns "
+            f"{r['total_ns']}")
+    if critical < r["critical_ns"]:
+        err(f"{where}: stage critical_ns sum {critical} below "
+            f"critical_ns {r['critical_ns']}")
+    binding = r.get("binding_stage")
+    if r["spanned_events"] == 0:
+        if binding is not None:
+            err(f"{where}: binding_stage must be null with no "
+                f"spanned events")
+    elif best is not None and binding != best[0]:
+        err(f"{where}: binding_stage '{binding}' but "
+            f"'{best[0]}' has the largest critical_ns")
+    share = r.get("binding_share")
+    if not isinstance(share, (int, float)) or isinstance(share, bool) \
+            or share < 0.0 or share > 1.0:
+        err(f"{where}: binding_share out of [0, 1]: {share!r}")
+    overhead = r.get("overhead")
+    if overhead is not None:
+        for key in ("sampled_transfers", "clock_reads",
+                    "clock_cost_ns", "estimated_ns"):
+            v = overhead.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                err(f"{where}: overhead '{key}' invalid: {v!r}")
+
+    if stats is None:
+        return
+    # Reconciliation: the recorder writes every span duration into
+    # its stage histogram as it drains, so the analyzer's per-stage
+    # totals and the aggregate timers must agree (1% bound per the
+    # acceptance criterion; in practice they are identical).
+    for row in rows:
+        if not isinstance(row, dict) or "stage" not in row:
+            continue
+        hsum = hist_sum(stats, f"t_stage_{row['stage']}_ns")
+        want = row.get("total_ns", 0)
+        if hsum is None:
+            if want:
+                err(f"{where}: stage '{row['stage']}' reports "
+                    f"{want} ns but histogram "
+                    f"t_stage_{row['stage']}_ns is missing")
+            continue
+        bound = CRITPATH_TOLERANCE * max(hsum, want)
+        if abs(hsum - want) > bound:
+            err(f"{where}: stage '{row['stage']}' total_ns {want} "
+                f"differs from histogram sum {hsum} by more than 1%")
+
+
 def check_metrics_v1(m, trace_path):
     for key in ("tool", "command", "benchmark", "scheme", "config",
                 "results", "stats", "epochs", "structures"):
@@ -266,6 +368,9 @@ def check_metrics_v1(m, trace_path):
                 and encodes > trace["events"]:
             err(f"trace file has {encodes} encode events but metrics "
                 f"claim only {trace['events']} were emitted")
+
+    if m.get("critpath") is not None:
+        check_critpath_report(m["critpath"], "critpath", m["stats"])
 
     if not errors:
         print(f"check_metrics: OK ({len(hists)} histograms, "
@@ -366,6 +471,12 @@ def check_trajectory_v1(m):
                 and snap.get("schema") == "cable-structures-v1":
             check_structures(snap.get("structures", {}),
                              f"{where}.ratio_mcf_structures")
+        cp = e["benches"].get("ratio_mcf_critpath")
+        if isinstance(cp, dict) \
+                and cp.get("schema") == "cable-critpath-v1" \
+                and isinstance(cp.get("critpath"), dict):
+            check_critpath_report(cp["critpath"],
+                                  f"{where}.ratio_mcf_critpath")
     if not errors:
         n = len(m["entries"])
         nm = len(m["entries"][-1]["metrics"])
@@ -414,6 +525,31 @@ def check_chaos_v1(m):
               f"crashes, oracle {verdict})")
 
 
+def check_critpath_v1(m):
+    for key in ("tool", "critpath"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return
+    # cable_sim reports carry run identity + the sampling period;
+    # critpath.py reports (recomputed from a trace) carry the trace
+    # path instead. Both share the "critpath" report object.
+    if m["tool"] == "cable_sim":
+        for key in ("command", "benchmark", "scheme", "ops", "seed",
+                    "sample"):
+            if key not in m:
+                err(f"missing top-level key '{key}'")
+        if not isinstance(m.get("sample"), int) or m.get("sample", 0) < 1:
+            err(f"'sample' must be a positive integer: "
+                f"{m.get('sample')!r}")
+    check_critpath_report(m["critpath"], "critpath")
+    if not errors:
+        r = m["critpath"]
+        print(f"check_metrics: OK (critpath report, "
+              f"{r['spanned_events']} spanned events, binding "
+              f"stage {r['binding_stage']})")
+
+
 def main():
     if len(sys.argv) < 2 or len(sys.argv) > 3:
         print(__doc__, file=sys.stderr)
@@ -433,6 +569,8 @@ def main():
         check_trajectory_v1(m)
     elif schema == "cable-chaos-v1":
         check_chaos_v1(m)
+    elif schema == "cable-critpath-v1":
+        check_critpath_v1(m)
     else:
         err(f"unexpected schema: {schema!r}")
 

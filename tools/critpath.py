@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Critical-path report tool over CABLE JSONL traces.
+
+Reconstructs each transfer's stage-span DAG from a ``--trace-out``
+JSONL stream (events carrying a "spans" array, recorded when
+``--critpath-sample`` arms the span recorder), computes the critical
+path and per-stage slack with the same math as
+src/telemetry/critpath.cc, and aggregates a per-workload bottleneck
+attribution report.
+
+Usage:
+    critpath.py trace.jsonl                 human-readable table
+    critpath.py trace.jsonl --out F         cable-critpath-v1 JSON
+    critpath.py trace.jsonl --chrome F      chrome://tracing export
+    critpath.py trace.jsonl --flame F       folded stacks (flamegraph
+                                            collapse format)
+    critpath.py trace.jsonl --check F       cross-check against a
+                                            cable_sim --critpath-out
+                                            report (1% tolerance)
+
+The --check mode is the analyzer's own integrity test: the C++
+aggregation (cable_sim) and this independent implementation must
+agree on every per-stage total when the trace was exported at
+--trace-sample 1. Exits 0 when everything holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+STAGES = [
+    "line", "signature", "probe", "score", "serialize",
+    "frame", "link", "ack", "retransmit", "resync",
+]
+
+CHECK_TOLERANCE = 0.01  # relative; matches ISSUE acceptance bound
+
+
+class StageAgg:
+    __slots__ = ("count", "total_ns", "critical_ns", "slack_ns")
+
+    def __init__(self):
+        self.count = 0
+        self.total_ns = 0
+        self.critical_ns = 0
+        self.slack_ns = 0
+
+
+class Analyzer:
+    """Python twin of cable::CritPathAnalyzer (same tie-breaks)."""
+
+    def __init__(self):
+        self.stages = {s: StageAgg() for s in STAGES}
+        self.events = 0
+        self.spanned = 0
+        self.spans = 0
+        self.critical_ns = 0
+        self.total_ns = 0
+
+    def add_event(self, spans):
+        self.events += 1
+        if not spans:
+            return
+        self.spanned += 1
+        self.spans += len(spans)
+
+        n = len(spans)
+        dur = [max(0, s["end_ns"] - s["begin_ns"]) for s in spans]
+        dep = [s.get("dep", -1) for s in spans]
+        linked = [0 <= dep[i] < i for i in range(n)]
+
+        up = [0] * n
+        for i in range(n):
+            up[i] = dur[i] + (up[dep[i]] if linked[i] else 0)
+        down = dur[:]
+        for i in range(n - 1, -1, -1):
+            if linked[i]:
+                through = dur[dep[i]] + down[i]
+                if through > down[dep[i]]:
+                    down[dep[i]] = through
+
+        # First index wins ties, matching the C++ analyzer, so both
+        # implementations attribute identical streams identically.
+        tail = 0
+        for i in range(1, n):
+            if up[i] > up[tail]:
+                tail = i
+        crit_len = up[tail]
+        self.critical_ns += crit_len
+
+        critical = [False] * n
+        i = tail
+        while i >= 0:
+            critical[i] = True
+            i = dep[i] if linked[i] else -1
+
+        for i in range(n):
+            stage = spans[i].get("stage", "")
+            agg = self.stages.get(stage)
+            if agg is None:
+                continue
+            agg.count += 1
+            agg.total_ns += dur[i]
+            self.total_ns += dur[i]
+            if critical[i]:
+                agg.critical_ns += dur[i]
+            else:
+                through = up[i] + down[i] - dur[i]
+                agg.slack_ns += max(0, crit_len - through)
+
+    def binding_stage(self):
+        best = STAGES[0]
+        for s in STAGES[1:]:
+            if self.stages[s].critical_ns > self.stages[best].critical_ns:
+                best = s
+        return best
+
+    def report(self):
+        binding = self.binding_stage() if self.spanned else None
+        share = 0.0
+        if self.critical_ns > 0 and binding is not None:
+            share = (self.stages[binding].critical_ns
+                     / self.critical_ns)
+        return {
+            "events": self.events,
+            "spanned_events": self.spanned,
+            "spans": self.spans,
+            "critical_ns": self.critical_ns,
+            "total_ns": self.total_ns,
+            "stages": [
+                {
+                    "stage": s,
+                    "count": self.stages[s].count,
+                    "total_ns": self.stages[s].total_ns,
+                    "critical_ns": self.stages[s].critical_ns,
+                    "slack_ns": self.stages[s].slack_ns,
+                    "critical_share": (
+                        self.stages[s].critical_ns / self.critical_ns
+                        if self.critical_ns > 0 else 0.0),
+                }
+                for s in STAGES
+            ],
+            "binding_stage": binding,
+            "binding_share": share,
+            "overhead": None,
+        }
+
+
+def load_events(path):
+    """Yields (event_dict, spans_list) per JSONL line."""
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(
+                    f"critpath: {path}:{lineno}: bad JSON: {e}")
+            yield ev, ev.get("spans") or []
+
+
+def write_chrome(events, out):
+    """ph "X" slices per span, like the C++ ChromeTraceSink."""
+    slices = []
+    for ev, spans in events:
+        tid = 2 if ev.get("dir") == "wb" else 1
+        for s in spans:
+            dur = max(0, s["end_ns"] - s["begin_ns"])
+            args = {"seq": ev.get("seq", 0),
+                    "dep": s.get("dep", -1)}
+            if s.get("aux"):
+                args["aux"] = s["aux"]
+            slices.append({
+                "name": s.get("stage", "?"),
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": s["begin_ns"] / 1000.0,
+                "dur": dur / 1000.0,
+                "args": args,
+            })
+    json.dump(slices, out)
+    out.write("\n")
+
+
+def write_flame(events, out):
+    """Folded stacks: dep-chain path -> summed duration (ns)."""
+    folded = {}
+    for _, spans in events:
+        for i, s in enumerate(spans):
+            path = []
+            j = i
+            guard = 0
+            while 0 <= j < len(spans) and guard <= len(spans):
+                path.append(spans[j].get("stage", "?"))
+                dep = spans[j].get("dep", -1)
+                j = dep if 0 <= dep < j else -1
+                guard += 1
+            key = ";".join(reversed(path))
+            dur = max(0, s["end_ns"] - s["begin_ns"])
+            folded[key] = folded.get(key, 0) + dur
+    for key in sorted(folded):
+        out.write(f"{key} {folded[key]}\n")
+
+
+def close_enough(a, b):
+    if a == b:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= CHECK_TOLERANCE * scale
+
+
+def check_against(report, ref_path):
+    """Compares this analysis with a cable_sim --critpath-out file."""
+    with open(ref_path) as f:
+        doc = json.load(f)
+    ref = doc.get("critpath", doc)
+    failures = []
+
+    def fail(msg):
+        failures.append(msg)
+        print(f"critpath: check: {msg}", file=sys.stderr)
+
+    for key in ("spanned_events", "spans"):
+        if report[key] != ref.get(key):
+            fail(f"{key}: trace={report[key]} report={ref.get(key)}")
+    for key in ("critical_ns", "total_ns"):
+        if not close_enough(report[key], ref.get(key, 0)):
+            fail(f"{key}: trace={report[key]} report={ref.get(key)}")
+    ref_stages = {s["stage"]: s for s in ref.get("stages", [])}
+    for row in report["stages"]:
+        other = ref_stages.get(row["stage"])
+        if other is None:
+            fail(f"stage '{row['stage']}' missing from report")
+            continue
+        for key in ("count", "total_ns", "critical_ns", "slack_ns"):
+            if not close_enough(row[key], other.get(key, 0)):
+                fail(f"stage '{row['stage']}' {key}: "
+                     f"trace={row[key]} report={other.get(key)}")
+    if report["binding_stage"] != ref.get("binding_stage"):
+        fail(f"binding_stage: trace={report['binding_stage']} "
+             f"report={ref.get('binding_stage')}")
+    return not failures
+
+
+def print_table(report):
+    print(f"events          {report['events']}")
+    print(f"spanned events  {report['spanned_events']}")
+    print(f"spans           {report['spans']}")
+    print(f"critical ns     {report['critical_ns']}")
+    print(f"total ns        {report['total_ns']}")
+    print(f"{'stage':<12}{'count':>8}{'total_ns':>14}"
+          f"{'critical_ns':>14}{'slack_ns':>14}{'share':>8}")
+    for row in report["stages"]:
+        if row["count"] == 0:
+            continue
+        print(f"{row['stage']:<12}{row['count']:>8}"
+              f"{row['total_ns']:>14}{row['critical_ns']:>14}"
+              f"{row['slack_ns']:>14}"
+              f"{row['critical_share']:>8.3f}")
+    if report["binding_stage"] is not None:
+        print(f"binding stage   {report['binding_stage']} "
+              f"({report['binding_share']:.1%} of critical path)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="CABLE critical-path attribution from a JSONL "
+                    "trace")
+    ap.add_argument("trace", help="cable_sim --trace-out JSONL file")
+    ap.add_argument("--out", help="write cable-critpath-v1 JSON")
+    ap.add_argument("--chrome",
+                    help="write chrome://tracing span slices")
+    ap.add_argument("--flame",
+                    help="write folded stacks for flamegraph tools")
+    ap.add_argument("--check", metavar="REPORT",
+                    help="cross-check against a cable_sim "
+                         "--critpath-out report")
+    args = ap.parse_args()
+
+    events = list(load_events(args.trace))
+    analyzer = Analyzer()
+    for _, spans in events:
+        analyzer.add_event(spans)
+    report = analyzer.report()
+
+    if args.out:
+        doc = {
+            "schema": "cable-critpath-v1",
+            "tool": "critpath.py",
+            "trace": args.trace,
+            "critpath": report,
+        }
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            write_chrome(events, f)
+    if args.flame:
+        with open(args.flame, "w") as f:
+            write_flame(events, f)
+    if args.check:
+        if not check_against(report, args.check):
+            return 1
+        print("critpath: check OK "
+              f"({report['spanned_events']} spanned events, "
+              f"binding stage {report['binding_stage']})")
+    if not (args.out or args.chrome or args.flame or args.check):
+        print_table(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
