@@ -17,6 +17,12 @@
  *   - the full profiled configuration (the cable_sim default: span
  *     period 64, timing period 64, analyzer consuming every event)
  *     costs < 2% encode latency (the ISSUE acceptance bound).
+ *
+ * `micro_trace --analytics-check` gates the phase-analytics layer
+ * (DESIGN.md §14) the same way: quantile sketches recording every
+ * transfer plus a PhaseDetector fed once per chunk must cost < 2%
+ * encode latency, and the detector alone (sketches disabled — the
+ * hot path pays only null pointer tests) must be ~0 (< 1%).
  */
 
 #include <benchmark/benchmark.h>
@@ -29,8 +35,10 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/stats.h"
 #include "core/channel.h"
 #include "telemetry/critpath.h"
+#include "telemetry/phase.h"
 #include "telemetry/timing.h"
 #include "telemetry/trace.h"
 #include "workload/value_model.h"
@@ -171,6 +179,36 @@ struct ModeToggle
         rig.channel.setSpanSampling(on ? span_period : 0);
         setTimingSamplePeriod(on ? timing_period : 0);
     }
+
+    void
+    chunkEnd(bool) const
+    {
+    }
+};
+
+/** Phase-analytics configuration: per-transfer quantile sketches
+ *  plus a change-point detector observing once per chunk — a far
+ *  denser epoch cadence than any real --stats-interval, so the
+ *  measured per-epoch cost is an upper bound. */
+struct AnalyticsToggle
+{
+    Rig &rig;
+    PhaseDetector *detector;  ///< observed per chunk when non-null
+    const StatSet *epoch;     ///< synthetic epoch delta to observe
+    bool sketches;            ///< record sketches when on
+
+    void
+    set(bool on) const
+    {
+        rig.channel.setSketchesEnabled(on && sketches);
+    }
+
+    void
+    chunkEnd(bool on) const
+    {
+        if (on && detector)
+            detector->observe(*epoch, 0);
+    }
 };
 
 /**
@@ -184,8 +222,9 @@ struct ModeToggle
  * median over all pairs sheds what noise remains. Returns the
  * median overhead fraction.
  */
+template <typename Mode>
 double
-pairedOverhead(const ModeToggle &mode, const std::vector<Addr> &addrs,
+pairedOverhead(const Mode &mode, const std::vector<Addr> &addrs,
                std::size_t chunk_ops, int passes)
 {
     const std::size_t nchunks =
@@ -193,10 +232,11 @@ pairedOverhead(const ModeToggle &mode, const std::vector<Addr> &addrs,
     std::vector<std::uint64_t> grid(
         static_cast<std::size_t>(passes) * nchunks, 0);
 
-    auto timed_chunk = [&](std::size_t lo, std::size_t hi) {
+    auto timed_chunk = [&](std::size_t lo, std::size_t hi, bool on) {
         auto t0 = std::chrono::steady_clock::now();
         for (std::size_t i = lo; i < hi; ++i)
             mode.rig.touch(addrs[i]);
+        mode.chunkEnd(on); // per-epoch work bills to its mode
         auto t1 = std::chrono::steady_clock::now();
         auto ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1
@@ -213,7 +253,7 @@ pairedOverhead(const ModeToggle &mode, const std::vector<Addr> &addrs,
             std::size_t hi =
                 std::min(lo + chunk_ops, addrs.size());
             grid[static_cast<std::size_t>(p) * nchunks + c] =
-                timed_chunk(lo, hi);
+                timed_chunk(lo, hi, on);
         }
     }
     mode.set(false);
@@ -307,6 +347,91 @@ overheadCheck()
     return rc;
 }
 
+/** One synthetic stationary epoch delta with every counter the
+ *  detector's feature vector reads. */
+StatSet
+syntheticEpoch()
+{
+    StatSet s;
+    s.add("searches", 1000);
+    s.add("ht_hits", 500);
+    s.add("raw_bits", 200000);
+    s.add("wire_bits", 100000);
+    s.add("transfers", 1000);
+    s.hist("cbv_covered_words").record(8, 1000);
+    return s;
+}
+
+int
+analyticsCheck()
+{
+    constexpr std::size_t kOps = 50000;
+    constexpr std::size_t kChunkOps = 1000;
+    constexpr int kPasses = 16;
+    const std::vector<Addr> addrs = addressStream(kOps);
+
+    Rig rig;
+    const StatSet epoch = syntheticEpoch();
+
+    setTimingSamplePeriod(0);
+    for (Addr a : addrs)
+        rig.touch(a);
+
+    // Detector alone: sketches stay off, so transfers pay only the
+    // disabled-pointer tests and the per-chunk CUSUM update — the
+    // "~0 when disabled" half of the contract.
+    PhaseDetector detector_only;
+    AnalyticsToggle disabled{rig, &detector_only, &epoch, false};
+    double disabled_frac =
+        pairedOverhead(disabled, addrs, kChunkOps, kPasses);
+
+    // Full analytics: three sketches recording every transfer plus
+    // the detector at one observation per chunk — denser than any
+    // real epoch interval, so this bounds the deployed cost.
+    PhaseDetector detector;
+    AnalyticsToggle enabled{rig, &detector, &epoch, true};
+    double enabled_frac =
+        pairedOverhead(enabled, addrs, kChunkOps, kPasses);
+
+    const QuantileSketch *frame_bits =
+        rig.channel.stats().findSketch("frame_bits");
+    std::uint64_t recorded = frame_bits ? frame_bits->samples() : 0;
+    std::printf("micro_trace: analytics-check: disabled=%+.2f%% "
+                "enabled=%+.2f%% (chunk-paired medians, %d passes) "
+                "sketch_samples=%llu epochs=%llu\n",
+                disabled_frac * 100.0, enabled_frac * 100.0, kPasses,
+                static_cast<unsigned long long>(recorded),
+                static_cast<unsigned long long>(
+                    detector.epochsSeen()));
+
+    int rc = 0;
+    if (recorded == 0) {
+        std::printf("micro_trace: FAIL: enabled phase recorded no "
+                    "sketch samples — the comparison is vacuous\n");
+        rc = 1;
+    }
+    if (detector.epochsSeen() == 0) {
+        std::printf("micro_trace: FAIL: detector observed no epochs "
+                    "— the comparison is vacuous\n");
+        rc = 1;
+    }
+    if (disabled_frac > 0.01) {
+        std::printf("micro_trace: FAIL: disabled analytics cost "
+                    "%.2f%% (limit 1%%)\n",
+                    disabled_frac * 100.0);
+        rc = 1;
+    }
+    if (enabled_frac > 0.02) {
+        std::printf("micro_trace: FAIL: sketches + phase detection "
+                    "cost %.2f%% (limit 2%%)\n",
+                    enabled_frac * 100.0);
+        rc = 1;
+    }
+    if (rc == 0)
+        std::printf("micro_trace: analytics-check OK\n");
+    return rc;
+}
+
 } // namespace
 
 BENCHMARK(BM_EncodeNoTracing);
@@ -316,9 +441,12 @@ BENCHMARK(BM_EncodeProfiled);
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--overhead-check") == 0)
             return overheadCheck();
+        if (std::strcmp(argv[i], "--analytics-check") == 0)
+            return analyticsCheck();
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

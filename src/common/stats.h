@@ -1,15 +1,16 @@
 /**
  * @file
- * Statistics package: named counters, bucketed histograms and
- * running distributions with merge, epoch-delta and dump facilities,
- * in the spirit of gem5's stats but minimal. The counter API is
- * unchanged from the original StatSet; histograms and distributions
- * auto-register on first use just like counters, so call sites stay
- * one-liners:
+ * Statistics package: named counters, bucketed histograms, running
+ * distributions and quantile sketches with merge, epoch-delta and
+ * dump facilities, in the spirit of gem5's stats but minimal. The
+ * counter API is unchanged from the original StatSet; the other
+ * container kinds auto-register on first use just like counters, so
+ * call sites stay one-liners:
  *
  *   stats.add("transfers", 1);
  *   stats.hist("refs_per_line").record(nrefs);
  *   stats.dist("cbv_coverage").record(covered);
+ *   stats.sketch("frame_bits").record(bits);
  */
 
 #ifndef CABLE_COMMON_STATS_H
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/sketch.h"
 
 namespace cable
 {
@@ -468,12 +470,29 @@ class StatSet
         return it == dists_.end() ? nullptr : &it->second;
     }
 
+    /** Returns (creating if needed) the quantile sketch @p name.
+     *  Construction allocates the fixed bucket array once; map nodes
+     *  are pointer-stable, so hot paths cache the reference. */
+    QuantileSketch &
+    sketch(const std::string &name)
+    {
+        return sketches_[name];
+    }
+
+    const QuantileSketch *
+    findSketch(const std::string &name) const
+    {
+        auto it = sketches_.find(name);
+        return it == sketches_.end() ? nullptr : &it->second;
+    }
+
     void
     clear()
     {
         counters_.clear();
         hists_.clear();
         dists_.clear();
+        sketches_.clear();
     }
 
     /**
@@ -504,6 +523,13 @@ class StatSet
                << " mean=" << d.mean() << " min=" << d.min()
                << " max=" << d.max() << "\n";
         }
+        for (const auto &[name, s] : sketches_) {
+            os << prefix << safe(name) << " n=" << s.samples()
+               << " min=" << s.min() << " max=" << s.max()
+               << " mean=" << s.mean()
+               << " p50=" << s.quantile(0.50)
+               << " p99=" << s.quantile(0.99) << "\n";
+        }
     }
 
     /**
@@ -533,10 +559,18 @@ class StatSet
             d.dumpJson(jw);
         }
         jw.endObject();
+        jw.key("sketches");
+        jw.beginObject();
+        for (const auto &[name, s] : sketches_) {
+            jw.key(name);
+            s.dumpJson(jw);
+        }
+        jw.endObject();
         jw.endObject();
     }
 
-    /** Merge-add every counter/histogram/distribution from @p other. */
+    /** Merge-add every counter/histogram/distribution/sketch from
+     *  @p other. */
     void
     merge(const StatSet &other)
     {
@@ -551,6 +585,8 @@ class StatSet
         }
         for (const auto &[name, d] : other.dists_)
             dists_[name].merge(d);
+        for (const auto &[name, s] : other.sketches_)
+            sketches_[name].merge(s);
     }
 
     /**
@@ -572,6 +608,10 @@ class StatSet
             d.hists_.emplace(name, prev ? h.delta(*prev) : h);
         }
         d.dists_ = dists_;
+        for (const auto &[name, s] : sketches_) {
+            const QuantileSketch *prev = earlier.findSketch(name);
+            d.sketches_.emplace(name, prev ? s.delta(*prev) : s);
+        }
         return d;
     }
 
@@ -590,10 +630,16 @@ class StatSet
         return dists_;
     }
 
+    const std::map<std::string, QuantileSketch> &sketches() const
+    {
+        return sketches_;
+    }
+
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, Histogram> hists_;
     std::map<std::string, Distribution> dists_;
+    std::map<std::string, QuantileSketch> sketches_;
 };
 
 } // namespace cable

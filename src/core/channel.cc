@@ -792,6 +792,14 @@ CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
         .hist("line_wire_bits", Histogram::Scale::Linear, 32, 20)
         .record(t.bits);
 
+    // Tail sketches (bounded-error quantiles; DESIGN.md §14). The
+    // cached pointers are null unless setSketchesEnabled(true), so
+    // the disabled path is one predictable branch.
+    if (q_frame_bits_) {
+        q_frame_bits_->record(t.bits);
+        q_arq_rounds_->record(t.retries);
+    }
+
     if (trace_) {
         TraceEvent ev;
         ev.type = TraceEvent::Type::Encode;
@@ -812,6 +820,15 @@ CableChannel::transmit(Chosen &chosen, bool writeback, Addr addr,
         ev.out_bits = t.bits;
         ev.aux = t.retries;
         spans_.drainTo(ev, stats_);
+        // Encode wall-time tail: summed stage spans of the sampled
+        // transfers (the same measurements the t_stage_* histograms
+        // hold, reduced to one per-transfer latency).
+        if (q_encode_ns_ && ev.nspans > 0) {
+            std::uint64_t ns = 0;
+            for (unsigned i = 0; i < ev.nspans; ++i)
+                ns += ev.spans[i].durationNs();
+            q_encode_ns_->record(ns);
+        }
         trace_->emit(ev);
     } else {
         spans_.disarm();

@@ -337,6 +337,31 @@ class CableChannel
     }
     /** Recorder counters for the measured-overhead self-report. */
     const SpanRecorder &spanRecorder() const { return spans_; }
+
+    /**
+     * Tail-quantile sketches (DESIGN.md §14): when enabled, every
+     * transfer records frame bits and ARQ round trips — and, on
+     * span-sampled transfers, encode nanoseconds — into fixed-
+     * capacity QuantileSketches ("frame_bits", "arq_rounds",
+     * "encode_ns") in stats(). The sketch references are cached at
+     * enable time (map nodes are pointer-stable), so the disabled
+     * hot path pays one null-pointer test per transfer and the
+     * enabled path three branch-free bucket increments.
+     */
+    void
+    setSketchesEnabled(bool on)
+    {
+        if (on) {
+            q_frame_bits_ = &stats_.sketch("frame_bits");
+            q_arq_rounds_ = &stats_.sketch("arq_rounds");
+            q_encode_ns_ = &stats_.sketch("encode_ns");
+        } else {
+            q_frame_bits_ = nullptr;
+            q_arq_rounds_ = nullptr;
+            q_encode_ns_ = nullptr;
+        }
+    }
+    bool sketchesEnabled() const { return q_frame_bits_ != nullptr; }
     /** Recorder clock (counted reads) — the resync protocol (sim
      *  layer) stamps its handshake span with the same clock so its
      *  cost lands in the same overhead self-report. */
@@ -636,6 +661,11 @@ class CableChannel
     TraceSink *trace_ = nullptr;
     std::uint64_t trace_seq_ = 0;
     SpanRecorder spans_;
+    // Cached sketch pointers (null = disabled); see
+    // setSketchesEnabled().
+    QuantileSketch *q_frame_bits_ = nullptr;
+    QuantileSketch *q_arq_rounds_ = nullptr;
+    QuantileSketch *q_encode_ns_ = nullptr;
 };
 
 /** Delegate-engine factory: per-line (non-persistent) variants. */

@@ -1,0 +1,238 @@
+#include "telemetry/phase.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cable
+{
+
+namespace
+{
+
+/** Indexable by feature ordinal; the order is the contract. */
+const char *const kFeatureNames[kPhaseFeatureCount] = {
+    "hit_rate",
+    "coverage",
+    "ratio",
+    "bandwidth",
+};
+
+constexpr unsigned kFeatureRatio = 2;
+
+} // namespace
+
+const char *
+phaseFeatureName(unsigned f)
+{
+    return f < kPhaseFeatureCount ? kFeatureNames[f] : "unknown";
+}
+
+double
+PhaseSummary::ratioSpread() const
+{
+    if (!epochs)
+        return 0.0;
+    return features[kFeatureRatio].max - features[kFeatureRatio].min;
+}
+
+PhaseDetector::PhaseDetector(PhaseConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.warmup == 0)
+        cfg_.warmup = 1;
+    startPhase(0, 0);
+}
+
+void
+PhaseDetector::features(const StatSet &delta,
+                        double out[kPhaseFeatureCount])
+{
+    // Every input is an exact u64 counter, every division is guarded
+    // and ordered: the resulting doubles — and therefore every CUSUM
+    // decision downstream — are bit-identical across reruns and
+    // reproducible by tools/phases.py from the exported epochs.
+    std::uint64_t searches = delta.get("searches");
+    std::uint64_t hits = delta.get("ht_hits");
+    out[0] = searches ? static_cast<double>(hits)
+                            / static_cast<double>(searches)
+                      : 0.0;
+    const Histogram *cov = delta.findHist("cbv_covered_words");
+    out[1] = (cov && cov->samples())
+                 ? static_cast<double>(cov->sum())
+                       / static_cast<double>(cov->samples())
+                 : 0.0;
+    std::uint64_t raw = delta.get("raw_bits");
+    std::uint64_t wire = delta.get("wire_bits");
+    out[2] = wire ? static_cast<double>(raw)
+                        / static_cast<double>(wire)
+                  : 0.0;
+    out[3] = static_cast<double>(wire);
+}
+
+void
+PhaseDetector::resetFeatureStates()
+{
+    for (unsigned i = 0; i < kPhaseFeatureCount; ++i)
+        feat_[i] = FeatureState{};
+}
+
+void
+PhaseDetector::startPhase(std::uint64_t epoch,
+                          std::uint64_t start_ops)
+{
+    current_ = PhaseSummary{};
+    current_.index = phase_index_;
+    current_.start_epoch = epoch;
+    current_.end_epoch = epoch;
+    current_.start_ops = start_ops;
+    current_.end_ops = start_ops;
+}
+
+void
+PhaseDetector::accumulate(const StatSet &delta,
+                          const double f[kPhaseFeatureCount],
+                          std::uint64_t ops_reached)
+{
+    if (current_.epochs == 0) {
+        for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+            current_.features[i].min = f[i];
+            current_.features[i].max = f[i];
+        }
+    }
+    for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+        current_.features[i].sum += f[i];
+        current_.features[i].min =
+            std::min(current_.features[i].min, f[i]);
+        current_.features[i].max =
+            std::max(current_.features[i].max, f[i]);
+    }
+    ++current_.epochs;
+    current_.end_epoch = epoch_ + 1;
+    current_.end_ops = ops_reached;
+    current_.transfers += delta.get("transfers");
+    current_.raw_bits += delta.get("raw_bits");
+    current_.wire_bits += delta.get("wire_bits");
+}
+
+bool
+PhaseDetector::observe(const StatSet &delta,
+                       std::uint64_t ops_reached)
+{
+    double f[kPhaseFeatureCount];
+    features(delta, f);
+
+    // Change-point test: only once the phase baseline exists. Every
+    // feature's CUSUM updates before the verdict so the state — not
+    // just the boundary — is order-independent of which feature
+    // fired.
+    bool boundary = false;
+    if (phase_epochs_ >= cfg_.warmup) {
+        for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+            FeatureState &s = feat_[i];
+            double z = (f[i] - s.mu) / s.sigma;
+            s.sp = std::max(0.0, s.sp + z - cfg_.kappa);
+            s.sn = std::max(0.0, s.sn - z - cfg_.kappa);
+            if (s.sp > cfg_.threshold || s.sn > cfg_.threshold)
+                boundary = true;
+        }
+    }
+
+    if (boundary) {
+        // The triggering epoch belongs to the NEW phase: close the
+        // old one at the previous epoch's op count, then fold this
+        // epoch into the fresh phase below.
+        phases_.push_back(current_);
+        boundaries_.push_back(epoch_);
+        ++phase_index_;
+        startPhase(epoch_, prev_ops_);
+        resetFeatureStates();
+        phase_epochs_ = 0;
+    }
+
+    // Baseline estimation for the first `warmup` epochs of a phase.
+    if (phase_epochs_ < cfg_.warmup) {
+        for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+            feat_[i].sum += f[i];
+            feat_[i].sumsq += f[i] * f[i];
+        }
+        if (phase_epochs_ + 1 == cfg_.warmup) {
+            double n = static_cast<double>(cfg_.warmup);
+            for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+                FeatureState &s = feat_[i];
+                s.mu = s.sum / n;
+                double var = s.sumsq / n - s.mu * s.mu;
+                double sd = std::sqrt(std::max(var, 0.0));
+                double floor =
+                    std::max(cfg_.sigma_frac * std::fabs(s.mu),
+                             cfg_.sigma_abs);
+                s.sigma = std::max(sd, floor);
+            }
+        }
+    }
+
+    accumulate(delta, f, ops_reached);
+    ++phase_epochs_;
+    ++epoch_;
+    prev_ops_ = ops_reached;
+    return boundary;
+}
+
+void
+PhaseDetector::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (current_.epochs > 0)
+        phases_.push_back(current_);
+}
+
+void
+PhaseDetector::writeReport(JsonWriter &jw) const
+{
+    jw.beginObject();
+    jw.key("detector");
+    jw.beginObject();
+    jw.field("warmup", cfg_.warmup);
+    jw.field("kappa", cfg_.kappa);
+    jw.field("threshold", cfg_.threshold);
+    jw.field("sigma_frac", cfg_.sigma_frac);
+    jw.field("sigma_abs", cfg_.sigma_abs);
+    jw.endObject();
+    jw.field("epochs", epoch_);
+    jw.key("boundaries");
+    jw.beginArray();
+    for (std::uint64_t b : boundaries_)
+        jw.value(b);
+    jw.endArray();
+    jw.key("phases");
+    jw.beginArray();
+    for (const PhaseSummary &p : phases_) {
+        jw.beginObject();
+        jw.field("index", p.index);
+        jw.field("start_epoch", p.start_epoch);
+        jw.field("end_epoch", p.end_epoch);
+        jw.field("epochs", p.epochs);
+        jw.field("start_ops", p.start_ops);
+        jw.field("end_ops", p.end_ops);
+        jw.field("transfers", p.transfers);
+        jw.field("raw_bits", p.raw_bits);
+        jw.field("wire_bits", p.wire_bits);
+        jw.field("ratio_spread", p.ratioSpread());
+        jw.key("features");
+        jw.beginObject();
+        for (unsigned i = 0; i < kPhaseFeatureCount; ++i) {
+            jw.key(phaseFeatureName(i));
+            jw.beginObject();
+            jw.field("mean", p.featureMean(i));
+            jw.field("min", p.features[i].min);
+            jw.field("max", p.features[i].max);
+            jw.endObject();
+        }
+        jw.endObject();
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+}
+
+} // namespace cable

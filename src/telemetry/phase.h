@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Online workload-phase detector over StatSet epoch deltas
+ * (DESIGN.md §14). CABLE's effectiveness is phase-dependent — hit
+ * rate, coverage and ratio swing hard when the working set shifts —
+ * and the adaptive policy work the ROADMAP plans needs those phases
+ * *detected online*, from observed counters only, deterministically
+ * under a fixed seed.
+ *
+ * The detector consumes one epoch delta at a time (the same
+ * `stats().delta(prev)` snapshots cable_sim already exports) and
+ * reduces it to four features:
+ *
+ *   hit_rate   ht_hits / searches
+ *   coverage   mean of the cbv_covered_words histogram (sum/count)
+ *   ratio      raw_bits / wire_bits
+ *   bandwidth  wire_bits in the epoch
+ *
+ * Each feature runs a two-sided CUSUM change-point test: the first
+ * `warmup` epochs of a phase estimate a baseline mean/sigma (sigma
+ * floored at max(sigma_frac·|mu|, sigma_abs) so a perfectly flat
+ * warmup cannot divide by zero), then standardized deviations
+ * accumulate into the classic one-sided sums
+ *
+ *   Sp = max(0, Sp + z - kappa),  Sn = max(0, Sn - z - kappa)
+ *
+ * and a boundary fires when either sum of *any* feature exceeds the
+ * threshold h. The triggering epoch starts the new phase (its stats
+ * and features belong to the new phase), and every feature resets to
+ * warmup. All arithmetic is IEEE-double over integer-derived inputs
+ * in a fixed order, so the boundary sequence is bit-identical across
+ * reruns and exactly reproducible by the Python twin
+ * (tools/phases.py), which cross-checks the C++ report through the
+ * `cable-phases-v1` schema — the same mold as critpath.py.
+ */
+
+#ifndef CABLE_TELEMETRY_PHASE_H
+#define CABLE_TELEMETRY_PHASE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace cable
+{
+
+/** CUSUM configuration; the defaults are the documented contract
+ *  (DESIGN.md §14) and the values the Python twin hard-codes. */
+struct PhaseConfig
+{
+    unsigned warmup = 4;      ///< baseline epochs per phase
+    double kappa = 0.5;       ///< CUSUM slack, in sigma units
+    double threshold = 5.0;   ///< decision threshold h, sigma units
+    double sigma_frac = 0.05; ///< sigma floor: fraction of |mu|
+    double sigma_abs = 1e-9;  ///< sigma floor: absolute
+};
+
+/** Feature vector order is part of the determinism contract. */
+constexpr unsigned kPhaseFeatureCount = 4;
+
+/** Stable feature name ("hit_rate", "coverage", "ratio",
+ *  "bandwidth"). */
+const char *phaseFeatureName(unsigned f);
+
+/** Aggregate over one detected phase (a run of epochs). */
+struct PhaseSummary
+{
+    unsigned index = 0;
+    std::uint64_t start_epoch = 0; ///< first epoch (inclusive)
+    std::uint64_t end_epoch = 0;   ///< one past the last epoch
+    std::uint64_t start_ops = 0;   ///< ops at phase entry
+    std::uint64_t end_ops = 0;     ///< ops at phase exit
+    std::uint64_t epochs = 0;
+    std::uint64_t transfers = 0;
+    std::uint64_t raw_bits = 0;
+    std::uint64_t wire_bits = 0;
+
+    struct FeatureAgg
+    {
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+    FeatureAgg features[kPhaseFeatureCount];
+
+    double
+    featureMean(unsigned f) const
+    {
+        return epochs ? features[f].sum
+                            / static_cast<double>(epochs)
+                      : 0.0;
+    }
+
+    /** max - min of the per-epoch compression-ratio feature: how
+     *  much the ratio moved *within* the phase (small = the
+     *  detector segmented well). */
+    double ratioSpread() const;
+};
+
+class PhaseDetector
+{
+  public:
+    explicit PhaseDetector(PhaseConfig cfg = PhaseConfig{});
+
+    /** Reduces @p delta to the four-feature vector (fixed formulas,
+     *  fixed order — mirrored verbatim in tools/phases.py). */
+    static void features(const StatSet &delta,
+                         double out[kPhaseFeatureCount]);
+
+    /**
+     * Consumes the epoch delta ending at cumulative op count
+     * @p ops_reached. Returns true when this epoch triggered a
+     * phase boundary (the epoch itself belongs to the new phase).
+     */
+    bool observe(const StatSet &delta, std::uint64_t ops_reached);
+
+    /** Closes the in-flight phase; call once, after the last
+     *  epoch. observe() must not be called afterwards. */
+    void finish();
+
+    std::uint64_t epochsSeen() const { return epoch_; }
+    /** Phase index the next epoch would join. */
+    unsigned currentPhase() const { return phase_index_; }
+
+    /** Epoch indices that *started* a phase, phase 0's epoch 0
+     *  excluded — the boundary list reruns must reproduce
+     *  bit-identically. */
+    const std::vector<std::uint64_t> &boundaries() const
+    {
+        return boundaries_;
+    }
+
+    /** Completed phases; includes the final one after finish(). */
+    const std::vector<PhaseSummary> &phases() const
+    {
+        return phases_;
+    }
+
+    const PhaseConfig &config() const { return cfg_; }
+
+    /**
+     * Emits the detector's report as one JSON object (the value for
+     * a pending key): the config, epoch/boundary counts, the
+     * boundary list and the per-phase summary table —
+     * `cable-phases-v1`'s payload.
+     */
+    void writeReport(JsonWriter &jw) const;
+
+  private:
+    struct FeatureState
+    {
+        double sum = 0.0;
+        double sumsq = 0.0;
+        double mu = 0.0;
+        double sigma = 0.0;
+        double sp = 0.0;
+        double sn = 0.0;
+    };
+
+    void resetFeatureStates();
+    void startPhase(std::uint64_t epoch, std::uint64_t start_ops);
+    void accumulate(const StatSet &delta,
+                    const double f[kPhaseFeatureCount],
+                    std::uint64_t ops_reached);
+
+    PhaseConfig cfg_;
+    FeatureState feat_[kPhaseFeatureCount];
+    std::uint64_t epoch_ = 0;       ///< epochs observed so far
+    std::uint64_t phase_epochs_ = 0; ///< epochs in current phase
+    unsigned phase_index_ = 0;
+    PhaseSummary current_;
+    std::uint64_t prev_ops_ = 0; ///< ops at end of previous epoch
+    bool finished_ = false;
+    std::vector<std::uint64_t> boundaries_;
+    std::vector<PhaseSummary> phases_;
+};
+
+} // namespace cable
+
+#endif // CABLE_TELEMETRY_PHASE_H

@@ -26,6 +26,7 @@ TraceEvent::typeName(Type t)
     case Type::Resync: return "resync";
     case Type::Checkpoint: return "checkpoint";
     case Type::Timeout: return "timeout";
+    case Type::Phase: return "phase";
     }
     return "unknown";
 }

@@ -106,6 +106,7 @@ struct TraceEvent
         Resync,      ///< resync-protocol progress (aux = ranges/lines)
         Checkpoint,  ///< checkpoint captured or restored
         Timeout,     ///< ARQ watchdog fired (aux = retry cycles)
+        Phase,       ///< phase-detector boundary (aux = new phase)
     };
 
     Type type = Type::Encode;

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * PhaseDetector tests: a stationary epoch stream stays one phase, an
+ * injected regime shift is flagged on the epoch it lands, boundaries
+ * and reports are bit-identical across reruns, the emitted phases
+ * contiguously partition the epoch stream, and the warmup floor is
+ * enforced.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "telemetry/phase.h"
+
+using namespace cable;
+
+namespace
+{
+
+/** One synthetic epoch delta with the counters the detector reads. */
+StatSet
+epochDelta(std::uint64_t searches, std::uint64_t hits,
+           std::uint64_t raw_bits, std::uint64_t wire_bits,
+           std::uint64_t coverage)
+{
+    StatSet s;
+    s.add("searches", searches);
+    s.add("ht_hits", hits);
+    s.add("raw_bits", raw_bits);
+    s.add("wire_bits", wire_bits);
+    s.add("transfers", searches);
+    s.hist("cbv_covered_words").record(coverage, searches);
+    return s;
+}
+
+std::string
+reportString(const PhaseDetector &d)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    d.writeReport(jw);
+    return os.str();
+}
+
+TEST(PhaseDetector, FeatureVectorMatchesContract)
+{
+    StatSet s = epochDelta(1000, 500, 200000, 100000, 8);
+    double f[kPhaseFeatureCount];
+    PhaseDetector::features(s, f);
+    EXPECT_DOUBLE_EQ(f[0], 0.5);      // hit_rate
+    EXPECT_DOUBLE_EQ(f[1], 8.0);      // coverage
+    EXPECT_DOUBLE_EQ(f[2], 2.0);      // ratio
+    EXPECT_DOUBLE_EQ(f[3], 100000.0); // bandwidth
+}
+
+TEST(PhaseDetector, FeaturesGuardZeroDenominators)
+{
+    StatSet empty;
+    double f[kPhaseFeatureCount];
+    PhaseDetector::features(empty, f);
+    for (unsigned i = 0; i < kPhaseFeatureCount; ++i)
+        EXPECT_EQ(f[i], 0.0) << phaseFeatureName(i);
+}
+
+TEST(PhaseDetector, StationaryStreamIsOnePhase)
+{
+    PhaseDetector d;
+    for (std::uint64_t e = 0; e < 20; ++e) {
+        StatSet s = epochDelta(1000, 500, 200000, 100000, 8);
+        EXPECT_FALSE(d.observe(s, (e + 1) * 1000));
+    }
+    d.finish();
+    EXPECT_TRUE(d.boundaries().empty());
+    ASSERT_EQ(d.phases().size(), 1u);
+    const PhaseSummary &p = d.phases()[0];
+    EXPECT_EQ(p.start_epoch, 0u);
+    EXPECT_EQ(p.end_epoch, 20u);
+    EXPECT_EQ(p.epochs, 20u);
+    EXPECT_EQ(p.end_ops, 20000u);
+    EXPECT_DOUBLE_EQ(p.ratioSpread(), 0.0);
+}
+
+TEST(PhaseDetector, DetectsInjectedShift)
+{
+    PhaseDetector d;
+    std::uint64_t ops = 0;
+    bool fired = false;
+    for (std::uint64_t e = 0; e < 20; ++e) {
+        // Hit rate jumps 0.5 -> 0.9 at epoch 10: z = 16 sigma under
+        // the 5% floor, so the CUSUM must fire on that very epoch.
+        std::uint64_t hits = e < 10 ? 500 : 900;
+        ops += 1000;
+        bool b = d.observe(epochDelta(1000, hits, 200000, 100000, 8),
+                           ops);
+        if (e == 10) {
+            EXPECT_TRUE(b);
+            fired = b;
+        } else {
+            EXPECT_FALSE(b) << "spurious boundary at epoch " << e;
+        }
+    }
+    ASSERT_TRUE(fired);
+    d.finish();
+    ASSERT_EQ(d.boundaries().size(), 1u);
+    EXPECT_EQ(d.boundaries()[0], 10u);
+    ASSERT_EQ(d.phases().size(), 2u);
+    // The triggering epoch belongs to the NEW phase.
+    EXPECT_EQ(d.phases()[0].end_epoch, 10u);
+    EXPECT_EQ(d.phases()[1].start_epoch, 10u);
+    EXPECT_EQ(d.phases()[1].start_ops, 10000u);
+    EXPECT_NEAR(d.phases()[0].featureMean(0), 0.5, 1e-12);
+    EXPECT_NEAR(d.phases()[1].featureMean(0), 0.9, 1e-12);
+}
+
+TEST(PhaseDetector, PhasesPartitionEpochStream)
+{
+    PhaseDetector d;
+    std::uint64_t ops = 0;
+    for (std::uint64_t e = 0; e < 30; ++e) {
+        // Three regimes: ratio 2.0, then 4.0, then 1.25.
+        std::uint64_t raw = 200000;
+        std::uint64_t wire =
+            e < 10 ? 100000 : (e < 20 ? 50000 : 160000);
+        ops += 1000;
+        d.observe(epochDelta(1000, 500, raw, wire, 8), ops);
+    }
+    d.finish();
+    ASSERT_EQ(d.phases().size(), d.boundaries().size() + 1);
+    std::uint64_t expect_epoch = 0;
+    std::uint64_t expect_ops = 0;
+    std::uint64_t total_epochs = 0;
+    for (std::size_t i = 0; i < d.phases().size(); ++i) {
+        const PhaseSummary &p = d.phases()[i];
+        EXPECT_EQ(p.index, i);
+        EXPECT_EQ(p.start_epoch, expect_epoch);
+        EXPECT_EQ(p.start_ops, expect_ops);
+        EXPECT_EQ(p.end_epoch - p.start_epoch, p.epochs);
+        if (i > 0) {
+            EXPECT_EQ(p.start_epoch, d.boundaries()[i - 1]);
+        }
+        expect_epoch = p.end_epoch;
+        expect_ops = p.end_ops;
+        total_epochs += p.epochs;
+    }
+    EXPECT_EQ(expect_epoch, 30u);
+    EXPECT_EQ(total_epochs, d.epochsSeen());
+}
+
+TEST(PhaseDetector, RatioSpreadTracksExtrema)
+{
+    PhaseDetector d;
+    // Within one phase (warmup keeps the detector quiet for the
+    // first 4 epochs), wobble the ratio between 2.0 and 2.2.
+    d.observe(epochDelta(1000, 500, 200000, 100000, 8), 1000);
+    d.observe(epochDelta(1000, 500, 220000, 100000, 8), 2000);
+    d.observe(epochDelta(1000, 500, 210000, 100000, 8), 3000);
+    d.finish();
+    ASSERT_EQ(d.phases().size(), 1u);
+    EXPECT_NEAR(d.phases()[0].ratioSpread(), 0.2, 1e-12);
+}
+
+TEST(PhaseDetector, DeterministicReports)
+{
+    auto run = [] {
+        PhaseDetector d;
+        std::uint64_t ops = 0;
+        for (std::uint64_t e = 0; e < 25; ++e) {
+            std::uint64_t hits = e < 12 ? 400 : 800;
+            std::uint64_t cov = e < 12 ? 8 : 12;
+            ops += 1000;
+            d.observe(epochDelta(1000, hits, 200000, 100000, cov),
+                      ops);
+        }
+        d.finish();
+        return reportString(d);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(PhaseDetector, WarmupFloorIsOne)
+{
+    PhaseConfig cfg;
+    cfg.warmup = 0; // clamped to 1: a baseline needs one epoch
+    PhaseDetector d(cfg);
+    EXPECT_EQ(d.config().warmup, 1u);
+    for (std::uint64_t e = 0; e < 5; ++e)
+        d.observe(epochDelta(1000, 500, 200000, 100000, 8),
+                  (e + 1) * 1000);
+    d.finish();
+    EXPECT_TRUE(d.boundaries().empty());
+}
+
+TEST(PhaseDetector, FinishIsIdempotentAndSkipsEmpty)
+{
+    PhaseDetector d;
+    d.finish();
+    d.finish();
+    EXPECT_TRUE(d.phases().empty());
+    EXPECT_EQ(d.epochsSeen(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * QuantileSketch tests: the named relative-error bound against exact
+ * nearest-rank quantiles, exactness of the sub-kSubBuckets range,
+ * merge == sketch-of-concatenation, epoch-delta semantics, top-octave
+ * saturation, bit-identical determinism, and StatSet integration.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/sketch.h"
+#include "common/stats.h"
+
+using namespace cable;
+
+namespace
+{
+
+constexpr std::uint64_t kU64Max =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Deterministic value stream spanning many octaves (splitmix64). */
+std::vector<std::uint64_t>
+sampleStream(std::uint64_t seed, std::size_t n)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        // Spread across small and large magnitudes: every third
+        // sample is small, the rest keep 1..40 significant bits.
+        if (i % 3 == 0)
+            out.push_back(z % 100);
+        else
+            out.push_back((z >> (z % 24)) % (1ull << 40));
+    }
+    return out;
+}
+
+/** Exact nearest-rank quantile of a sample set. */
+std::uint64_t
+exactQuantile(std::vector<std::uint64_t> v, double q)
+{
+    std::sort(v.begin(), v.end());
+    double target = q * static_cast<double>(v.size());
+    std::size_t rank = static_cast<std::size_t>(target);
+    if (static_cast<double>(rank) < target || rank == 0)
+        ++rank;
+    return v[rank - 1];
+}
+
+std::string
+dumpString(const QuantileSketch &s)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    s.dumpJson(jw);
+    return os.str();
+}
+
+TEST(QuantileSketch, EmptyIsInert)
+{
+    QuantileSketch s;
+    EXPECT_EQ(s.samples(), 0u);
+    EXPECT_EQ(s.sum(), 0u);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, SmallValuesAreExact)
+{
+    // Every value below kSubBuckets owns a bucket, so quantiles in
+    // that range carry zero error, not just the relative bound.
+    QuantileSketch s;
+    for (std::uint64_t v = 0; v < QuantileSketch::kSubBuckets; ++v)
+        s.record(v, v + 1);
+    EXPECT_EQ(s.min(), 0u);
+    EXPECT_EQ(s.max(), QuantileSketch::kSubBuckets - 1);
+    std::vector<std::uint64_t> flat;
+    for (std::uint64_t v = 0; v < QuantileSketch::kSubBuckets; ++v)
+        for (std::uint64_t k = 0; k <= v; ++k)
+            flat.push_back(v);
+    for (double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+        EXPECT_EQ(s.quantile(q),
+                  static_cast<double>(exactQuantile(flat, q)))
+            << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHolds)
+{
+    const auto samples = sampleStream(42, 20000);
+    QuantileSketch s;
+    for (std::uint64_t v : samples)
+        s.record(v);
+    EXPECT_EQ(s.samples(), samples.size());
+    for (double q : {0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+        double est = s.quantile(q);
+        double exact =
+            static_cast<double>(exactQuantile(samples, q));
+        double bound = QuantileSketch::kRelativeError
+                       * std::max(exact, 1.0);
+        EXPECT_LE(std::abs(est - exact), bound)
+            << "q=" << q << " est=" << est << " exact=" << exact;
+    }
+}
+
+TEST(QuantileSketch, SingleSample)
+{
+    QuantileSketch s;
+    s.record(12345);
+    EXPECT_EQ(s.min(), 12345u);
+    EXPECT_EQ(s.max(), 12345u);
+    EXPECT_EQ(s.mean(), 12345.0);
+    // Midpoint estimates clamp to the exact extrema, so a lone
+    // sample reports itself at every quantile.
+    for (double q : {0.0, 0.5, 0.999, 1.0})
+        EXPECT_EQ(s.quantile(q), 12345.0) << "q=" << q;
+}
+
+TEST(QuantileSketch, MergeEqualsConcat)
+{
+    const auto sa = sampleStream(1, 5000);
+    const auto sb = sampleStream(2, 7000);
+    QuantileSketch a, b, concat;
+    for (std::uint64_t v : sa) {
+        a.record(v);
+        concat.record(v);
+    }
+    for (std::uint64_t v : sb) {
+        b.record(v);
+        concat.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.samples(), concat.samples());
+    EXPECT_EQ(a.sum(), concat.sum());
+    EXPECT_EQ(a.min(), concat.min());
+    EXPECT_EQ(a.max(), concat.max());
+    EXPECT_EQ(a.buckets(), concat.buckets());
+    EXPECT_EQ(dumpString(a), dumpString(concat));
+}
+
+TEST(QuantileSketch, MergeEmptyIsNoop)
+{
+    QuantileSketch a, empty;
+    a.record(7);
+    const auto before = dumpString(a);
+    a.merge(empty);
+    EXPECT_EQ(dumpString(a), before);
+}
+
+TEST(QuantileSketch, DeltaSubtractsBucketsKeepsExtrema)
+{
+    QuantileSketch s;
+    s.record(10);
+    s.record(1000);
+    QuantileSketch snapshot = s;
+    s.record(10);
+    s.record(500000);
+    QuantileSketch d = s.delta(snapshot);
+    EXPECT_EQ(d.samples(), 2u);
+    EXPECT_EQ(d.sum(), 500010u);
+    // Extrema cannot be un-merged: the delta keeps the cumulative
+    // min/max, mirroring Histogram::delta.
+    EXPECT_EQ(d.min(), 10u);
+    EXPECT_EQ(d.max(), 500000u);
+}
+
+TEST(QuantileSketch, DeltaOfSelfIsEmpty)
+{
+    QuantileSketch s;
+    for (std::uint64_t v : sampleStream(3, 100))
+        s.record(v);
+    QuantileSketch d = s.delta(s);
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    for (std::uint64_t c : d.buckets())
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(QuantileSketch, TopOctaveSaturatesAtMaxU64)
+{
+    QuantileSketch s;
+    s.record(kU64Max);
+    EXPECT_EQ(s.max(), kU64Max);
+    // The last bucket's range must end exactly at max-u64 (hi would
+    // otherwise wrap past lo), and the estimate clamps to max.
+    EXPECT_EQ(s.quantile(0.5), static_cast<double>(kU64Max));
+    auto [lo, hi] =
+        s.bucketRange(QuantileSketch::kBucketCount - 1);
+    EXPECT_LT(lo, hi);
+    EXPECT_EQ(hi, kU64Max);
+}
+
+TEST(QuantileSketch, BucketRangesTileTheDomain)
+{
+    // Consecutive buckets must tile [0, max-u64] with no gap or
+    // overlap — the invariant the JSON consumer relies on.
+    QuantileSketch s;
+    std::uint64_t expect_lo = 0;
+    for (unsigned b = 0; b < QuantileSketch::kBucketCount; ++b) {
+        auto [lo, hi] = s.bucketRange(b);
+        ASSERT_EQ(lo, expect_lo) << "bucket " << b;
+        ASSERT_GE(hi, lo) << "bucket " << b;
+        if (b + 1 < QuantileSketch::kBucketCount)
+            expect_lo = hi + 1;
+        else
+            ASSERT_EQ(hi, kU64Max);
+    }
+}
+
+TEST(QuantileSketch, DeterministicAcrossRuns)
+{
+    const auto samples = sampleStream(99, 3000);
+    QuantileSketch a, b;
+    for (std::uint64_t v : samples)
+        a.record(v);
+    for (std::uint64_t v : samples)
+        b.record(v);
+    EXPECT_EQ(a.buckets(), b.buckets());
+    EXPECT_EQ(dumpString(a), dumpString(b));
+}
+
+TEST(StatSetSketch, AutoRegistersAndDumps)
+{
+    StatSet s;
+    s.sketch("encode_ns").record(100);
+    s.sketch("encode_ns").record(5000);
+    EXPECT_NE(s.findSketch("encode_ns"), nullptr);
+    EXPECT_EQ(s.findSketch("nope"), nullptr);
+    std::ostringstream os;
+    JsonWriter jw(os);
+    s.dumpJson(jw);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"sketches\""), std::string::npos);
+    EXPECT_NE(out.find("\"encode_ns\""), std::string::npos);
+    EXPECT_NE(out.find("\"rel_error\""), std::string::npos);
+}
+
+TEST(StatSetSketch, MergeAndDelta)
+{
+    StatSet a, b;
+    a.sketch("frame_bits").record(64);
+    b.sketch("frame_bits").record(128);
+    b.sketch("arq_rounds").record(2);
+    a.merge(b);
+    EXPECT_EQ(a.sketch("frame_bits").samples(), 2u);
+    EXPECT_EQ(a.sketch("arq_rounds").samples(), 1u);
+
+    StatSet snapshot = a;
+    a.sketch("frame_bits").record(256);
+    StatSet d = a.delta(snapshot);
+    const QuantileSketch *ds = d.findSketch("frame_bits");
+    ASSERT_NE(ds, nullptr);
+    EXPECT_EQ(ds->samples(), 1u);
+    EXPECT_EQ(ds->sum(), 256u);
+}
+
+} // namespace

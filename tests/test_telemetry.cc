@@ -217,6 +217,76 @@ TEST(StatSet, EpochDeltaCountersAndHistograms)
     EXPECT_EQ(d.findHist("fresh")->samples(), 1u);
 }
 
+TEST(StatSet, EpochDeltaOfIdleEpochIsAllZero)
+{
+    // An epoch in which nothing moved must delta to zeros — not to
+    // missing entries, and never to wrapped-negative counters.
+    StatSet s;
+    s.add("transfers", 7);
+    s.hist("bits").record(64);
+    s.sketch("frame_bits").record(64);
+    StatSet snapshot = s;
+    StatSet d = s.delta(snapshot);
+    EXPECT_EQ(d.get("transfers"), 0u);
+    ASSERT_NE(d.findHist("bits"), nullptr);
+    EXPECT_EQ(d.findHist("bits")->samples(), 0u);
+    ASSERT_NE(d.findSketch("frame_bits"), nullptr);
+    EXPECT_EQ(d.findSketch("frame_bits")->samples(), 0u);
+}
+
+TEST(StatSet, EpochDeltaSingleSampleDistribution)
+{
+    // Distributions cannot be un-merged, so the delta carries them
+    // cumulatively — and a single sample must yield clean moments
+    // (variance 0, min == max == mean), not NaN.
+    StatSet s;
+    StatSet snapshot = s;
+    s.dist("ratio").record(2.5);
+    StatSet d = s.delta(snapshot);
+    const Distribution *dist = d.findDist("ratio");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->samples(), 1u);
+    EXPECT_DOUBLE_EQ(dist->mean(), 2.5);
+    EXPECT_DOUBLE_EQ(dist->variance(), 0.0);
+    EXPECT_DOUBLE_EQ(dist->min(), 2.5);
+    EXPECT_DOUBLE_EQ(dist->max(), 2.5);
+}
+
+TEST(StatSet, EpochDeltaAfterMergeOfDisjointHistograms)
+{
+    // Fold a worker's disjoint histograms in mid-epoch: the next
+    // delta must attribute exactly the merged-in samples, while a
+    // histogram the snapshot already covered deltas to empty.
+    StatSet s;
+    s.hist("local").record(10, 3);
+    StatSet snapshot = s;
+    StatSet worker;
+    worker.hist("remote").record(99, 5);
+    worker.hist("local").record(20);
+    s.merge(worker);
+    StatSet d = s.delta(snapshot);
+    ASSERT_NE(d.findHist("remote"), nullptr);
+    EXPECT_EQ(d.findHist("remote")->samples(), 5u);
+    EXPECT_EQ(d.findHist("remote")->sum(), 5u * 99u);
+    ASSERT_NE(d.findHist("local"), nullptr);
+    EXPECT_EQ(d.findHist("local")->samples(), 1u);
+    EXPECT_EQ(d.findHist("local")->sum(), 20u);
+}
+
+TEST(StatSet, EpochDeltaClampsCounterWrap)
+{
+    // If a counter ever runs backwards (a reset or a wrap), the
+    // delta clamps to zero instead of producing a near-2^64 value
+    // that would poison every downstream rate computation.
+    StatSet before, after;
+    before.add("transfers", 100);
+    after.add("transfers", 40); // went backwards
+    after.add("fresh", 3);      // born after the snapshot
+    StatSet d = after.delta(before);
+    EXPECT_EQ(d.get("transfers"), 0u);
+    EXPECT_EQ(d.get("fresh"), 3u);
+}
+
 TEST(StatSet, MergeCombinesAllKinds)
 {
     StatSet a, b;

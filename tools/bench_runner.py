@@ -70,6 +70,11 @@ METRIC_POLICY = {
     "search_ht_hits_mean": {"higher_is_better": None, "threshold": 0.10},
     "search_ranked_mean": {"higher_is_better": None, "threshold": 0.10},
     "search_covered_words_mean": {"higher_is_better": True, "threshold": 0.10},
+    # Largest within-phase compression-ratio spread (phase detector,
+    # DESIGN.md §14): counter-derived and deterministic; a jump means
+    # the detector is splitting phases differently or the encoder's
+    # behaviour inside a phase got less stable.
+    "phase_ratio_spread": {"higher_is_better": None, "threshold": 0.02},
     "t_search_ns_mean": {"higher_is_better": False, "threshold": 0.25},
     "t_compress_ns_mean": {"higher_is_better": False, "threshold": 0.25},
     # Kernel micro-metrics: intra-entry speedup ratios (scalar or
@@ -236,17 +241,22 @@ def cmd_run(args):
         out = os.path.join(tmp, "ratio_mcf.json")
         snap = os.path.join(tmp, "ratio_mcf_structures.json")
         critpath = os.path.join(tmp, "ratio_mcf_critpath.json")
+        phases = os.path.join(tmp, "ratio_mcf_phases.json")
         ops = "50000" if args.quick else "400000"
+        interval = "10000" if args.quick else "40000"
         print("[ratio_mcf]", flush=True)
         run_cmd([sim, "ratio", "mcf", "--scheme", "cable", "--ops",
                  ops, "--metrics-out", out, "--snapshot-out", snap,
-                 "--critpath-out", critpath])
+                 "--critpath-out", critpath, "--stats-interval",
+                 interval, "--phase-out", phases])
         ratio_doc = read_json(out, "cable_sim metrics")
         entry["benches"]["ratio_mcf"] = ratio_doc
         entry["benches"]["ratio_mcf_structures"] = read_json(
             snap, "cable_sim snapshot")
         entry["benches"]["ratio_mcf_critpath"] = read_json(
             critpath, "cable_sim critpath report")
+        entry["benches"]["ratio_mcf_phases"] = read_json(
+            phases, "cable_sim phase report")
 
     entry["unoptimized"] = unoptimized
     if unoptimized:
@@ -282,6 +292,16 @@ def cmd_run(args):
     if cp.get("binding_stage") is not None:
         entry["binding_stage"] = cp["binding_stage"]
         metrics["binding_share"] = cp["binding_share"]
+
+    # Phase analytics: the worst within-phase ratio spread. Tracks
+    # whether encoder behaviour inside a detected phase stays stable
+    # release to release.
+    phase_report = (entry["benches"].get("ratio_mcf_phases") or {}) \
+        .get("phases", {})
+    spreads = [p.get("ratio_spread", 0.0)
+               for p in phase_report.get("phases", [])]
+    if spreads:
+        metrics["phase_ratio_spread"] = max(spreads)
 
     def gbench_time(bench, name):
         for b in entry["benches"][bench]["benchmarks"]:

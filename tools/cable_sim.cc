@@ -74,6 +74,13 @@
  *                       exact histograms on every entry; requires
  *                       --metrics-out)
  *   --stats-interval K  epoch stats snapshot every K ops/thread
+ *   --live-stats K      print one machine-readable link-health
+ *                       status line (JSONL, stdout) every K ops;
+ *                       deterministic — no wall-clock fields
+ *   --phase-out F       online phase-detection report (schema
+ *                       "cable-phases-v1"): seed-deterministic
+ *                       CUSUM change points over the epoch stream;
+ *                       requires --stats-interval or --live-stats
  * global options:
  *   --log-level L       quiet|warn|info|debug (default info)
  *
@@ -101,6 +108,7 @@
 #include "core/checkpoint.h"
 #include "common/worker_pool.h"
 #include "telemetry/critpath.h"
+#include "telemetry/phase.h"
 #include "telemetry/spans.h"
 #include "telemetry/timing.h"
 #include "telemetry/trace.h"
@@ -234,7 +242,7 @@ const std::set<std::string> kBatchFlags = {"replicas", "jobs"};
 const std::set<std::string> kTelemetryFlags = {
     "metrics-out", "snapshot-out", "trace-out", "trace-format",
     "trace-sample", "stats-interval", "critpath-out",
-    "critpath-sample", "timing-sample",
+    "critpath-sample", "timing-sample", "live-stats", "phase-out",
 };
 /** Presence-only switches; everything else must carry a value. */
 const std::set<std::string> kBoolFlags = {"stats", "timing",
@@ -263,15 +271,26 @@ parse(int argc, char **argv)
     if (i < argc && argv[i][0] != '-')
         a.benchmark = argv[i++];
     for (; i < argc; ++i) {
-        std::string flag = argv[i];
-        if (flag.rfind("--", 0) != 0)
+        const char *arg = argv[i];
+        if (arg[0] != '-' || arg[1] != '-')
             fail("unexpected argument '%s' (options start with --)",
-                 flag.c_str());
-        flag = flag.substr(2);
+                 arg);
+        std::string flag(arg + 2);
         if (flag.empty())
             fail("empty option name '--'");
         bool boolean = kBoolFlags.count(flag) != 0;
-        if (i + 1 < argc && argv[i + 1][0] != '-')
+        // A following token is this flag's value unless it looks
+        // like another option. A leading '-' followed by a digit is
+        // a (negative) number, not an option — consuming it lets
+        // the numeric validators reject e.g. '--timing-sample -5'
+        // with the actionable out-of-range message instead of a
+        // misleading "expects a value".
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        bool next_is_value =
+            next
+            && (next[0] != '-'
+                || (next[1] >= '0' && next[1] <= '9'));
+        if (next_is_value)
             a.flags[flag] = argv[++i];
         else if (boolean)
             a.flags[flag] = "1";
@@ -428,11 +447,13 @@ struct TelemetryArgs
     std::string snapshot_path;
     std::string trace_path;
     std::string critpath_path;
+    std::string phases_path;
     std::string trace_format = "jsonl";
     std::uint64_t trace_sample = 1;
     std::uint64_t critpath_sample = 64;
     std::uint64_t timing_sample = 64;
     std::uint64_t stats_interval = 0; // ops per epoch; 0 = off
+    std::uint64_t live_stats = 0;     // ops per status line; 0 = off
 
     /** Stage-span recording is on when any consumer of the critpath
      *  report (standalone or metrics section) asked for it. */
@@ -440,6 +461,22 @@ struct TelemetryArgs
     wantCritPath() const
     {
         return !critpath_path.empty() || !metrics_path.empty();
+    }
+
+    /** The phase detector runs for the report and/or the phase
+     *  annotations on live status lines. */
+    bool
+    wantPhases() const
+    {
+        return !phases_path.empty() || live_stats > 0;
+    }
+
+    /** Ops per epoch of the single epoch stream that drives stats
+     *  deltas, live lines and phase detection alike. */
+    std::uint64_t
+    epochInterval() const
+    {
+        return stats_interval ? stats_interval : live_stats;
     }
 };
 
@@ -468,6 +505,21 @@ telemetryArgs(const Args &a)
     t.stats_interval = a.num("stats-interval", 0);
     if (a.has("stats-interval") && t.stats_interval < 1)
         fail("--stats-interval must be at least 1 op");
+    t.live_stats = a.num("live-stats", 0);
+    if (a.has("live-stats") && t.live_stats < 1)
+        fail("--live-stats must be at least 1 op");
+    if (t.stats_interval && t.live_stats
+        && t.stats_interval != t.live_stats)
+        fail("--live-stats (%llu) and --stats-interval (%llu) must "
+             "agree when both are given: one epoch stream drives "
+             "stats deltas, live lines and phase detection",
+             static_cast<unsigned long long>(t.live_stats),
+             static_cast<unsigned long long>(t.stats_interval));
+    t.phases_path = a.str("phase-out", "");
+    if (!t.phases_path.empty() && t.epochInterval() == 0)
+        fail("--phase-out requires an epoch stream: pass "
+             "--stats-interval K (or --live-stats K) to define "
+             "the detector's epochs");
     if (t.trace_path.empty()
         && (a.has("trace-format") || a.has("trace-sample")))
         fail("--trace-format/--trace-sample require --trace-out");
@@ -566,6 +618,41 @@ writeCritPath(const TelemetryArgs &tel, const Args &a,
     if (!os)
         fail("write to --critpath-out file '%s' failed",
              tel.critpath_path.c_str());
+}
+
+/**
+ * Writes the standalone cable-phases-v1 document: run identity, the
+ * epoch interval and the detector's full report — config, boundary
+ * list and per-phase summaries. Reruns with the same seed produce a
+ * byte-identical file (ctest compares two), and tools/phases.py
+ * recomputes the same boundaries from the metrics epochs.
+ */
+void
+writePhases(const TelemetryArgs &tel, const Args &a,
+            const MemSystemConfig &cfg, std::uint64_t ops,
+            const PhaseDetector &detector)
+{
+    std::ofstream os(tel.phases_path);
+    if (!os)
+        fail("cannot open --phase-out file '%s'",
+             tel.phases_path.c_str());
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", "cable-phases-v1");
+    jw.field("tool", "cable_sim");
+    jw.field("command", a.command);
+    jw.field("benchmark", a.benchmark);
+    jw.field("scheme", cfg.scheme);
+    jw.field("ops", ops);
+    jw.field("seed", cfg.seed);
+    jw.field("interval", tel.epochInterval());
+    jw.key("phases");
+    detector.writeReport(jw);
+    jw.endObject();
+    os << "\n";
+    if (!os)
+        fail("write to --phase-out file '%s' failed",
+             tel.phases_path.c_str());
 }
 
 /**
@@ -836,21 +923,74 @@ cmdRatio(const Args &a)
     if (!tel.metrics_path.empty())
         setTimingSamplePeriod(tel.timing_sample);
 
+    // Tail-quantile sketches (frame bits, ARQ rounds, encode ns)
+    // feed the metrics export and the phase report; off otherwise so
+    // plain runs pay nothing.
+    CableChannel *cable_ch = sys.protocol().cableChannel();
+    if (cable_ch && (!tel.metrics_path.empty() || tel.wantPhases()))
+        cable_ch->setSketchesEnabled(true);
+
+    // The head of the sink chain sees the phase-boundary control
+    // events (they always pass the sampler, like every non-Encode
+    // type), so both trace formats carry the phase annotations.
+    TraceSink *trace_head =
+        analyzer_sink ? static_cast<TraceSink *>(analyzer_sink.get())
+                      : static_cast<TraceSink *>(sampler.get());
+
+    PhaseDetector detector;
+    std::uint64_t interval = tel.epochInterval();
     std::vector<Epoch> epochs;
     try {
-        if (tel.stats_interval > 0) {
+        if (interval > 0) {
             // run() targets absolute op counts and is re-entrant, so
             // stepping epoch by epoch reproduces the single-run
             // schedule.
             StatSet prev;
             std::uint64_t next = 0;
             do {
-                next = std::min(next + tel.stats_interval, ops);
+                next = std::min(next + interval, ops);
                 sys.run(next);
-                epochs.push_back(
-                    {next, sys.protocol().stats().delta(prev)});
+                Epoch e{next, sys.protocol().stats().delta(prev)};
                 prev = sys.protocol().stats();
+                if (tel.wantPhases()
+                    && detector.observe(e.stats, next)
+                    && trace_head) {
+                    TraceEvent ev;
+                    ev.type = TraceEvent::Type::Phase;
+                    ev.when = next;
+                    ev.aux = detector.currentPhase();
+                    trace_head->emit(ev);
+                }
+                if (tel.live_stats > 0) {
+                    // One self-describing JSONL status line per
+                    // epoch: counters of the epoch just closed plus
+                    // the detector's current phase. Deliberately no
+                    // wall-clock field — reruns are byte-identical.
+                    double f[kPhaseFeatureCount];
+                    PhaseDetector::features(e.stats, f);
+                    JsonWriter jw(std::cout);
+                    jw.beginObject();
+                    jw.field("live", "cable-live-v1");
+                    jw.field("ops", next);
+                    jw.field("transfers",
+                             e.stats.get("transfers"));
+                    jw.field("wire_bits",
+                             e.stats.get("wire_bits"));
+                    jw.field("bit_ratio", f[2]);
+                    jw.field("hit_rate", f[0]);
+                    jw.field("coverage", f[1]);
+                    jw.field("phase", detector.currentPhase());
+                    jw.field("health",
+                             cable_ch && cable_ch->degraded()
+                                 ? "degraded"
+                                 : "healthy");
+                    jw.endObject();
+                    std::cout << "\n";
+                }
+                epochs.push_back(std::move(e));
             } while (next < ops);
+            if (tel.wantPhases())
+                detector.finish();
         } else {
             sys.run(ops);
         }
@@ -909,6 +1049,8 @@ cmdRatio(const Args &a)
     }
     if (!tel.critpath_path.empty())
         writeCritPath(tel, a, cfg, ops, sys, analyzer);
+    if (!tel.phases_path.empty())
+        writePhases(tel, a, cfg, ops, detector);
     return 0;
 }
 

@@ -2,7 +2,7 @@
 """Schema and sanity checker for CABLE telemetry documents.
 
 Usage:
-    check_metrics.py metrics.json [trace.jsonl]
+    check_metrics.py [--lax] metrics.json [trace.jsonl]
 
 Dispatches on the document's "schema" field:
 
@@ -13,6 +13,15 @@ Dispatches on the document's "schema" field:
   cable-chaos-v1        cable_sim chaos --chaos-out documents
   cable-critpath-v1     cable_sim --critpath-out / critpath.py
                         bottleneck-attribution reports
+  cable-phases-v1       cable_sim --phase-out / phases.py
+                        workload-phase reports
+
+Strict mode is the default: a top-level key (or stats-block key) the
+schema does not declare is an error, so a writer that grows a new
+section without teaching this checker — or a typo'd key that would
+otherwise be silently ignored — fails CI instead of rotting. --lax
+restores the old ignore-unknown behavior for forward-compat reads of
+documents produced by a newer writer.
 
 For cable-metrics-v1 it validates the invariants the telemetry
 pipeline promises:
@@ -42,12 +51,46 @@ pipeline promises:
 Exits 0 when everything holds, 1 with one line per violation.
 """
 
+import argparse
 import json
 import sys
 
 MAX_COUNTER = 2**63  # above this, assume a negative wrapped around
 MAX_RATIO = 10000.0
 
+# Top-level keys each writer emits, kept in lockstep with the
+# producers (cable_sim.cc, bench reporters, bench_runner.py,
+# critpath.py, phases.py). Strict mode rejects anything else.
+SCHEMA_KEYS = {
+    "cable-metrics-v1": {
+        "schema", "tool", "command", "benchmark", "scheme", "config",
+        "results", "stats", "structures", "fault", "recovery",
+        "epochs", "trace", "critpath",
+    },
+    "cable-structures-v1": {
+        "schema", "tool", "command", "benchmark", "scheme", "ops",
+        "seed", "structures",
+    },
+    "cable-bench-v1": {"schema", "sections", "unoptimized"},
+    "cable-trajectory-v1": {"schema", "entries"},
+    "cable-chaos-v1": {
+        "schema", "tool", "benchmark", "ok", "failure", "config",
+        "report", "crash_steps", "stats",
+    },
+    "cable-critpath-v1": {
+        "schema", "tool", "command", "benchmark", "scheme", "ops",
+        "seed", "sample", "trace", "critpath",
+    },
+    "cable-phases-v1": {
+        "schema", "tool", "command", "benchmark", "scheme", "ops",
+        "seed", "interval", "metrics", "phases",
+    },
+}
+
+STATS_BLOCK_KEYS = {"counters", "histograms", "distributions",
+                    "sketches"}
+
+strict = True
 errors = []
 
 
@@ -89,6 +132,49 @@ def check_histogram(name, h, where):
                 err(f"{where}: histogram '{name}' emitted empty bucket")
 
 
+def check_unknown_keys(obj, allowed, where):
+    if not strict:
+        return
+    for key in sorted(set(obj) - set(allowed)):
+        err(f"{where}: unknown key '{key}' (strict mode; pass --lax "
+            f"to ignore, or teach check_metrics.py the new key)")
+
+
+def check_sketch(name, s, where):
+    """QuantileSketch dump: log-linear buckets with a named relative
+    error bound (DESIGN.md §14)."""
+    for key in ("rel_error", "count", "sum", "min", "max", "mean",
+                "p50", "p90", "p99", "p999", "buckets"):
+        if key not in s:
+            err(f"{where}: sketch '{name}' missing key '{key}'")
+            return
+    check_unknown_keys(s, ("rel_error", "count", "sum", "min", "max",
+                           "mean", "p50", "p90", "p99", "p999",
+                           "buckets"), f"{where}: sketch '{name}'")
+    rel = s["rel_error"]
+    if not isinstance(rel, (int, float)) or not 0.0 < rel < 0.5:
+        err(f"{where}: sketch '{name}' rel_error out of (0, 0.5): "
+            f"{rel!r}")
+    bucket_total = sum(b["count"] for b in s["buckets"])
+    if bucket_total != s["count"]:
+        err(f"{where}: sketch '{name}' bucket counts sum to "
+            f"{bucket_total}, expected count={s['count']}")
+    if s["count"] > 0:
+        if not (s["min"] <= s["mean"] <= s["max"]):
+            err(f"{where}: sketch '{name}' mean {s['mean']} outside "
+                f"[{s['min']}, {s['max']}]")
+        if not (s["p50"] <= s["p90"] <= s["p99"] <= s["p999"]):
+            err(f"{where}: sketch '{name}' percentiles not monotone: "
+                f"p50={s['p50']} p90={s['p90']} p99={s['p99']} "
+                f"p999={s['p999']}")
+        for b in s["buckets"]:
+            if b["lo"] > b["hi"]:
+                err(f"{where}: sketch '{name}' bucket lo {b['lo']} > "
+                    f"hi {b['hi']}")
+            if b["count"] <= 0:
+                err(f"{where}: sketch '{name}' emitted empty bucket")
+
+
 def check_ratio(results, key):
     v = results.get(key)
     if v is None:
@@ -102,9 +188,12 @@ def check_stats_block(stats, where):
         if key not in stats:
             err(f"{where}: missing '{key}' block")
             return
+    check_unknown_keys(stats, STATS_BLOCK_KEYS, where)
     check_counters(stats["counters"], where)
     for name, h in stats["histograms"].items():
         check_histogram(name, h, where)
+    for name, s in stats.get("sketches", {}).items():
+        check_sketch(name, s, where)
 
 
 def hist_sum(stats, name):
@@ -477,6 +566,12 @@ def check_trajectory_v1(m):
                 and isinstance(cp.get("critpath"), dict):
             check_critpath_report(cp["critpath"],
                                   f"{where}.ratio_mcf_critpath")
+        ph = e["benches"].get("ratio_mcf_phases")
+        if isinstance(ph, dict) \
+                and ph.get("schema") == "cable-phases-v1" \
+                and isinstance(ph.get("phases"), dict):
+            check_phases_report(ph["phases"],
+                                f"{where}.ratio_mcf_phases")
     if not errors:
         n = len(m["entries"])
         nm = len(m["entries"][-1]["metrics"])
@@ -550,15 +645,163 @@ def check_critpath_v1(m):
               f"stage {r['binding_stage']})")
 
 
+PHASE_FEATURES = ("hit_rate", "coverage", "ratio", "bandwidth")
+
+
+def check_phases_report(r, where):
+    """Internal consistency of a phase-detector report object: the
+    phases must contiguously partition the epoch stream, boundaries
+    must match the phase starts, and every aggregate must be ordered
+    (DESIGN.md §14)."""
+    check_unknown_keys(r, ("detector", "epochs", "boundaries",
+                           "phases"), where)
+    det = r.get("detector")
+    if not isinstance(det, dict):
+        err(f"{where}: missing 'detector' object")
+        return
+    for key in ("warmup", "kappa", "threshold", "sigma_frac",
+                "sigma_abs"):
+        v = det.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or v <= 0:
+            err(f"{where}: detector.{key} missing or non-positive: "
+                f"{v!r}")
+    epochs = r.get("epochs")
+    if not isinstance(epochs, int) or isinstance(epochs, bool) \
+            or epochs < 0:
+        err(f"{where}: 'epochs' missing or invalid: {epochs!r}")
+        return
+    boundaries = r.get("boundaries")
+    if not isinstance(boundaries, list):
+        err(f"{where}: missing 'boundaries' array")
+        return
+    if sorted(set(boundaries)) != boundaries:
+        err(f"{where}: boundaries must be sorted and distinct: "
+            f"{boundaries}")
+    for b in boundaries:
+        if not isinstance(b, int) or b <= 0 or b >= epochs:
+            err(f"{where}: boundary {b!r} outside (0, {epochs})")
+    phases = r.get("phases")
+    if not isinstance(phases, list):
+        err(f"{where}: missing 'phases' array")
+        return
+    if epochs > 0 and len(phases) != len(boundaries) + 1:
+        err(f"{where}: {len(phases)} phases for {len(boundaries)} "
+            f"boundaries (expected boundaries+1)")
+    prev = None
+    for i, p in enumerate(phases):
+        pw = f"{where}.phases[{i}]"
+        for key in ("index", "start_epoch", "end_epoch", "epochs",
+                    "start_ops", "end_ops", "transfers", "raw_bits",
+                    "wire_bits"):
+            v = p.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) \
+                    or v < 0:
+                err(f"{pw}: '{key}' missing or invalid: {v!r}")
+                return
+        if p["index"] != i:
+            err(f"{pw}: index {p['index']}, expected {i}")
+        if p["end_epoch"] - p["start_epoch"] != p["epochs"]:
+            err(f"{pw}: spans [{p['start_epoch']}, {p['end_epoch']})"
+                f" but claims {p['epochs']} epochs")
+        if p["epochs"] == 0:
+            err(f"{pw}: empty phase")
+        if p["start_ops"] > p["end_ops"]:
+            err(f"{pw}: start_ops {p['start_ops']} > end_ops "
+                f"{p['end_ops']}")
+        if prev is None:
+            if p["start_epoch"] != 0:
+                err(f"{pw}: first phase starts at epoch "
+                    f"{p['start_epoch']}, expected 0")
+        else:
+            if p["start_epoch"] != prev["end_epoch"]:
+                err(f"{pw}: starts at epoch {p['start_epoch']} but "
+                    f"previous phase ended at {prev['end_epoch']}")
+            if p["start_ops"] != prev["end_ops"]:
+                err(f"{pw}: starts at op {p['start_ops']} but "
+                    f"previous phase ended at {prev['end_ops']}")
+            if i - 1 < len(boundaries) \
+                    and p["start_epoch"] != boundaries[i - 1]:
+                err(f"{pw}: starts at epoch {p['start_epoch']} but "
+                    f"boundary {i - 1} is {boundaries[i - 1]}")
+        prev = p
+        feats = p.get("features")
+        if not isinstance(feats, dict) \
+                or set(feats) != set(PHASE_FEATURES):
+            err(f"{pw}: 'features' must carry exactly "
+                f"{sorted(PHASE_FEATURES)}")
+            continue
+        for name in PHASE_FEATURES:
+            f = feats[name]
+            for key in ("mean", "min", "max"):
+                v = f.get(key)
+                if not isinstance(v, (int, float)) \
+                        or isinstance(v, bool):
+                    err(f"{pw}: {name}.{key} missing or "
+                        f"non-numeric: {v!r}")
+                    return
+            if not f["min"] <= f["mean"] <= f["max"]:
+                err(f"{pw}: {name} mean {f['mean']} outside "
+                    f"[{f['min']}, {f['max']}]")
+        spread = p.get("ratio_spread")
+        want = feats["ratio"]["max"] - feats["ratio"]["min"]
+        if not isinstance(spread, (int, float)) \
+                or isinstance(spread, bool) \
+                or abs(spread - want) > 1e-6 * max(abs(want), 1.0):
+            err(f"{pw}: ratio_spread {spread!r} != ratio.max - "
+                f"ratio.min = {want}")
+    if phases and phases[-1]["end_epoch"] != epochs:
+        err(f"{where}: last phase ends at epoch "
+            f"{phases[-1]['end_epoch']}, expected {epochs}")
+
+
+def check_phases_v1(m):
+    for key in ("tool", "phases"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return
+    # cable_sim reports carry run identity + the epoch interval;
+    # phases.py reports (recomputed from exported epochs) carry the
+    # metrics path instead. Both share the "phases" report object.
+    if m["tool"] == "cable_sim":
+        for key in ("command", "benchmark", "scheme", "ops", "seed",
+                    "interval"):
+            if key not in m:
+                err(f"missing top-level key '{key}'")
+        interval = m.get("interval")
+        if not isinstance(interval, int) or isinstance(interval, bool) \
+                or interval < 1:
+            err(f"'interval' must be a positive integer: "
+                f"{interval!r}")
+    check_phases_report(m["phases"], "phases")
+    if not errors:
+        r = m["phases"]
+        print(f"check_metrics: OK (phases report, {r['epochs']} "
+              f"epochs, {len(r['boundaries'])} boundaries, "
+              f"{len(r['phases'])} phases)")
+
+
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
+    global strict
+    ap = argparse.ArgumentParser(
+        description="CABLE telemetry document checker")
+    ap.add_argument("document", help="JSON document to validate")
+    ap.add_argument("trace", nargs="?",
+                    help="JSONL trace for cable-metrics-v1 "
+                         "reconciliation")
+    ap.add_argument("--lax", action="store_true",
+                    help="ignore unknown keys instead of failing")
+    args = ap.parse_args()
+    strict = not args.lax
+
+    with open(args.document) as f:
         m = json.load(f)
 
     schema = m.get("schema")
-    trace_path = sys.argv[2] if len(sys.argv) == 3 else None
+    trace_path = args.trace
+    if schema in SCHEMA_KEYS:
+        check_unknown_keys(m, SCHEMA_KEYS[schema], "top level")
     if schema == "cable-metrics-v1":
         check_metrics_v1(m, trace_path)
     elif schema == "cable-structures-v1":
@@ -571,6 +814,8 @@ def main():
         check_chaos_v1(m)
     elif schema == "cable-critpath-v1":
         check_critpath_v1(m)
+    elif schema == "cable-phases-v1":
+        check_phases_v1(m)
     else:
         err(f"unexpected schema: {schema!r}")
 

@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Workload-phase report tool over CABLE metrics epochs.
+
+Recomputes the online phase detection of src/telemetry/phase.cc from
+the ``epochs`` array of a ``--metrics-out`` cable-metrics-v1 file:
+the same four features (hit_rate, coverage, ratio, bandwidth), the
+same two-sided CUSUM change-point rule, in the same IEEE-double
+operation order — so the boundary sequence matches the C++ detector
+bit for bit.
+
+Usage:
+    phases.py metrics.json              human-readable phase table
+    phases.py metrics.json --out F      cable-phases-v1 JSON
+    phases.py metrics.json --check F    cross-check against a
+                                        cable_sim --phase-out report
+
+The --check mode is the detector's own integrity test: boundaries
+and every integer field must match exactly; float aggregates are
+compared at 1e-8 relative tolerance, absorbing only the %.9g
+rounding of the C++ JSON writer. Exits 0 when everything holds,
+1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+FEATURES = ["hit_rate", "coverage", "ratio", "bandwidth"]
+
+# Detector defaults: the documented contract (DESIGN.md §14), kept
+# in lockstep with cable::PhaseConfig.
+WARMUP = 4
+KAPPA = 0.5
+THRESHOLD = 5.0
+SIGMA_FRAC = 0.05
+SIGMA_ABS = 1e-9
+
+# Float aggregates in the C++ report pass through %.9g (9 significant
+# digits, ~5e-10 relative), so the comparison only needs to absorb
+# that; any behavioral difference is orders of magnitude larger.
+CHECK_TOLERANCE = 1e-8
+
+
+def epoch_features(stats):
+    """Feature vector of one epoch-delta stats block (same guarded
+    divisions, same order, as PhaseDetector::features)."""
+    counters = stats.get("counters", {})
+    searches = counters.get("searches", 0)
+    hits = counters.get("ht_hits", 0)
+    hit_rate = hits / searches if searches else 0.0
+    cov = stats.get("histograms", {}).get("cbv_covered_words")
+    coverage = (cov["sum"] / cov["count"]
+                if cov and cov.get("count") else 0.0)
+    raw = counters.get("raw_bits", 0)
+    wire = counters.get("wire_bits", 0)
+    ratio = raw / wire if wire else 0.0
+    return [hit_rate, coverage, ratio, float(wire)]
+
+
+class _FeatureState:
+    __slots__ = ("sum", "sumsq", "mu", "sigma", "sp", "sn")
+
+    def __init__(self):
+        self.sum = 0.0
+        self.sumsq = 0.0
+        self.mu = 0.0
+        self.sigma = 0.0
+        self.sp = 0.0
+        self.sn = 0.0
+
+
+class Detector:
+    """Python twin of cable::PhaseDetector (same op order)."""
+
+    def __init__(self):
+        self.epoch = 0
+        self.phase_epochs = 0
+        self.phase_index = 0
+        self.prev_ops = 0
+        self.boundaries = []
+        self.phases = []
+        self.feat = [_FeatureState() for _ in FEATURES]
+        self._start_phase(0, 0)
+
+    def _start_phase(self, epoch, start_ops):
+        self.current = {
+            "index": self.phase_index,
+            "start_epoch": epoch,
+            "end_epoch": epoch,
+            "epochs": 0,
+            "start_ops": start_ops,
+            "end_ops": start_ops,
+            "transfers": 0,
+            "raw_bits": 0,
+            "wire_bits": 0,
+            "fsum": [0.0] * len(FEATURES),
+            "fmin": [0.0] * len(FEATURES),
+            "fmax": [0.0] * len(FEATURES),
+        }
+
+    def observe(self, stats, ops_reached):
+        f = epoch_features(stats)
+
+        boundary = False
+        if self.phase_epochs >= WARMUP:
+            for i in range(len(FEATURES)):
+                s = self.feat[i]
+                z = (f[i] - s.mu) / s.sigma
+                s.sp = max(0.0, s.sp + z - KAPPA)
+                s.sn = max(0.0, s.sn - z - KAPPA)
+                if s.sp > THRESHOLD or s.sn > THRESHOLD:
+                    boundary = True
+
+        if boundary:
+            self.phases.append(self.current)
+            self.boundaries.append(self.epoch)
+            self.phase_index += 1
+            self._start_phase(self.epoch, self.prev_ops)
+            self.feat = [_FeatureState() for _ in FEATURES]
+            self.phase_epochs = 0
+
+        if self.phase_epochs < WARMUP:
+            for i in range(len(FEATURES)):
+                self.feat[i].sum += f[i]
+                self.feat[i].sumsq += f[i] * f[i]
+            if self.phase_epochs + 1 == WARMUP:
+                for i in range(len(FEATURES)):
+                    s = self.feat[i]
+                    s.mu = s.sum / WARMUP
+                    var = s.sumsq / WARMUP - s.mu * s.mu
+                    sd = math.sqrt(max(var, 0.0))
+                    floor = max(SIGMA_FRAC * abs(s.mu), SIGMA_ABS)
+                    s.sigma = max(sd, floor)
+
+        cur = self.current
+        counters = stats.get("counters", {})
+        if cur["epochs"] == 0:
+            cur["fmin"] = list(f)
+            cur["fmax"] = list(f)
+        for i in range(len(FEATURES)):
+            cur["fsum"][i] += f[i]
+            cur["fmin"][i] = min(cur["fmin"][i], f[i])
+            cur["fmax"][i] = max(cur["fmax"][i], f[i])
+        cur["epochs"] += 1
+        cur["end_epoch"] = self.epoch + 1
+        cur["end_ops"] = ops_reached
+        cur["transfers"] += counters.get("transfers", 0)
+        cur["raw_bits"] += counters.get("raw_bits", 0)
+        cur["wire_bits"] += counters.get("wire_bits", 0)
+
+        self.phase_epochs += 1
+        self.epoch += 1
+        self.prev_ops = ops_reached
+        return boundary
+
+    def finish(self):
+        if self.current["epochs"] > 0:
+            self.phases.append(self.current)
+
+    def report(self):
+        ridx = FEATURES.index("ratio")
+        phases = []
+        for p in self.phases:
+            n = p["epochs"]
+            phases.append({
+                "index": p["index"],
+                "start_epoch": p["start_epoch"],
+                "end_epoch": p["end_epoch"],
+                "epochs": n,
+                "start_ops": p["start_ops"],
+                "end_ops": p["end_ops"],
+                "transfers": p["transfers"],
+                "raw_bits": p["raw_bits"],
+                "wire_bits": p["wire_bits"],
+                "ratio_spread": (p["fmax"][ridx] - p["fmin"][ridx]
+                                 if n else 0.0),
+                "features": {
+                    name: {
+                        "mean": p["fsum"][i] / n if n else 0.0,
+                        "min": p["fmin"][i],
+                        "max": p["fmax"][i],
+                    }
+                    for i, name in enumerate(FEATURES)
+                },
+            })
+        return {
+            "detector": {
+                "warmup": WARMUP,
+                "kappa": KAPPA,
+                "threshold": THRESHOLD,
+                "sigma_frac": SIGMA_FRAC,
+                "sigma_abs": SIGMA_ABS,
+            },
+            "epochs": self.epoch,
+            "boundaries": self.boundaries,
+            "phases": phases,
+        }
+
+
+def load_epochs(path):
+    """(epochs list, metrics doc) from a cable-metrics-v1 file."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"phases: cannot read '{path}': {e}")
+    if doc.get("schema") != "cable-metrics-v1":
+        raise SystemExit(
+            f"phases: '{path}' has schema {doc.get('schema')!r}, "
+            "expected cable-metrics-v1 (a cable_sim --metrics-out "
+            "file with --stats-interval epochs)")
+    epochs = doc.get("epochs") or []
+    if not epochs:
+        raise SystemExit(
+            f"phases: '{path}' has no epochs; rerun cable_sim with "
+            "--stats-interval (or --live-stats)")
+    return epochs, doc
+
+
+def close_enough(a, b):
+    if a == b:
+        return True
+    if not (isinstance(a, (int, float))
+            and isinstance(b, (int, float))):
+        return False
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= CHECK_TOLERANCE * scale
+
+
+def check_against(report, ref_path):
+    """Compares this analysis with a cable_sim --phase-out file."""
+    try:
+        with open(ref_path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"phases: cannot read '{ref_path}': {e}")
+    ref = doc.get("phases", doc)
+    failures = []
+
+    def fail(msg):
+        failures.append(msg)
+        print(f"phases: check: {msg}", file=sys.stderr)
+
+    for key, mine in report["detector"].items():
+        theirs = ref.get("detector", {}).get(key)
+        if not close_enough(mine, theirs):
+            fail(f"detector.{key}: recomputed={mine} "
+                 f"report={theirs}")
+    if report["epochs"] != ref.get("epochs"):
+        fail(f"epochs: recomputed={report['epochs']} "
+             f"report={ref.get('epochs')}")
+    if report["boundaries"] != ref.get("boundaries"):
+        fail(f"boundaries: recomputed={report['boundaries']} "
+             f"report={ref.get('boundaries')}")
+    ref_phases = ref.get("phases", [])
+    if len(report["phases"]) != len(ref_phases):
+        fail(f"phase count: recomputed={len(report['phases'])} "
+             f"report={len(ref_phases)}")
+    for mine, theirs in zip(report["phases"], ref_phases):
+        tag = f"phase {mine['index']}"
+        for key in ("index", "start_epoch", "end_epoch", "epochs",
+                    "start_ops", "end_ops", "transfers", "raw_bits",
+                    "wire_bits"):
+            if mine[key] != theirs.get(key):
+                fail(f"{tag} {key}: recomputed={mine[key]} "
+                     f"report={theirs.get(key)}")
+        if not close_enough(mine["ratio_spread"],
+                            theirs.get("ratio_spread")):
+            fail(f"{tag} ratio_spread: "
+                 f"recomputed={mine['ratio_spread']} "
+                 f"report={theirs.get('ratio_spread')}")
+        for name in FEATURES:
+            their_feat = theirs.get("features", {}).get(name, {})
+            for stat in ("mean", "min", "max"):
+                a = mine["features"][name][stat]
+                b = their_feat.get(stat)
+                if not close_enough(a, b):
+                    fail(f"{tag} {name}.{stat}: recomputed={a} "
+                         f"report={b}")
+    return not failures
+
+
+def print_table(report):
+    print(f"epochs          {report['epochs']}")
+    print(f"boundaries      {report['boundaries']}")
+    print(f"{'phase':<7}{'epochs':>8}{'ops':>20}{'ratio':>9}"
+          f"{'spread':>9}{'hit_rate':>10}{'coverage':>10}")
+    for p in report["phases"]:
+        ops = f"{p['start_ops']}-{p['end_ops']}"
+        ratio = (p["raw_bits"] / p["wire_bits"]
+                 if p["wire_bits"] else 0.0)
+        print(f"{p['index']:<7}{p['epochs']:>8}{ops:>20}"
+              f"{ratio:>9.3f}{p['ratio_spread']:>9.3f}"
+              f"{p['features']['hit_rate']['mean']:>10.4f}"
+              f"{p['features']['coverage']['mean']:>10.4f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="CABLE workload-phase detection from metrics "
+                    "epochs")
+    ap.add_argument("metrics",
+                    help="cable_sim --metrics-out JSON file")
+    ap.add_argument("--out", help="write cable-phases-v1 JSON")
+    ap.add_argument("--check", metavar="REPORT",
+                    help="cross-check against a cable_sim "
+                         "--phase-out report")
+    args = ap.parse_args()
+
+    epochs, _doc = load_epochs(args.metrics)
+    det = Detector()
+    for e in epochs:
+        det.observe(e.get("stats", {}), e.get("ops_reached", 0))
+    det.finish()
+    report = det.report()
+
+    if args.out:
+        doc = {
+            "schema": "cable-phases-v1",
+            "tool": "phases.py",
+            "metrics": args.metrics,
+            "phases": report,
+        }
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+    if args.check:
+        if not check_against(report, args.check):
+            return 1
+        print("phases: check OK "
+              f"({report['epochs']} epochs, "
+              f"{len(report['boundaries'])} boundaries, "
+              f"{len(report['phases'])} phases)")
+    if not (args.out or args.check):
+        print_table(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
