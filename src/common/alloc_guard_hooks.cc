@@ -20,7 +20,11 @@
 namespace
 {
 
-const bool kInstalled = []() {
+// NOLINTNEXTLINE(cert-err58-cpp): the initializer is a noexcept
+// lambda flipping one flag; it cannot throw, and running it before
+// main() is the point — the hooks must be counted as installed
+// before any test allocates.
+const bool kInstalled = []() noexcept {
     cable::alloc_guard::g_hooks_installed = true;
     return true;
 }();

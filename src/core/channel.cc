@@ -198,6 +198,7 @@ CableChannel::bitsOf(const CacheLine &data)
 {
     BitWriter bw;
     for (unsigned i = 0; i < kLineBytes; ++i)
+        // cable-wire: frame.payload byte kBitsPerByte*kLineBytes
         bw.put(data.byte(i), kBitsPerByte);
     return bw.take();
 }
@@ -662,18 +663,23 @@ CableChannel::packageTransfer(const Chosen &chosen, bool writeback)
         bw.appendBits(chosen.payload);
         t.raw = true;
     } else if (chosen.raw) {
+        // cable-wire: frame.raw flag kWireFlagBits
         bw.put(0, kWireFlagBits);
         bw.appendBits(chosen.payload);
         t.raw = true;
     } else {
+        // cable-wire: frame.compressed flag kWireFlagBits
         bw.put(1, kWireFlagBits);
+        // cable-wire: frame.compressed nrefs kWireNRefsBits
         bw.put(chosen.nrefs, kWireNRefsBits);
         for (unsigned i = 0; i < chosen.nrefs; ++i) {
             LineID rlid = chosen.ref_rlids[i];
             unsigned way_bits = bitsToIndex(remote_.numWays());
             if (way_bits == 0)
                 way_bits = 1;
+            // cable-wire: frame.compressed ref_set rlid_bits_-way_bits*nrefs
             bw.put(rlid.set, rlid_bits_ - way_bits);
+            // cable-wire: frame.compressed ref_way way_bits*nrefs
             bw.put(rlid.way, way_bits);
         }
         bw.appendBits(chosen.diff);
@@ -915,9 +921,18 @@ CableChannel::deliver(Transfer &t, const Chosen &chosen, bool writeback,
                      chosen.nrefs);
         // Strict mode: the desync is counted and traced, then
         // surfaced to the caller instead of being absorbed by the
-        // recovery path (chaos harness / debugging knob).
-        if (cfg_.strict_desync)
+        // recovery path (chaos harness / debugging knob). Spec path:
+        // DesyncDetected → Desynced, StrictRaise → DesyncRaised; the
+        // raise is atomic in code, leaving health untouched for the
+        // caller that catches and continues.
+        if (cfg_.strict_desync) {
+            if (!recoveryRaises(Health::Desynced,
+                                RecoveryEvent::StrictRaise,
+                                Health::DesyncRaised))
+                panic("recovery FSM: StrictRaise must target "
+                      "DesyncRaised");
             throw;
+        }
         recoverFromDesync();
         traceControl(TraceEvent::Type::RawFallback, addr, writeback,
                      /*aux=*/3);
@@ -936,6 +951,13 @@ CableChannel::checkArqWatchdog(const Transfer &t, Addr addr,
     stats_.add("arq_timeouts", 1);
     traceControl(TraceEvent::Type::Timeout, addr, writeback,
                  t.retry_cycles);
+    // Spec tie: every steady state maps WatchdogExceeded to the
+    // typed TimeoutRaised terminal.
+    if (!recoveryRaises(health_, RecoveryEvent::WatchdogExceeded,
+                        Health::TimeoutRaised))
+        panic("recovery FSM: WatchdogExceeded from %s must target "
+              "TimeoutRaised",
+              recoveryStateName(health_));
     throw CableTimeoutError(addr, writeback, t.retry_cycles,
                             cfg_.arq_watchdog_cycles);
 }
@@ -949,7 +971,8 @@ CableChannel::rawFallbackResend(Transfer &t, const BitVec &payload)
 
     BitWriter bw;
     if (cfg_.compression_enabled)
-        bw.put(0, kWireFlagBits); // raw flag
+        // cable-wire: frame.raw flag kWireFlagBits
+        bw.put(0, kWireFlagBits);
     bw.appendBits(payload);
     if (cfg_.frame_crc_bits > 0)
         appendFrameCrc(bw, cfg_.frame_crc_bits);
@@ -986,6 +1009,9 @@ CableChannel::recoverFromDesync()
     bool timed = trace_ && spans_.enabled();
     std::uint64_t span_begin = timed ? spans_.nowNs() : 0;
     stats_.add("desync_recoveries", 1);
+    bool was_degraded = health_ == Health::Degraded;
+    health_ = recoveryAdvance(health_,
+                              RecoveryEvent::DesyncDetected).to;
     flushMetadata();
     unsigned relinked = resynchronize();
     stats_.add("resync_lines", relinked);
@@ -993,12 +1019,17 @@ CableChannel::recoverFromDesync()
     // relinked pair on a real link. Charged to the recovery counters
     // — never to the payload counters — so compression ratios stay
     // untouched while the wire-level recovery cost stays honest.
+    // cable-wire-write: resync.rearm rlid remoteLidBits*relinked
+    // cable-wire-write: resync.rearm line_digest kWireResyncLineDigestBits*relinked
     std::uint64_t rearm_bits =
         std::uint64_t{relinked}
         * (rlid_bits_ + kWireResyncLineDigestBits);
     stats_.add("resync_rearm_bits", rearm_bits);
     stats_.add("recovery_bits", rearm_bits);
-    ++epoch_;
+    const RecoveryStep &engage =
+        recoveryAdvance(health_, RecoveryEvent::RecoverEngage);
+    health_ = engage.to;
+    epoch_ += engage.epoch_delta;
     if (timed) {
         StageSpan sp;
         sp.stage = Stage::Resync;
@@ -1010,10 +1041,8 @@ CableChannel::recoverFromDesync()
     } else {
         traceControl(TraceEvent::Type::Recovery, 0, false, relinked);
     }
-    if (health_ != Health::Degraded) {
-        health_ = Health::Degraded;
+    if (!was_degraded)
         stats_.add("degraded_entries", 1);
-    }
     healthy_streak_ = 0;
 }
 
@@ -1025,7 +1054,9 @@ CableChannel::trackHealth(const Transfer &t)
     stats_.add("degraded_transfers", 1);
     if (t.retries == 0 && !t.raw_fallback) {
         if (++healthy_streak_ >= cfg_.rearm_window) {
-            health_ = Health::Healthy;
+            health_ = recoveryAdvance(
+                          health_, RecoveryEvent::StreakComplete)
+                          .to;
             healthy_streak_ = 0;
             stats_.add("rearms", 1);
         }
@@ -1191,11 +1222,13 @@ CableChannel::crashMetadata()
     flushMetadata();
     evbuf_.clearAll();
     stats_.add("endpoint_crashes", 1);
-    ++epoch_;
-    if (health_ != Health::Degraded) {
-        health_ = Health::Degraded;
+    bool was_degraded = health_ == Health::Degraded;
+    const RecoveryStep &step =
+        recoveryAdvance(health_, RecoveryEvent::CrashRestart);
+    health_ = step.to;
+    epoch_ += step.epoch_delta;
+    if (!was_degraded)
         stats_.add("degraded_entries", 1);
-    }
     healthy_streak_ = 0;
     traceControl(TraceEvent::Type::Crash, 0, false, epoch_);
 }
@@ -1295,16 +1328,49 @@ CableChannel::dropMetadataRange(std::uint32_t set_lo,
 }
 
 void
+CableChannel::beginResync()
+{
+    // Healthy → ResyncHealthy / Degraded → ResyncDegraded: the two
+    // transient session states exist so an incomplete session can
+    // fall back to exactly the steady state it started from.
+    health_ =
+        recoveryAdvance(health_, RecoveryEvent::ResyncStart).to;
+}
+
+void
+CableChannel::resyncRoundRepaired()
+{
+    // Self-loop; routed through the table so an undeclared state
+    // (e.g. a session that was never begun) panics here.
+    health_ =
+        recoveryAdvance(health_, RecoveryEvent::DigestMismatch).to;
+}
+
+void
+CableChannel::resyncFaultTorn()
+{
+    health_ =
+        recoveryAdvance(health_, RecoveryEvent::MetadataFault).to;
+}
+
+void
 CableChannel::completeResync()
 {
     // A verified resync re-armed every mismatched range, so the
     // rearm_window probation that follows an in-band desync recovery
     // is unnecessary: return to Healthy immediately (the bounded
     // re-warm the protocol pays for).
-    if (health_ == Health::Degraded)
-        health_ = Health::Healthy;
+    health_ =
+        recoveryAdvance(health_, RecoveryEvent::DigestClean).to;
     healthy_streak_ = 0;
     stats_.add("resync_completions", 1);
+}
+
+void
+CableChannel::abandonResync()
+{
+    health_ =
+        recoveryAdvance(health_, RecoveryEvent::RoundsExhausted).to;
 }
 
 // ---------------------------------------------------------------------

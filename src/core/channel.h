@@ -45,6 +45,7 @@
 #include "core/eviction_buffer.h"
 #include "core/fault_model.h"
 #include "core/hash_table.h"
+#include "core/recovery_fsm.h"
 #include "core/wire_format.h"
 #include "core/wmt.h"
 #include "telemetry/spans.h"
@@ -378,12 +379,14 @@ class CableChannel
      * self-compressed or raw only, while metadata rebuilds, and
      * re-arms after `rearm_window` clean transfers — the §VI-D
      * on/off controller generalized into a health-state machine.
+     *
+     * The enum (and every transition the channel may take) is
+     * generated from core/recovery_fsm.def — see recovery_fsm.h.
+     * Callers only ever observe the steady states Healthy and
+     * Degraded; the transient states live inside single recovery
+     * actions.
      */
-    enum class Health
-    {
-        Healthy,
-        Degraded
-    };
+    using Health = cable::Health;
 
     /**
      * Attaches (or detaches, with nullptr) a fault model. With a
@@ -479,11 +482,42 @@ class CableChannel
                                std::uint32_t set_hi);
 
     /**
+     * Resync-session entry (the epoch hello): moves the machine into
+     * the transient ResyncHealthy/ResyncDegraded state for the
+     * duration of one ResyncSession::run(). Every exit path of the
+     * session must leave through completeResync() (digests verified)
+     * or abandonResync() (rounds exhausted); the session runs
+     * synchronously, so callers never observe the transient state.
+     */
+    void beginResync();
+
+    /**
+     * Resync-session round event: a range digest pair disagreed and
+     * the range was dropped + re-armed (spec DigestMismatch
+     * self-loop). Keeps the code path on the generated table even
+     * though the state does not change.
+     */
+    void resyncRoundRepaired();
+
+    /**
+     * Resync-session fault event: the injector re-tore a repaired
+     * range mid-session (spec MetadataFault self-loop).
+     */
+    void resyncFaultTorn();
+
+    /**
      * Resync-protocol completion: the digests verified clean, so the
      * channel returns to Healthy immediately instead of waiting out
      * the rearm_window (the protocol's bounded re-warm guarantee).
      */
     void completeResync();
+
+    /**
+     * Resync-session exit without a clean digest pass (max_rounds
+     * exhausted): the channel falls back to the steady state it
+     * entered the session from.
+     */
+    void abandonResync();
 
     /**
      * Invoked with the victim's address just before a home eviction

@@ -8,6 +8,12 @@
 #include "common/crc.h"
 #include "core/channel.h"
 
+// Wire-symmetry contract: every put()/get() below carries a
+// cable-wire marker naming its record, field and width (or an
+// explicit ignore). tools/cable_verify.py reconstructs each record's
+// sequence from the writer and the reader and fails the build on any
+// order/width/count drift — the class of bug PR 6 hit by hand.
+
 namespace cable
 {
 
@@ -59,6 +65,7 @@ struct Cursor
         std::size_t left = begin;
         while (left > 0) {
             unsigned n = left > 64 ? 64u : static_cast<unsigned>(left);
+            // cable-wire: ignore header skip, not a field read
             (void)r.get(n);
             left -= n;
         }
@@ -70,9 +77,11 @@ struct Cursor
         if (r.pos() + nbits > end_)
             bad(CableCheckpointError::Kind::BadSection,
                 std::string("body ends inside ") + what);
+        // cable-wire: ignore width forwarded from annotated call sites
         return r.get(nbits);
     }
 
+    // cable-wire-alias: expectTag get kCkptSectionTagBits
     void
     expectTag(std::uint32_t tag, const char *name)
     {
@@ -138,9 +147,11 @@ struct EvbufImage
 namespace
 {
 
+// cable-wire-alias: putCounter put kCkptCountBits
 void
 putCounter(BitWriter &bw, std::uint64_t v)
 {
+    // cable-wire: ignore width carried by the putCounter alias
     bw.put(v, kCkptCountBits);
 }
 
@@ -152,33 +163,56 @@ ChannelCheckpoint::capture(const CableChannel &ch)
     BitWriter body;
 
     // GEOM — the restore target must present identical shapes.
+    // cable-wire: ckpt.geom tag kCkptSectionTagBits
     body.put(kCkptTagGeom, kCkptSectionTagBits);
+    // cable-wire: ckpt.geom remote_sets kCkptSetBits
     body.put(ch.remote_.numSets(), kCkptSetBits);
+    // cable-wire: ckpt.geom remote_ways kCkptWayBits
     body.put(ch.remote_.numWays(), kCkptWayBits);
+    // cable-wire: ckpt.geom home_sets kCkptSetBits
     body.put(ch.home_.numSets(), kCkptSetBits);
+    // cable-wire: ckpt.geom home_ways kCkptWayBits
     body.put(ch.home_.numWays(), kCkptWayBits);
+    // cable-wire: ckpt.geom rlid_bits kCkptRlidBits
     body.put(ch.rlid_bits_, kCkptRlidBits);
+    // cable-wire: ckpt.geom home_buckets kCkptBucketCountBits
     body.put(ch.home_ht_.buckets_.size(), kCkptBucketCountBits);
+    // cable-wire: ckpt.geom home_bucket_ways kCkptBucketWaysBits
     body.put(ch.home_ht_.cfg_.bucket_ways, kCkptBucketWaysBits);
+    // cable-wire: ckpt.geom remote_buckets kCkptBucketCountBits
     body.put(ch.remote_ht_.buckets_.size(), kCkptBucketCountBits);
+    // cable-wire: ckpt.geom remote_bucket_ways kCkptBucketWaysBits
     body.put(ch.remote_ht_.cfg_.bucket_ways, kCkptBucketWaysBits);
+    // cable-wire: ckpt.geom evbuf_cap kCkptEvbufCapBits
     body.put(ch.evbuf_.capacity_, kCkptEvbufCapBits);
 
     // CHANNEL — health machine, generation clocks, compression gate.
+    // cable-wire: ckpt.channel tag kCkptSectionTagBits
     body.put(kCkptTagChannel, kCkptSectionTagBits);
+    // cable-wire: ckpt.channel health kCkptHealthBits
     body.put(ch.health_ == CableChannel::Health::Degraded ? 1u : 0u,
              kCkptHealthBits);
+    // cable-wire: ckpt.channel healthy_streak kCkptCountBits
     putCounter(body, ch.healthy_streak_);
+    // cable-wire: ckpt.channel epoch kCkptCountBits
     putCounter(body, ch.epoch_);
+    // cable-wire: ckpt.channel trace_seq kCkptCountBits
     putCounter(body, ch.trace_seq_);
+    // cable-wire: ckpt.channel compression kCkptFlagBits
     body.put(ch.cfg_.compression_enabled ? 1u : 0u, kCkptFlagBits);
 
     // WMT — counters then the per-slot residency map, set-major.
+    // cable-wire: ckpt.wmt tag kCkptSectionTagBits
     body.put(kCkptTagWmt, kCkptSectionTagBits);
+    // cable-wire: ckpt.wmt sets kCkptCountBits
     putCounter(body, ch.wmt_.sets_);
+    // cable-wire: ckpt.wmt overwrites kCkptCountBits
     putCounter(body, ch.wmt_.overwrites_);
+    // cable-wire: ckpt.wmt clears kCkptCountBits
     putCounter(body, ch.wmt_.clears_);
+    // cable-wire: ckpt.wmt lookups kCkptCountBits
     putCounter(body, ch.wmt_.lookups_);
+    // cable-wire: ckpt.wmt translate_misses kCkptCountBits
     putCounter(body, ch.wmt_.translate_misses_);
     for (std::uint32_t set = 0; set < ch.wmt_.cfg_.remote_sets;
          ++set) {
@@ -186,8 +220,10 @@ ChannelCheckpoint::capture(const CableChannel &ch)
              ++way) {
             const WayMapTable::Slot &s =
                 ch.wmt_.at(set, static_cast<std::uint8_t>(way));
+            // cable-wire: ckpt.wmt slot_valid kCkptFlagBits*slots
             body.put(s.valid ? 1u : 0u, kCkptFlagBits);
             if (s.valid)
+                // cable-wire: ckpt.wmt slot_norm kCkptNormBits*valid
                 body.put(s.norm, kCkptNormBits);
         }
     }
@@ -198,61 +234,95 @@ ChannelCheckpoint::capture(const CableChannel &ch)
     const std::uint32_t tags[2] = {kCkptTagHtHome, kCkptTagHtRemote};
     for (unsigned ti = 0; ti < 2; ++ti) {
         const SignatureHashTable &ht = *tables[ti];
+        // cable-wire: ckpt.ht tag kCkptSectionTagBits
         body.put(tags[ti], kCkptSectionTagBits);
+        // cable-wire: ckpt.ht age_clock kCkptCountBits
         putCounter(body, ht.age_clock_);
+        // cable-wire: ckpt.ht inserts kCkptCountBits
         putCounter(body, ht.inserts_);
+        // cable-wire: ckpt.ht evictions kCkptCountBits
         putCounter(body, ht.evictions_);
+        // cable-wire: ckpt.ht refreshes kCkptCountBits
         putCounter(body, ht.refreshes_);
+        // cable-wire: ckpt.ht removes kCkptCountBits
         putCounter(body, ht.removes_);
+        // cable-wire: ckpt.ht remove_misses kCkptCountBits
         putCounter(body, ht.remove_misses_);
+        // cable-wire: ckpt.ht lookups kCkptCountBits
         putCounter(body, ht.lookups_);
+        // cable-wire: ckpt.ht lookup_lids kCkptCountBits
         putCounter(body, ht.lookup_lids_);
         for (const auto &bucket : ht.buckets_) {
+            // cable-wire: ckpt.ht bucket_len kCkptSlotCountBits*buckets
             body.put(bucket.size(), kCkptSlotCountBits);
             for (const auto &slot : bucket) {
+                // cable-wire: ckpt.ht slot_set kCkptSetBits*slots
                 body.put(slot.lid.set, kCkptSetBits);
+                // cable-wire: ckpt.ht slot_way kCkptWayBits*slots
                 body.put(slot.lid.way, kCkptWayBits);
+                // cable-wire: ckpt.ht slot_age kCkptCountBits*slots
                 body.put(slot.age, kCkptCountBits);
             }
         }
     }
 
     // EVBUF — clocks, counters, then the buffered line copies.
+    // cable-wire: ckpt.evbuf tag kCkptSectionTagBits
     body.put(kCkptTagEvbuf, kCkptSectionTagBits);
+    // cable-wire: ckpt.evbuf seq_clock kCkptCountBits
     putCounter(body, ch.evbuf_.seq_clock_);
+    // cable-wire: ckpt.evbuf pushes kCkptCountBits
     putCounter(body, ch.evbuf_.pushes_);
+    // cable-wire: ckpt.evbuf retired kCkptCountBits
     putCounter(body, ch.evbuf_.retired_);
+    // cable-wire: ckpt.evbuf overflow_drops kCkptCountBits
     putCounter(body, ch.evbuf_.overflow_drops_);
+    // cable-wire: ckpt.evbuf finds kCkptCountBits
     putCounter(body, ch.evbuf_.finds_);
+    // cable-wire: ckpt.evbuf find_hits kCkptCountBits
     putCounter(body, ch.evbuf_.find_hits_);
+    // cable-wire: ckpt.evbuf len kCkptEvbufLenBits
     body.put(ch.evbuf_.entries_.size(), kCkptEvbufLenBits);
     for (const auto &e : ch.evbuf_.entries_) {
+        // cable-wire: ckpt.evbuf entry_seq kCkptCountBits*len
         body.put(e.seq, kCkptCountBits);
+        // cable-wire: ckpt.evbuf entry_set kCkptSetBits*len
         body.put(e.lid.set, kCkptSetBits);
+        // cable-wire: ckpt.evbuf entry_way kCkptWayBits*len
         body.put(e.lid.way, kCkptWayBits);
         for (unsigned i = 0; i < kLineBytes; ++i)
+            // cable-wire: ckpt.evbuf entry_byte kCkptByteBits*kLineBytes
             body.put(e.data.byte(i), kCkptByteBits);
     }
 
     // COUNTERS — every StatSet counter; std::map iteration order is
     // sorted, so identical state yields a bit-identical image.
     const auto &counters = ch.stats_.counters();
+    // cable-wire: ckpt.counters tag kCkptSectionTagBits
     body.put(kCkptTagCounters, kCkptSectionTagBits);
+    // cable-wire: ckpt.counters count kCkptNumCountersBits
     body.put(counters.size(), kCkptNumCountersBits);
     for (const auto &[name, value] : counters) {
+        // cable-wire: ckpt.counters name_len kCkptNameLenBits*count
         body.put(name.size(), kCkptNameLenBits);
         for (char c : name)
+            // cable-wire: ckpt.counters name_byte kCkptByteBits*name
             body.put(static_cast<unsigned char>(c), kCkptByteBits);
+        // cable-wire: ckpt.counters value kCkptCountBits*count
         body.put(value, kCkptCountBits);
     }
 
     // Assemble: header, body, CRC over everything before the CRC.
     BitWriter bw;
+    // cable-wire: ckpt.header magic kCkptMagicBits
     bw.put(kCkptMagic, kCkptMagicBits);
+    // cable-wire: ckpt.header version kCkptVersionBits
     bw.put(kCkptVersion, kCkptVersionBits);
+    // cable-wire: ckpt.header body_len kCkptBodyLenBits
     bw.put(body.sizeBits(), kCkptBodyLenBits);
     bw.appendBits(body.bits());
     std::uint16_t crc = crc16Bits(bw.bits(), 0, bw.sizeBits());
+    // cable-wire: ckpt.trailer crc kCkptCrcBits
     bw.put(crc, kCkptCrcBits);
     return bw.take();
 }
@@ -271,22 +341,20 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
     // the CRC, which would otherwise mask the real cause).
     if (image.sizeBits() < kCkptHeaderBits)
         bad(Kind::Truncated, "image smaller than the fixed header");
-    {
-        BitReader hdr(image);
-        std::uint64_t magic = hdr.get(kCkptMagicBits);
-        if (magic != kCkptMagic)
-            bad(Kind::BadMagic, "leading magic number mismatch");
-        std::uint64_t version = hdr.get(kCkptVersionBits);
-        if (version != kCkptVersion)
-            bad(Kind::VersionSkew,
-                "image version " + std::to_string(version)
-                    + ", supported " + std::to_string(kCkptVersion));
-    }
-    BitReader hdr2(image);
-    (void)hdr2.get(kCkptMagicBits);
-    (void)hdr2.get(kCkptVersionBits);
+    BitReader hdr(image);
+    // cable-wire: ckpt.header magic kCkptMagicBits
+    std::uint64_t magic = hdr.get(kCkptMagicBits);
+    if (magic != kCkptMagic)
+        bad(Kind::BadMagic, "leading magic number mismatch");
+    // cable-wire: ckpt.header version kCkptVersionBits
+    std::uint64_t version = hdr.get(kCkptVersionBits);
+    if (version != kCkptVersion)
+        bad(Kind::VersionSkew,
+            "image version " + std::to_string(version)
+                + ", supported " + std::to_string(kCkptVersion));
+    // cable-wire: ckpt.header body_len kCkptBodyLenBits
     std::size_t body_len =
-        static_cast<std::size_t>(hdr2.get(kCkptBodyLenBits));
+        static_cast<std::size_t>(hdr.get(kCkptBodyLenBits));
     std::size_t crc_end = kCkptHeaderBits + body_len;
     std::size_t total = crc_end + kCkptCrcBits;
     if (image.sizeBits() < total)
@@ -294,9 +362,11 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
     if (image.sizeBits() - total >= kCkptByteBits)
         bad(Kind::BadSection, "trailing bytes after the image");
 
-    // Integrity: CRC-16 over header + body.
+    // Integrity: CRC-16 over header + body. BitReader has no seek,
+    // so the trailer is folded bit-by-bit at its known offset.
     std::uint16_t want = crc16Bits(image, 0, crc_end);
     std::uint16_t got = 0;
+    // cable-wire-read: ckpt.trailer crc kCkptCrcBits
     for (std::size_t i = crc_end; i < total; ++i)
         got = static_cast<std::uint16_t>((got << 1)
                                          | (image.bit(i) ? 1 : 0));
@@ -306,24 +376,35 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
     Cursor cur(image, kCkptHeaderBits, crc_end);
 
     // GEOM.
+    // cable-wire: ckpt.geom tag kCkptSectionTagBits
     cur.expectTag(kCkptTagGeom, "GEOM");
+    // cable-wire: ckpt.geom remote_sets kCkptSetBits
     std::uint32_t remote_sets =
         static_cast<std::uint32_t>(cur.get(kCkptSetBits, "GEOM"));
+    // cable-wire: ckpt.geom remote_ways kCkptWayBits
     unsigned remote_ways =
         static_cast<unsigned>(cur.get(kCkptWayBits, "GEOM"));
+    // cable-wire: ckpt.geom home_sets kCkptSetBits
     std::uint32_t home_sets =
         static_cast<std::uint32_t>(cur.get(kCkptSetBits, "GEOM"));
+    // cable-wire: ckpt.geom home_ways kCkptWayBits
     unsigned home_ways =
         static_cast<unsigned>(cur.get(kCkptWayBits, "GEOM"));
+    // cable-wire: ckpt.geom rlid_bits kCkptRlidBits
     unsigned rlid_bits =
         static_cast<unsigned>(cur.get(kCkptRlidBits, "GEOM"));
+    // cable-wire: ckpt.geom home_buckets kCkptBucketCountBits
     std::uint64_t home_buckets = cur.get(kCkptBucketCountBits, "GEOM");
+    // cable-wire: ckpt.geom home_bucket_ways kCkptBucketWaysBits
     unsigned home_bucket_ways =
         static_cast<unsigned>(cur.get(kCkptBucketWaysBits, "GEOM"));
+    // cable-wire: ckpt.geom remote_buckets kCkptBucketCountBits
     std::uint64_t remote_buckets =
         cur.get(kCkptBucketCountBits, "GEOM");
+    // cable-wire: ckpt.geom remote_bucket_ways kCkptBucketWaysBits
     unsigned remote_bucket_ways =
         static_cast<unsigned>(cur.get(kCkptBucketWaysBits, "GEOM"));
+    // cable-wire: ckpt.geom evbuf_cap kCkptEvbufCapBits
     std::size_t evbuf_cap =
         static_cast<std::size_t>(cur.get(kCkptEvbufCapBits, "GEOM"));
     if (remote_sets != ch.remote_.numSets()
@@ -340,31 +421,45 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
             "image geometry differs from the restoring channel");
 
     // CHANNEL.
+    // cable-wire: ckpt.channel tag kCkptSectionTagBits
     cur.expectTag(kCkptTagChannel, "CHANNEL");
+    // cable-wire: ckpt.channel health kCkptHealthBits
     std::uint64_t health_raw = cur.get(kCkptHealthBits, "CHANNEL");
     if (health_raw > 1)
         bad(Kind::BadSection, "unknown health state");
+    // cable-wire: ckpt.channel healthy_streak kCkptCountBits
     std::uint64_t healthy_streak = cur.get(kCkptCountBits, "CHANNEL");
+    // cable-wire: ckpt.channel epoch kCkptCountBits
     std::uint64_t epoch = cur.get(kCkptCountBits, "CHANNEL");
+    // cable-wire: ckpt.channel trace_seq kCkptCountBits
     std::uint64_t trace_seq = cur.get(kCkptCountBits, "CHANNEL");
+    // cable-wire: ckpt.channel compression kCkptFlagBits
     bool compression_enabled =
         cur.get(kCkptFlagBits, "CHANNEL") != 0;
 
     // WMT.
+    // cable-wire: ckpt.wmt tag kCkptSectionTagBits
     cur.expectTag(kCkptTagWmt, "WMT");
+    // cable-wire: ckpt.wmt sets kCkptCountBits
     std::uint64_t wmt_sets = cur.get(kCkptCountBits, "WMT");
+    // cable-wire: ckpt.wmt overwrites kCkptCountBits
     std::uint64_t wmt_overwrites = cur.get(kCkptCountBits, "WMT");
+    // cable-wire: ckpt.wmt clears kCkptCountBits
     std::uint64_t wmt_clears = cur.get(kCkptCountBits, "WMT");
+    // cable-wire: ckpt.wmt lookups kCkptCountBits
     std::uint64_t wmt_lookups = cur.get(kCkptCountBits, "WMT");
+    // cable-wire: ckpt.wmt translate_misses kCkptCountBits
     std::uint64_t wmt_translate_misses =
         cur.get(kCkptCountBits, "WMT");
     std::vector<WayMapTable::Slot> wmt_slots;
     wmt_slots.resize(std::size_t{remote_sets} * remote_ways);
     unsigned entry_bits = ch.wmt_.entryBits();
     for (auto &slot : wmt_slots) {
+        // cable-wire: ckpt.wmt slot_valid kCkptFlagBits*slots
         bool valid = cur.get(kCkptFlagBits, "WMT") != 0;
         if (!valid)
             continue;
+        // cable-wire: ckpt.wmt slot_norm kCkptNormBits*valid
         std::uint32_t norm =
             static_cast<std::uint32_t>(cur.get(kCkptNormBits, "WMT"));
         if (entry_bits < kCkptNormBits
@@ -384,17 +479,27 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
         std::uint32_t sets_limit = ti == 0 ? home_sets : remote_sets;
         unsigned ways_limit = ti == 0 ? home_ways : remote_ways;
         HtImage &img = hts[ti];
+        // cable-wire: ckpt.ht tag kCkptSectionTagBits
         cur.expectTag(tags[ti], ht_names[ti]);
+        // cable-wire: ckpt.ht age_clock kCkptCountBits
         img.age_clock = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht inserts kCkptCountBits
         img.inserts = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht evictions kCkptCountBits
         img.evictions = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht refreshes kCkptCountBits
         img.refreshes = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht removes kCkptCountBits
         img.removes = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht remove_misses kCkptCountBits
         img.remove_misses = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht lookups kCkptCountBits
         img.lookups = cur.get(kCkptCountBits, ht_names[ti]);
+        // cable-wire: ckpt.ht lookup_lids kCkptCountBits
         img.lookup_lids = cur.get(kCkptCountBits, ht_names[ti]);
         img.buckets.resize(live.buckets_.size());
         for (auto &bucket : img.buckets) {
+            // cable-wire: ckpt.ht bucket_len kCkptSlotCountBits*buckets
             std::uint64_t count =
                 cur.get(kCkptSlotCountBits, ht_names[ti]);
             if (count > live.cfg_.bucket_ways)
@@ -402,10 +507,13 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
                     "hash bucket deeper than its configured ways");
             bucket.resize(static_cast<std::size_t>(count));
             for (auto &slot : bucket) {
+                // cable-wire: ckpt.ht slot_set kCkptSetBits*slots
                 slot.set = static_cast<std::uint32_t>(
                     cur.get(kCkptSetBits, ht_names[ti]));
+                // cable-wire: ckpt.ht slot_way kCkptWayBits*slots
                 slot.way = static_cast<std::uint8_t>(
                     cur.get(kCkptWayBits, ht_names[ti]));
+                // cable-wire: ckpt.ht slot_age kCkptCountBits*slots
                 slot.age = cur.get(kCkptCountBits, ht_names[ti]);
                 if (slot.set >= sets_limit || slot.way >= ways_limit)
                     bad(Kind::BadSection,
@@ -416,42 +524,59 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
 
     // EVBUF.
     EvbufImage ev;
+    // cable-wire: ckpt.evbuf tag kCkptSectionTagBits
     cur.expectTag(kCkptTagEvbuf, "EVBUF");
+    // cable-wire: ckpt.evbuf seq_clock kCkptCountBits
     ev.seq_clock = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf pushes kCkptCountBits
     ev.pushes = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf retired kCkptCountBits
     ev.retired = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf overflow_drops kCkptCountBits
     ev.overflow_drops = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf finds kCkptCountBits
     ev.finds = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf find_hits kCkptCountBits
     ev.find_hits = cur.get(kCkptCountBits, "EVBUF");
+    // cable-wire: ckpt.evbuf len kCkptEvbufLenBits
     std::uint64_t ev_len = cur.get(kCkptEvbufLenBits, "EVBUF");
     if (ev_len > evbuf_cap)
         bad(Kind::BadSection, "eviction buffer beyond its capacity");
     ev.entries.resize(static_cast<std::size_t>(ev_len));
     for (auto &e : ev.entries) {
+        // cable-wire: ckpt.evbuf entry_seq kCkptCountBits*len
         e.seq = cur.get(kCkptCountBits, "EVBUF");
+        // cable-wire: ckpt.evbuf entry_set kCkptSetBits*len
         e.set = static_cast<std::uint32_t>(
             cur.get(kCkptSetBits, "EVBUF"));
+        // cable-wire: ckpt.evbuf entry_way kCkptWayBits*len
         e.way = static_cast<std::uint8_t>(
             cur.get(kCkptWayBits, "EVBUF"));
         if (e.set >= remote_sets || e.way >= remote_ways)
             bad(Kind::BadSection,
                 "eviction-buffer LineID out of range");
         for (unsigned i = 0; i < kLineBytes; ++i)
+            // cable-wire: ckpt.evbuf entry_byte kCkptByteBits*kLineBytes
             e.data.setByte(i, static_cast<std::uint8_t>(
                                   cur.get(kCkptByteBits, "EVBUF")));
     }
 
     // COUNTERS.
+    // cable-wire: ckpt.counters tag kCkptSectionTagBits
     cur.expectTag(kCkptTagCounters, "COUNTERS");
+    // cable-wire: ckpt.counters count kCkptNumCountersBits
     std::uint64_t ncounters = cur.get(kCkptNumCountersBits, "COUNTERS");
     std::map<std::string, std::uint64_t> counters;
     for (std::uint64_t i = 0; i < ncounters; ++i) {
+        // cable-wire: ckpt.counters name_len kCkptNameLenBits*count
         std::uint64_t len = cur.get(kCkptNameLenBits, "COUNTERS");
         std::string name;
         name.reserve(static_cast<std::size_t>(len));
         for (std::uint64_t c = 0; c < len; ++c)
+            // cable-wire: ckpt.counters name_byte kCkptByteBits*name
             name.push_back(static_cast<char>(
                 cur.get(kCkptByteBits, "COUNTERS")));
+        // cable-wire: ckpt.counters value kCkptCountBits*count
         counters[name] = cur.get(kCkptCountBits, "COUNTERS");
     }
 
@@ -460,8 +585,14 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
 
     // ---- apply (nothing above mutated the channel) ------------------
 
-    ch.health_ = health_raw ? CableChannel::Health::Degraded
-                            : CableChannel::Health::Healthy;
+    // Restore routes through the generated recovery table like every
+    // other health change: RestoreHealthy/RestoreDegraded land the
+    // machine on the captured steady state regardless of the state
+    // the restoring channel was in.
+    const RecoveryStep &restore_step = recoveryAdvance(
+        ch.health_, health_raw ? RecoveryEvent::RestoreDegraded
+                               : RecoveryEvent::RestoreHealthy);
+    ch.health_ = restore_step.to;
     ch.healthy_streak_ = static_cast<unsigned>(healthy_streak);
     ch.trace_seq_ = trace_seq;
     ch.cfg_.compression_enabled = compression_enabled;
@@ -512,8 +643,9 @@ ChannelCheckpoint::restore(CableChannel &ch, const BitVec &image)
         ch.stats_.counter(name) = value;
 
     // Every restore opens a new channel generation — the resync
-    // handshake compares epochs to detect a restarted peer.
-    ch.epoch_ = epoch + 1;
+    // handshake compares epochs to detect a restarted peer. The
+    // spec's Restore* transitions carry the epoch advance.
+    ch.epoch_ = epoch + restore_step.epoch_delta;
     ch.stats_.add("checkpoint_restores", 1);
     ch.traceControl(TraceEvent::Type::Checkpoint, 0, false, ch.epoch_);
 }

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Generated view of the channel recovery state machine.
+ *
+ * Everything here is expanded from core/recovery_fsm.def via X-macros:
+ * the Health enum (live states followed by typed-error terminals), the
+ * RecoveryEvent enum, per-state/per-event metadata tables, and the
+ * transition table `kRecoveryTransitions`.  channel.cc, resync.cc and
+ * checkpoint.cc route every health change through recoveryAdvance(),
+ * so the committed spec is the single source of truth — the same file
+ * tools/cable_verify.py exhaustively model-checks.
+ *
+ * The transition table is tiny (a few dozen entries) and scanned
+ * linearly; recovery transitions are rare events, never on the
+ * per-transfer hot path (steady-state self-loops like CleanTransfer
+ * exist in the spec for the model, not in the code).
+ */
+
+#ifndef CABLE_CORE_RECOVERY_FSM_H
+#define CABLE_CORE_RECOVERY_FSM_H
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace cable
+{
+
+/**
+ * Channel health. Live states come first (Healthy is the initial
+ * state, value 0); the typed-error terminals follow the TerminalMark_
+ * sentinel and are never stored in a channel — recoveryAdvance()
+ * refuses to return them, and the throw sites assert their transition
+ * against the spec with recoveryRaises() instead.
+ */
+enum class Health : std::uint8_t
+{
+#define CABLE_FSM_STATE(name, kind, desc) name,
+#include "core/recovery_fsm.def"
+    TerminalMark_,
+#define CABLE_FSM_TERMINAL(name, exception, desc) name,
+#include "core/recovery_fsm.def"
+};
+
+/** Events that drive the recovery machine (faults + protocol steps). */
+enum class RecoveryEvent : std::uint8_t
+{
+#define CABLE_FSM_EVENT(name, kind, desc) name,
+#include "core/recovery_fsm.def"
+};
+
+/** True for the typed-error exits (never legal as a stored health). */
+constexpr bool
+healthIsTerminal(Health h)
+{
+    return h > Health::TerminalMark_;
+}
+
+enum class StateKind : std::uint8_t
+{
+    Steady,   ///< channel may rest here between transfers
+    Transient ///< exists only inside one recovery action
+};
+
+enum class EventKind : std::uint8_t
+{
+    Fault,   ///< injected by the environment
+    Internal ///< driven by the protocol itself
+};
+
+/** Wire accounting class a transition charges. Payload is deliberately
+ *  absent: recovery traffic must never touch payload counters. */
+enum class RecoveryBits : std::uint8_t
+{
+    None,
+    Handshake,
+    Rearm,
+    Retrans
+};
+
+struct RecoveryStateInfo
+{
+    Health state;
+    StateKind kind;
+    const char *name;
+};
+
+struct RecoveryTerminalInfo
+{
+    Health state;
+    const char *exception;
+    const char *name;
+};
+
+struct RecoveryEventInfo
+{
+    RecoveryEvent event;
+    EventKind kind;
+    const char *name;
+};
+
+/** One spec transition: on `event` in `from`, move to `to`, advance
+ *  the epoch by `epoch_delta`, charging the `bits` class. */
+struct RecoveryStep
+{
+    Health from;
+    RecoveryEvent event;
+    Health to;
+    std::uint8_t epoch_delta;
+    RecoveryBits bits;
+};
+
+inline constexpr RecoveryStateInfo kRecoveryStates[] = {
+#define CABLE_FSM_STATE(name, kind, desc) \
+    {Health::name, StateKind::kind, #name},
+#include "core/recovery_fsm.def"
+};
+
+inline constexpr RecoveryTerminalInfo kRecoveryTerminals[] = {
+#define CABLE_FSM_TERMINAL(name, exception, desc) \
+    {Health::name, #exception, #name},
+#include "core/recovery_fsm.def"
+};
+
+inline constexpr RecoveryEventInfo kRecoveryEvents[] = {
+#define CABLE_FSM_EVENT(name, kind, desc) \
+    {RecoveryEvent::name, EventKind::kind, #name},
+#include "core/recovery_fsm.def"
+};
+
+inline constexpr RecoveryStep kRecoveryTransitions[] = {
+#define CABLE_FSM_TRANSITION(from, event, to, epoch_delta, bits, desc) \
+    {Health::from, RecoveryEvent::event, Health::to, epoch_delta,      \
+     RecoveryBits::bits},
+#include "core/recovery_fsm.def"
+};
+
+/** Spec name of a live state or terminal (for diagnostics). */
+inline const char *
+recoveryStateName(Health h)
+{
+    for (const RecoveryStateInfo &s : kRecoveryStates)
+        if (s.state == h)
+            return s.name;
+    for (const RecoveryTerminalInfo &t : kRecoveryTerminals)
+        if (t.state == h)
+            return t.name;
+    return "?";
+}
+
+inline const char *
+recoveryEventName(RecoveryEvent ev)
+{
+    for (const RecoveryEventInfo &e : kRecoveryEvents)
+        if (e.event == ev)
+            return e.name;
+    return "?";
+}
+
+/** Spec lookup; nullptr when (from, event) has no transition. */
+[[nodiscard]] inline const RecoveryStep *
+recoveryFind(Health from, RecoveryEvent ev) noexcept
+{
+    for (const RecoveryStep &t : kRecoveryTransitions)
+        if (t.from == from && t.event == ev)
+            return &t;
+    return nullptr;
+}
+
+/**
+ * Advances the machine one step and returns the spec entry (callers
+ * apply `.to` and `.epoch_delta`). A transition the spec does not
+ * declare, or one that targets a typed-error terminal, is an internal
+ * invariant violation: throw sites must consult recoveryRaises()
+ * instead of advancing.
+ */
+[[nodiscard]] inline const RecoveryStep &
+recoveryAdvance(Health from, RecoveryEvent ev)
+{
+    const RecoveryStep *t = recoveryFind(from, ev);
+    if (t == nullptr)
+        panic("recovery FSM: no transition from %s on %s",
+              recoveryStateName(from), recoveryEventName(ev));
+    if (healthIsTerminal(t->to))
+        panic("recovery FSM: %s on %s targets terminal %s; "
+              "use recoveryRaises() at the throw site",
+              recoveryStateName(from), recoveryEventName(ev),
+              recoveryStateName(t->to));
+    return *t;
+}
+
+/** True when the spec maps (from, event) to the terminal `term` —
+ *  throw sites assert this before raising the typed error. */
+[[nodiscard]] inline bool
+recoveryRaises(Health from, RecoveryEvent ev, Health term) noexcept
+{
+    const RecoveryStep *t = recoveryFind(from, ev);
+    return t != nullptr && t->to == term;
+}
+
+} // namespace cable
+
+#endif // CABLE_CORE_RECOVERY_FSM_H

@@ -20,6 +20,15 @@
  * cache's geometry (set index bits + way bits — 17 in the paper's
  * 16MB/16-way config, Table III) and lives in
  * CableChannel::remoteLidBits().
+ *
+ * The `cable-wire-decl:` directives below are the machine-readable
+ * half of this contract: tools/cable_verify.py reconstructs each
+ * record's field sequence from the annotated writer sites
+ * (channel.cc, protocol.cc, resync.cc) and checks them against these
+ * declarations, so a header change that forgets one side fails the
+ * static-analysis job. Records whose reader lives on the (simulated)
+ * peer — the frame headers and the resync handshake — have no C++
+ * reader to compare; the declaration *is* the receiving side.
  */
 
 #ifndef CABLE_CORE_WIRE_FORMAT_H
@@ -51,6 +60,16 @@ inline constexpr unsigned kWireCompressedHeaderBits =
 /** Header bits of a raw (uncompressed escape) frame. */
 inline constexpr unsigned kWireRawHeaderBits = kWireFlagBits;
 
+// Frame-header wire contracts (writer sites: core/channel.cc
+// packageTransfer/rawFallbackResend/bitsOf, sim/protocol.cc encode).
+// cable-wire-decl: frame.compressed flag kWireFlagBits
+// cable-wire-decl: frame.compressed nrefs kWireNRefsBits
+// cable-wire-decl: frame.compressed ref_set rlid_bits_-way_bits*nrefs
+// cable-wire-decl: frame.compressed ref_way way_bits*nrefs
+// cable-wire-decl: frame.raw flag kWireFlagBits
+// cable-wire-decl: frame.stream flag kWireFlagBits
+// cable-wire-decl: frame.payload byte kBitsPerByte*kLineBytes
+
 // ---------------------------------------------------------------------
 // Resync handshake (DESIGN.md §12). The reconciliation protocol that
 // returns a crashed/desynced channel to Healthy exchanges epoch
@@ -72,6 +91,13 @@ inline constexpr unsigned kWireResyncDigestBits = 32;
  * digest per re-linked line.
  */
 inline constexpr unsigned kWireResyncLineDigestBits = 16;
+
+// Resync handshake wire contracts (accounting sites: sim/resync.cc
+// ResyncSession::run — both directions of each exchange, hence *2).
+// cable-wire-decl: resync.hello epoch kWireResyncEpochBits*2
+// cable-wire-decl: resync.digest digest kWireResyncDigestBits*2
+// cable-wire-decl: resync.rearm rlid remoteLidBits*relinked
+// cable-wire-decl: resync.rearm line_digest kWireResyncLineDigestBits*relinked
 
 } // namespace cable
 

@@ -123,10 +123,12 @@ StreamLinkProtocol::encode(const CacheLine &data, Compressor *engine,
         BitVec enc = engine->compress(data, {});
         BitWriter bw;
         if (enc.sizeBits() + 1 < kLineBytes * 8 + 1) {
-            bw.put(1, 1);
+            // cable-wire: frame.stream flag kWireFlagBits
+            bw.put(1, kWireFlagBits);
             bw.appendBits(enc);
         } else {
-            bw.put(0, 1);
+            // cable-wire: frame.stream flag kWireFlagBits
+            bw.put(0, kWireFlagBits);
             bw.appendBits(CableChannel::bitsOf(data));
             t.raw = true;
         }

@@ -32,12 +32,18 @@ ResyncSession::run()
 
     // Hello: both sides announce their channel epoch. A survivor
     // seeing a lower epoch than its own knows the peer restarted.
+    // Spec: ResyncStart moves the machine into the transient
+    // ResyncHealthy/ResyncDegraded state for the session.
+    ch_.beginResync();
+    // cable-wire-write: resync.hello epoch kWireResyncEpochBits*2
     res.handshake_bits += 2ull * kWireResyncEpochBits;
 
     std::uint32_t nsets = ch_.remote().numSets();
     std::uint32_t step =
         cfg_.range_sets ? cfg_.range_sets : nsets;
     res.ranges_total = (nsets + step - 1) / step;
+    // cable-wire-write: resync.rearm rlid remoteLidBits*relinked
+    // cable-wire-write: resync.rearm line_digest kWireResyncLineDigestBits*relinked
     const std::uint64_t rearm_per_line =
         ch_.remoteLidBits() + kWireResyncLineDigestBits;
 
@@ -51,6 +57,7 @@ ResyncSession::run()
         for (std::uint32_t lo = 0; lo < nsets; lo += step) {
             std::uint32_t hi =
                 lo + step < nsets ? lo + step : nsets;
+            // cable-wire-write: resync.digest digest kWireResyncDigestBits*2
             res.handshake_bits += 2ull * kWireResyncDigestBits;
             if (ch_.metadataDigest(lo, hi)
                 != ch_.referenceDigest(lo, hi))
@@ -63,6 +70,7 @@ ResyncSession::run()
 
         // Repair: drop stale tracking for each mismatched range and
         // incrementally re-arm it from cache ground truth.
+        ch_.resyncRoundRepaired();
         for (const auto &[lo, hi] : dirty) {
             (void)ch_.dropMetadataRange(lo, hi);
             unsigned relinked = ch_.resynchronizeRange(lo, hi);
@@ -81,12 +89,15 @@ ResyncSession::run()
             const auto &victim = dirty[static_cast<std::size_t>(
                 fm->pick(dirty.size()))];
             (void)ch_.dropMetadataRange(victim.first, victim.second);
+            ch_.resyncFaultTorn();
             ++res.faults_hit;
         }
     }
 
     if (res.completed)
         ch_.completeResync();
+    else
+        ch_.abandonResync();
     res.epoch = ch_.epoch();
 
     // Honest accounting: every handshake and re-arm bit lands in the

@@ -1,0 +1,36 @@
+// Fixture: read-side wire widths. Bare literal widths in
+// BitReader::get() calls must trip R003 exactly like put() call
+// sites; named constants, zero-argument smart-pointer get(), and
+// name-keyed accessors taking a string must not.
+
+#include <cstdint>
+#include <memory>
+
+struct BitReader
+{
+    std::uint64_t get(unsigned nbits);
+    std::uint64_t get(unsigned nbits, const char *what);
+};
+
+struct StatSet
+{
+    std::uint64_t get(const char *name) const;
+};
+
+inline constexpr unsigned kHdrBits = 24;
+
+inline std::uint64_t
+decode(BitReader &br, const StatSet &stats,
+       const std::shared_ptr<int> &owner)
+{
+    std::uint64_t acc = 0;
+    acc += br.get(16);                       // expect: R003
+    acc += br.get(8, "section tag");         // expect: R003
+    acc += br.get(kHdrBits);                 // named: clean
+    acc += br.get(kHdrBits, "HDR");          // named + tag: clean
+    acc += stats.get("transfers");           // name-keyed: clean
+    acc += owner.get() != nullptr ? 1u : 0u; // smart pointer: clean
+    // cable-lint: allow(R003) engine-local scratch width, not wire
+    acc += br.get(12);
+    return acc;
+}

@@ -2,8 +2,8 @@
 // name every wire width and never serialize through raw memory
 // images. R005 fires on bare literal widths in put()/get() calls
 // and on memcpy/memmove/reinterpret_cast; a justified allowance
-// suppresses it. (The put() literal also trips R003 in self-test
-// mode, where directory scoping is disabled.)
+// suppresses it. (The put()/get() literals also trip R003 in
+// self-test mode, where directory scoping is disabled.)
 
 #include <cstdint>
 #include <cstring>
@@ -38,7 +38,7 @@ void
 readHeader(BitReader &br, Header &h)
 {
     h.magic = static_cast<std::uint32_t>(br.get(kMagicBits));
-    h.body_bits = static_cast<std::uint32_t>(br.get(32));  // expect: R005
+    h.body_bits = static_cast<std::uint32_t>(br.get(32));  // expect: R005 // expect: R003
 }
 
 unsigned long long

@@ -1,0 +1,124 @@
+// Fixture: seeded writer/reader drift. Each record below carries
+// exactly one class of asymmetry; the `// expect: CODE` markers name
+// the diagnostic the verifier must anchor to that line, and any
+// extra or missing finding fails the self-test.
+
+#include <cstdint>
+
+inline constexpr unsigned kMagicBits = 16;
+inline constexpr unsigned kLenBits = 8;
+inline constexpr unsigned kFlagBits = 1;
+inline constexpr unsigned kCrcBits = 16;
+inline constexpr unsigned kTagBits = 4;
+
+struct BitWriter
+{
+    void put(unsigned long long value, unsigned nbits);
+};
+
+struct BitReader
+{
+    unsigned long long get(unsigned nbits);
+};
+
+// An unannotated serialization call: nothing says what it encodes.
+void
+writeLoose(BitWriter &bw, unsigned x)
+{
+    bw.put(x, kTagBits);  // expect: W001
+}
+
+// Marker drift: the marker promises kMagicBits but the call encodes
+// kLenBits; the reader agrees with the marker, so only W002 fires.
+void
+writeMarker(BitWriter &bw, unsigned m)
+{
+    // cable-wire: drift.marker magic kMagicBits
+    bw.put(m, kLenBits);  // expect: W002
+}
+
+unsigned long long
+readMarker(BitReader &br)
+{
+    // cable-wire: drift.marker magic kMagicBits
+    return br.get(kMagicBits);
+}
+
+// Order drift: the reader consumes len before magic.
+void
+writeOrder(BitWriter &bw, unsigned m, unsigned l)
+{
+    // cable-wire: drift.order magic kMagicBits
+    bw.put(m, kMagicBits);
+    // cable-wire: drift.order len kLenBits
+    bw.put(l, kLenBits);
+}
+
+unsigned long long
+readOrder(BitReader &br)
+{
+    // cable-wire: drift.order len kLenBits
+    unsigned long long acc = br.get(kLenBits);  // expect: W003
+    // cable-wire: drift.order magic kMagicBits
+    return acc + br.get(kMagicBits);
+}
+
+// Width drift: both sides agree the field exists, at different widths.
+void
+writeWidth(BitWriter &bw, unsigned f)
+{
+    // cable-wire: drift.width flag kFlagBits
+    bw.put(f, kFlagBits);
+}
+
+unsigned long long
+readWidth(BitReader &br)
+{
+    // cable-wire: drift.width flag kCrcBits
+    return br.get(kCrcBits);  // expect: W004
+}
+
+// Count drift: the reader stops one field short.
+void
+writeCount(BitWriter &bw, unsigned a, unsigned b)
+{
+    // cable-wire: drift.count a kLenBits
+    bw.put(a, kLenBits);
+    // cable-wire: drift.count b kLenBits
+    bw.put(b, kLenBits);
+}
+
+unsigned long long
+readCount(BitReader &br)
+{
+    // cable-wire: drift.count a kLenBits
+    return br.get(kLenBits);  // expect: W005
+}
+
+// Repetition drift: the writer emits one and a half copies of a
+// two-field contract.
+// cable-wire-decl: drift.rep flag kFlagBits
+// cable-wire-decl: drift.rep len kLenBits
+void
+writeRep(BitWriter &bw, unsigned f, unsigned l)
+{
+    // cable-wire: drift.rep flag kFlagBits
+    bw.put(f, kFlagBits);  // expect: W005
+    // cable-wire: drift.rep len kLenBits
+    bw.put(l, kLenBits);
+    // cable-wire: drift.rep flag kFlagBits
+    bw.put(f, kFlagBits);
+}
+
+// A record with nothing on the other side.
+void
+writeLonely(BitWriter &bw, unsigned x)
+{
+    // cable-wire: drift.lonely x kTagBits
+    bw.put(x, kTagBits);  // expect: W006
+}
+
+// A marker that does not parse as record/field/width (the trailing
+// expect comment rides on the same line so the self-test can anchor
+// the diagnostic).
+// cable-wire: drift.bad toofew  // expect: W007

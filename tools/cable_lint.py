@@ -19,9 +19,12 @@ Enforces four invariants that generic linters cannot express:
         Unordered containers are allowed only with a justified
         ``allow(R002)`` directive.
   R003  wire-format widths: in src/core/, the width argument of
-        BitWriter::put() must be a named constant or expression, not
-        a bare integer literal (the wire contract lives in
-        core/wire_format.h, not in call sites).
+        BitWriter::put() and BitReader::get() must be a named
+        constant or expression, not a bare integer literal (the wire
+        contract lives in core/wire_format.h, not in call sites). The
+        read side is checked with the same rigor as the write side: a
+        reader that hard-codes a width decodes garbage the moment the
+        named constant changes.
   R004  result discipline: public non-const member functions in
         src/core/*.h that return a value must be [[nodiscard]] (or
         carry a justified ``allow(R004)``).
@@ -357,22 +360,39 @@ def split_top_level_args(text: str):
 INT_LITERAL_RE = re.compile(r"^(?:0[xXbB][0-9a-fA-F']+|[0-9']+)[uUlL]*$")
 
 
+def bitstream_width(call: str, args: list[str]) -> str | None:
+    """Width argument of a bit-stream call, or None when the call is
+    not a serialization site. put(value, WIDTH) takes the last
+    argument. get(WIDTH[, tag]) takes the first, provided every later
+    argument is a blanked string literal (the checkpoint Cursor's
+    get(nbits, what) diagnostic tag); a zero-argument smart-pointer
+    .get() or a name-keyed accessor .get("counter") never matches."""
+    if call == "put":
+        return args[-1] if len(args) >= 2 else None
+    if not args or not args[0]:
+        return None
+    if any(a for a in args[1:]):
+        return None
+    return args[0]
+
+
 def check_r003(src: SourceFile, findings: list[Finding]):
     if not src.path.startswith(R003_DIRS):
         return
     text = "\n".join(src.code_lines)
-    for m in re.finditer(r"\.put\s*\(", text):
+    for m in re.finditer(r"\.(put|get)\s*\(", text):
         args = split_top_level_args(text[m.end():m.end() + 400])
-        if not args or len(args) < 2:
+        if args is None:
             continue
-        width = args[-1]
-        if INT_LITERAL_RE.match(width):
+        call = m.group(1)
+        width = bitstream_width(call, args)
+        if width is not None and INT_LITERAL_RE.match(width):
             idx = text.count("\n", 0, m.start())
             if not allowed(src, "R003", idx):
                 findings.append(Finding(
                     "R003", src.path, idx + 1,
-                    f"put() width '{width}' is a bare literal; name it "
-                    f"in core/wire_format.h"))
+                    f"{call}() width '{width}' is a bare literal; "
+                    f"name it in core/wire_format.h"))
 
 
 # ---------------------------------------------------------------------
@@ -398,11 +418,8 @@ def check_r005(src: SourceFile, findings: list[Finding]):
         if args is None:
             continue
         call = m.group(1)
-        if call == "put" and len(args) >= 2:
-            width = args[-1]
-        elif call == "get" and len(args) == 1:
-            width = args[0]
-        else:
+        width = bitstream_width(call, args)
+        if width is None:
             continue
         if INT_LITERAL_RE.match(width):
             idx = text.count("\n", 0, m.start())

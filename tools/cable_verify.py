@@ -1,0 +1,864 @@
+#!/usr/bin/env python3
+"""CABLE protocol verifier (DESIGN.md section 15).
+
+Two static proofs over the serialization and recovery layers:
+
+1. Wire-format symmetry. Serialization sites in the registered files
+   carry ``// cable-wire: <record> <field> <width>[*<count>]``
+   markers (plus the decl/write/read/alias/ignore variants below).
+   The verifier reconstructs every record's field sequence from the
+   annotated writer and reader call sites and fails on any order,
+   width or count asymmetry, on marker/code width drift, and on any
+   unannotated put()/get() in a registered file — the reader/writer
+   drift class of bug that PR 6's checkpoint work hit by hand.
+
+2. Recovery-FSM model check. The channel recovery machine is
+   committed as src/core/recovery_fsm.def; the C++ includes it via
+   X-macros (core/recovery_fsm.h), so code and spec cannot drift.
+   The verifier parses the same file and exhaustively enumerates the
+   reachable state space (states x events), proving: deterministic
+   transitions, no dead ends, every reachable live state can recover
+   to a steady state and to the initial state through protocol
+   (internal) events alone, fault totality over steady states, typed
+   and outgoing-free terminals, bit accounting restricted to the
+   recovery classes on every transition and cycle (payload is never
+   charged), and a monotone epoch. It also greps the implementation
+   for health assignments that bypass the generated transition table.
+
+Directives (in comments):
+
+  // cable-wire: <record> <field> <width>[*<count>]
+      Annotates the put()/get() call on the same line or the next
+      code line. put-family calls are writer sites, get-family calls
+      reader sites; the marker width must match the call's width
+      argument (whitespace-insensitive).
+  // cable-wire-decl: <record> <field> <width>[*<count>]
+      Contract declaration with no call attached (core/wire_format.h)
+      — the receiving side of records whose reader lives on the
+      simulated peer, and the reference both C++ sides check against.
+  // cable-wire-write: ... / // cable-wire-read: ...
+      Manual writer/reader site where no parseable call exists
+      (accounting `+=` lines, bit loops).
+  // cable-wire-alias: <function> <put|get> <width>
+      Declares a wrapper whose call sites are put/get sites with the
+      given implied width (putCounter, Cursor::expectTag).
+  // cable-wire: ignore <reason>
+      Exempts the call on this or the next line (plumbing inside an
+      annotated wrapper that forwards a width variable).
+
+Sequence rules: a record needs at least two roles. Writer and reader
+sequences must match exactly (field, width, count, in order); a role
+checked against a contract declaration must be a whole number of
+exact repetitions of it (several emit sites of the same record, e.g.
+the raw-frame flag in packageTransfer and rawFallbackResend).
+
+Diagnostic codes:
+
+  W001 unannotated serialization call      W002 marker/code width drift
+  W003 field order asymmetry               W004 field width asymmetry
+  W005 field count asymmetry               W006 record with a single role
+  W007 malformed cable-wire marker
+  F001 nondeterministic transition         F002 unknown state/event
+  F003 dead-end live state                 F004 unreachable state
+  F005 no internal path to a steady state  F006 no internal path to initial
+  F007 fault event unhandled in steady     F008 terminal with outgoing edge
+  F009 terminal without a typed error      F010 epoch regression
+  F011 illegal bit-accounting class        F012 unreachable terminal
+  F013 health assignment bypassing the generated table
+
+The verifier prefers a libclang-backed cross-check of call sites when
+the python bindings are importable and falls back to the tokenizer
+otherwise (same pattern as cable_lint.py); the tokenizer is the
+reference implementation.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+from cable_lint import split_top_level_args, strip_comments_and_strings
+
+try:  # pragma: no cover - absent in the CI container
+    import clang.cindex as _cindex
+
+    HAVE_LIBCLANG = True
+except ImportError:
+    _cindex = None
+    HAVE_LIBCLANG = False
+
+CODES = {
+    "W001": "unannotated serialization call",
+    "W002": "marker width disagrees with the call",
+    "W003": "field order asymmetry between roles",
+    "W004": "field width asymmetry between roles",
+    "W005": "field count asymmetry between roles",
+    "W006": "record with a single role",
+    "W007": "malformed cable-wire marker",
+    "F001": "nondeterministic transition",
+    "F002": "transition references an unknown state or event",
+    "F003": "dead-end live state",
+    "F004": "state unreachable from the initial state",
+    "F005": "no internal path to a steady state",
+    "F006": "no internal path back to the initial state",
+    "F007": "fault event unhandled in a steady state",
+    "F008": "terminal state with an outgoing transition",
+    "F009": "terminal without a typed Cable error",
+    "F010": "epoch regression",
+    "F011": "illegal bit-accounting class",
+    "F012": "unreachable terminal",
+    "F013": "health assignment bypassing the generated table",
+}
+
+# Files participating in the wire contract. wire_format.h carries the
+# contract declarations; the .cc files carry annotated call sites.
+WIRE_FILES = [
+    "src/core/wire_format.h",
+    "src/core/checkpoint.cc",
+    "src/core/channel.cc",
+    "src/sim/protocol.cc",
+    "src/sim/resync.cc",
+]
+
+FSM_SPEC = "src/core/recovery_fsm.def"
+
+# Implementation files whose health mutations must route through the
+# generated table (F013).
+FSM_IMPL_FILES = ["src/core/channel.cc", "src/core/checkpoint.cc"]
+
+RECOVERY_BITS_CLASSES = ("None", "Handshake", "Rearm", "Retrans")
+
+WIRE_MARK_RE = re.compile(r"//\s*cable-wire:\s*(.+?)\s*$")
+WIRE_DECL_RE = re.compile(r"//\s*cable-wire-decl:\s*(.+?)\s*$")
+WIRE_MANUAL_RE = re.compile(r"//\s*cable-wire-(write|read):\s*(.+?)\s*$")
+WIRE_ALIAS_RE = re.compile(
+    r"//\s*cable-wire-alias:\s*(\w+)\s+(put|get)\s+(\S+)")
+CALL_RE = re.compile(r"\.(put|get)\s*\(")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([WF]\d{3})")
+
+
+@dataclass
+class Finding:
+    code: str
+    path: str
+    line: int  # 1-based
+    detail: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.code} "
+                f"[{CODES[self.code]}] {self.detail}")
+
+
+@dataclass
+class WireSite:
+    record: str
+    field: str
+    width: str
+    count: str  # "" when the field is not repeated
+    role: str  # write | read | decl
+    path: str
+    line: int  # 1-based
+
+
+def parse_field_spec(spec: str):
+    """Splits "<record> <field> <width>[*<count>]" into its parts, or
+    None when malformed. The count is everything after the first '*'
+    of the width token (so widths may be expressions like
+    rlid_bits_-way_bits and counts may be products)."""
+    parts = spec.split()
+    if len(parts) != 3:
+        return None
+    record, fname, widthspec = parts
+    width, _, count = widthspec.partition("*")
+    if not width:
+        return None
+    return record, fname, width, count
+
+
+# ---------------------------------------------------------------------
+# Wire symmetry
+# ---------------------------------------------------------------------
+
+
+def libclang_call_lines(root: str, rel: str):
+    """Optional cross-check: the 1-based lines holding put/get member
+    calls according to libclang. Returns None when the backend is
+    unavailable or parsing fails (the tokenizer is the reference
+    implementation either way)."""  # pragma: no cover
+    if not HAVE_LIBCLANG:
+        return None
+    try:
+        index = _cindex.Index.create()
+        tu = index.parse(os.path.join(root, rel),
+                         args=["-std=c++20", "-Isrc"])
+        lines = set()
+        for node in tu.cursor.walk_preorder():
+            if node.kind == _cindex.CursorKind.CALL_EXPR and \
+                    node.spelling in ("put", "get"):
+                if node.location.file and os.path.samefile(
+                        node.location.file.name,
+                        os.path.join(root, rel)):
+                    lines.add(node.location.line)
+        return lines
+    except Exception:
+        return None
+
+
+def looks_like_declaration(args: list[str]) -> bool:
+    """True when an alias-name match is the function's own definition
+    rather than a call site (parameters carry types: 'BitWriter &bw',
+    'std::uint32_t tag')."""
+    if not args or not args[0]:
+        return False
+    first = args[0]
+    return ("&" in first or "*" in first
+            or len(first.replace("::", " ").split()) > 1)
+
+
+def scan_wire_file(root: str, rel: str, sites: list[WireSite],
+                   findings: list[Finding]):
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code_text = strip_comments_and_strings(text)
+    code_lines = code_text.splitlines()
+
+    # Directive maps, keyed by 0-based line.
+    marks: dict[int, tuple] = {}
+    ignores: set[int] = set()
+    aliases: dict[str, tuple[str, str]] = {}  # fn -> (role, width)
+    for idx, line in enumerate(raw_lines):
+        m = WIRE_ALIAS_RE.search(line)
+        if m:
+            role = "write" if m.group(2) == "put" else "read"
+            aliases[m.group(1)] = (role, m.group(3))
+            continue
+        m = WIRE_MANUAL_RE.search(line)
+        if m:
+            spec = parse_field_spec(m.group(2))
+            if spec is None:
+                findings.append(Finding(
+                    "W007", rel, idx + 1,
+                    f"cannot parse '{m.group(2)}'"))
+                continue
+            record, fname, width, count = spec
+            sites.append(WireSite(record, fname, width, count,
+                                  "write" if m.group(1) == "write"
+                                  else "read", rel, idx + 1))
+            continue
+        m = WIRE_DECL_RE.search(line)
+        if m:
+            spec = parse_field_spec(m.group(1))
+            if spec is None:
+                findings.append(Finding(
+                    "W007", rel, idx + 1,
+                    f"cannot parse '{m.group(1)}'"))
+                continue
+            record, fname, width, count = spec
+            sites.append(WireSite(record, fname, width, count,
+                                  "decl", rel, idx + 1))
+            continue
+        m = WIRE_MARK_RE.search(line)
+        if m:
+            payload = m.group(1)
+            if payload.split()[0] == "ignore":
+                ignores.add(idx)
+                continue
+            spec = parse_field_spec(payload)
+            if spec is None:
+                findings.append(Finding(
+                    "W007", rel, idx + 1,
+                    f"cannot parse '{payload}'"))
+                continue
+            marks[idx] = spec
+
+    # Call detection: member put/get plus declared alias wrappers.
+    calls = []  # (line_idx, col, role, call_width_or_None, what)
+    for m in CALL_RE.finditer(code_text):
+        args = split_top_level_args(code_text[m.end():m.end() + 600])
+        if args is None:
+            continue
+        call = m.group(1)
+        if call == "put":
+            if len(args) < 2:
+                continue
+            role, width = "write", args[-1]
+        else:
+            # Skip zero-argument smart-pointer get() and name-keyed
+            # accessors whose sole argument is a blanked string
+            # literal; trailing arguments are the checkpoint Cursor's
+            # diagnostic tag (a literal or a name array).
+            if not args or not args[0]:
+                continue
+            role, width = "read", args[0]
+        idx = code_text.count("\n", 0, m.start())
+        calls.append((idx, m.start(), role,
+                      re.sub(r"\s+", "", width), call))
+    for fn, (role, width) in aliases.items():
+        for m in re.finditer(r"\b" + re.escape(fn) + r"\s*\(",
+                             code_text):
+            args = split_top_level_args(
+                code_text[m.end():m.end() + 600])
+            if args is None or looks_like_declaration(args):
+                continue
+            idx = code_text.count("\n", 0, m.start())
+            calls.append((idx, m.start(), role, None, fn))
+
+    clang_lines = libclang_call_lines(root, rel)
+    if clang_lines is not None:  # pragma: no cover
+        call_lines = {idx for idx, _c, _r, _w, _n in calls}
+        missing = {l - 1 for l in clang_lines} - call_lines
+        for idx in sorted(missing):
+            findings.append(Finding(
+                "W001", rel, idx + 1,
+                "libclang sees a put/get call the tokenizer missed"))
+
+    # A marker (or ignore) binds to the next serialization call at or
+    # below it, as long as the statement starts within a few lines —
+    # multi-line statements put the call 1-3 lines under the marker.
+    events = []  # (line_idx, col, payload)
+    for idx, spec in marks.items():
+        events.append((idx, -1, ("mark", spec)))
+    for idx in ignores:
+        events.append((idx, -1, ("ignore",)))
+    for idx, col, role, call_width, what in calls:
+        events.append((idx, col, ("call", role, call_width, what)))
+    pending = None  # ("mark"/"ignore", spec_or_None, line_idx)
+    for idx, _col, payload in sorted(events, key=lambda e: e[:2]):
+        if payload[0] == "mark":
+            pending = ("mark", payload[1], idx)
+            continue
+        if payload[0] == "ignore":
+            pending = ("ignore", None, idx)
+            continue
+        _tag, role, call_width, what = payload
+        if pending is None or idx - pending[2] > 4:
+            findings.append(Finding(
+                "W001", rel, idx + 1,
+                f"{what}() call without a cable-wire marker"))
+            pending = None
+            continue
+        kind, spec, _mline = pending
+        pending = None
+        if kind == "ignore":
+            continue
+        record, fname, width, count = spec
+        if call_width is not None and call_width != width:
+            findings.append(Finding(
+                "W002", rel, idx + 1,
+                f"marker width '{width}' but the call encodes "
+                f"'{call_width}'"))
+        if call_width is None:
+            # Alias call: the marker must agree with the alias width.
+            alias_width = aliases[what][1]
+            if width != alias_width:
+                findings.append(Finding(
+                    "W002", rel, idx + 1,
+                    f"marker width '{width}' but alias {what} "
+                    f"encodes '{alias_width}'"))
+        sites.append(WireSite(record, fname, width, count, role,
+                              rel, idx + 1))
+
+
+def seq_key(site: WireSite):
+    return (site.field, site.width, site.count)
+
+
+def compare_exact(a: list[WireSite], b: list[WireSite],
+                  findings: list[Finding], what: str):
+    if len(a) != len(b):
+        anchor = b[0] if b else a[0]
+        findings.append(Finding(
+            "W005", anchor.path, anchor.line,
+            f"{what}: {len(a)} field(s) vs {len(b)}"))
+        return
+    for sa, sb in zip(a, b):
+        if sa.field != sb.field:
+            findings.append(Finding(
+                "W003", sb.path, sb.line,
+                f"{what}: expected field '{sa.field}' "
+                f"(from {sa.path}:{sa.line}), found '{sb.field}'"))
+            return  # order drift cascades; first mismatch only
+        if sa.width != sb.width or sa.count != sb.count:
+            findings.append(Finding(
+                "W004", sb.path, sb.line,
+                f"{what}: field '{sa.field}' is "
+                f"{sa.width or '?'}{'*' + sa.count if sa.count else ''}"
+                f" vs {sb.width}{'*' + sb.count if sb.count else ''}"))
+
+
+def compare_against_decl(seq: list[WireSite], decl: list[WireSite],
+                         findings: list[Finding], what: str):
+    if len(decl) == 0:
+        return
+    if len(seq) % len(decl) != 0:
+        findings.append(Finding(
+            "W005", seq[0].path, seq[0].line,
+            f"{what}: {len(seq)} field(s) is not a whole number of "
+            f"contract repetitions ({len(decl)})"))
+        return
+    for rep in range(len(seq) // len(decl)):
+        chunk = seq[rep * len(decl):(rep + 1) * len(decl)]
+        compare_exact(decl, chunk, findings, what)
+
+
+def check_wire(root: str, files: list[str]):
+    findings: list[Finding] = []
+    sites: list[WireSite] = []
+    for rel in files:
+        scan_wire_file(root, rel, sites, findings)
+
+    records: dict[str, dict[str, list[WireSite]]] = {}
+    for s in sites:
+        records.setdefault(s.record, {}).setdefault(s.role,
+                                                    []).append(s)
+
+    for record in sorted(records):
+        roles = records[record]
+        if len(roles) < 2:
+            only = next(iter(roles.values()))[0]
+            findings.append(Finding(
+                "W006", only.path, only.line,
+                f"record '{record}' has only a {only.role} side; "
+                f"nothing to check it against"))
+            continue
+        if "write" in roles and "read" in roles:
+            compare_exact(roles["write"], roles["read"], findings,
+                          f"record '{record}' writer vs reader")
+        for role in ("write", "read"):
+            if role in roles and "decl" in roles:
+                compare_against_decl(
+                    roles[role], roles["decl"], findings,
+                    f"record '{record}' {role}r vs contract")
+
+    summary = {
+        record: {role: len(sites_)
+                 for role, sites_ in sorted(roles.items())}
+        for record, roles in sorted(records.items())
+    }
+    return findings, summary
+
+
+# ---------------------------------------------------------------------
+# Recovery-FSM model check
+# ---------------------------------------------------------------------
+
+FSM_STATE_RE = re.compile(
+    r"CABLE_FSM_STATE\s*\(\s*(\w+)\s*,\s*(\w+)\s*,")
+FSM_TERMINAL_RE = re.compile(
+    r"CABLE_FSM_TERMINAL\s*\(\s*(\w+)\s*,\s*(\w+)\s*,")
+FSM_EVENT_RE = re.compile(
+    r"CABLE_FSM_EVENT\s*\(\s*(\w+)\s*,\s*(\w+)\s*,")
+FSM_TRANSITION_RE = re.compile(
+    r"CABLE_FSM_TRANSITION\s*\(\s*(\w+)\s*,\s*(\w+)\s*,\s*(\w+)\s*,"
+    r"\s*(-?\d+)\s*,\s*(\w+)\s*,")
+
+
+@dataclass
+class FsmSpec:
+    path: str
+    states: dict[str, tuple[str, int]] = field(default_factory=dict)
+    terminals: dict[str, tuple[str, int]] = field(default_factory=dict)
+    events: dict[str, tuple[str, int]] = field(default_factory=dict)
+    # (from, event, to, epoch_delta, bits, line)
+    transitions: list[tuple] = field(default_factory=list)
+
+    @property
+    def initial(self) -> str | None:
+        return next(iter(self.states), None)
+
+
+def parse_fsm(root: str, rel: str) -> FsmSpec:
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        text = f.read()
+    # Drop preprocessor lines (the default-define/undef scaffolding
+    # mentions every macro name) but keep newlines for line numbers.
+    kept = []
+    for line in strip_comments_and_strings(text).splitlines():
+        kept.append("" if line.lstrip().startswith("#") else line)
+    code = "\n".join(kept)
+    spec = FsmSpec(rel)
+    for m in FSM_STATE_RE.finditer(code):
+        spec.states[m.group(1)] = (
+            m.group(2), code.count("\n", 0, m.start()) + 1)
+    for m in FSM_TERMINAL_RE.finditer(code):
+        spec.terminals[m.group(1)] = (
+            m.group(2), code.count("\n", 0, m.start()) + 1)
+    for m in FSM_EVENT_RE.finditer(code):
+        spec.events[m.group(1)] = (
+            m.group(2), code.count("\n", 0, m.start()) + 1)
+    for m in FSM_TRANSITION_RE.finditer(code):
+        spec.transitions.append((
+            m.group(1), m.group(2), m.group(3), int(m.group(4)),
+            m.group(5), code.count("\n", 0, m.start()) + 1))
+    return spec
+
+
+def simple_cycles(adj: dict[str, list[tuple[str, int]]]):
+    """All simple cycles as lists of transition indices, by rooted
+    DFS (the recovery graph is a handful of nodes)."""
+    nodes = sorted(adj)
+    order = {n: i for i, n in enumerate(nodes)}
+    cycles = []
+
+    def dfs(root_node, node, path_nodes, path_edges):
+        for succ, edge in adj.get(node, []):
+            if order.get(succ, -1) < order[root_node]:
+                continue  # canonical root = smallest node in cycle
+            if succ == root_node:
+                cycles.append(path_edges + [edge])
+            elif succ not in path_nodes:
+                dfs(root_node, succ, path_nodes | {succ},
+                    path_edges + [edge])
+
+    for n in nodes:
+        dfs(n, n, {n}, [])
+    return cycles
+
+
+def check_fsm(root: str, rel: str):
+    findings: list[Finding] = []
+    spec = parse_fsm(root, rel)
+    live = spec.states
+    terminals = spec.terminals
+    all_states = set(live) | set(terminals)
+
+    # Structural checks.
+    seen_pairs: dict[tuple[str, str], int] = {}
+    for frm, ev, to, delta, bits, line in spec.transitions:
+        if frm not in all_states or to not in all_states:
+            findings.append(Finding(
+                "F002", rel, line,
+                f"unknown state in {frm} --{ev}--> {to}"))
+            continue
+        if ev not in spec.events:
+            findings.append(Finding(
+                "F002", rel, line, f"unknown event '{ev}'"))
+            continue
+        if frm in terminals:
+            findings.append(Finding(
+                "F008", rel, line,
+                f"terminal {frm} has an outgoing transition on {ev}"))
+        key = (frm, ev)
+        if key in seen_pairs:
+            findings.append(Finding(
+                "F001", rel, line,
+                f"duplicate transition for ({frm}, {ev}); first at "
+                f"line {seen_pairs[key]}"))
+        else:
+            seen_pairs[key] = line
+        if delta < 0:
+            findings.append(Finding(
+                "F010", rel, line,
+                f"epoch delta {delta} on {frm} --{ev}--> {to}"))
+        if bits not in RECOVERY_BITS_CLASSES:
+            findings.append(Finding(
+                "F011", rel, line,
+                f"bits class '{bits}' is not a recovery class "
+                f"{RECOVERY_BITS_CLASSES} (payload is never legal)"))
+    for term, (exc, line) in terminals.items():
+        if not re.fullmatch(r"Cable\w*Error", exc):
+            findings.append(Finding(
+                "F009", rel, line,
+                f"terminal {term} raises '{exc}', not a typed Cable "
+                f"error"))
+
+    valid = [t for t in spec.transitions
+             if t[0] in all_states and t[2] in all_states
+             and t[1] in spec.events]
+    adj_all: dict[str, list[tuple[str, int]]] = {}
+    adj_internal: dict[str, list[tuple[str, int]]] = {}
+    for i, (frm, ev, to, _d, _b, _l) in enumerate(valid):
+        adj_all.setdefault(frm, []).append((to, i))
+        if spec.events[ev][0] == "Internal":
+            adj_internal.setdefault(frm, []).append((to, i))
+
+    def closure(adj, starts):
+        seen, stack = set(starts), list(starts)
+        while stack:
+            n = stack.pop()
+            for succ, _e in adj.get(n, []):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    initial = spec.initial
+    reachable = closure(adj_all, [initial]) if initial else set()
+    fired = [i for i, t in enumerate(valid) if t[0] in reachable]
+
+    # Reachability: every declared state and terminal participates.
+    for name, (_k, line) in live.items():
+        if name not in reachable:
+            findings.append(Finding(
+                "F004", rel, line,
+                f"state {name} is unreachable from {initial}"))
+    for name, (_e, line) in terminals.items():
+        if name not in reachable:
+            findings.append(Finding(
+                "F012", rel, line,
+                f"terminal {name} is unreachable from {initial}"))
+
+    # Liveness over the reachable live states.
+    steady = {n for n, (k, _l) in live.items() if k == "Steady"}
+    for name, (_k, line) in live.items():
+        if name not in reachable:
+            continue
+        if not adj_all.get(name):
+            findings.append(Finding(
+                "F003", rel, line,
+                f"live state {name} has no outgoing transitions"))
+        internal_reach = closure(adj_internal, [name])
+        if not internal_reach & steady:
+            findings.append(Finding(
+                "F005", rel, line,
+                f"state {name} cannot reach a steady state through "
+                f"internal events"))
+        if initial not in internal_reach:
+            findings.append(Finding(
+                "F006", rel, line,
+                f"state {name} cannot recover to {initial} through "
+                f"internal events"))
+
+    # Fault totality: a steady state must answer every fault event.
+    fault_events = sorted(
+        ev for ev, (k, _l) in spec.events.items() if k == "Fault")
+    for name in sorted(steady):
+        if name not in reachable:
+            continue
+        missing = [ev for ev in fault_events
+                   if (name, ev) not in seen_pairs]
+        if missing:
+            findings.append(Finding(
+                "F007", rel, live[name][1],
+                f"steady state {name} does not handle fault "
+                f"event(s): {', '.join(missing)}"))
+
+    # Cycle accounting: on every simple cycle the epoch never regresses
+    # and only recovery bit classes are charged (payload conservation).
+    cycles = simple_cycles(adj_all)
+    for cyc in cycles:
+        deltas = sum(valid[i][3] for i in cyc)
+        if deltas < 0:  # unreachable while F010 holds; belt and braces
+            findings.append(Finding(
+                "F010", rel, valid[cyc[0]][5],
+                f"cycle with net epoch delta {deltas}"))
+
+    invariants = {
+        "deterministic": not any(f.code == "F001" for f in findings),
+        "no_dead_end": not any(f.code in ("F003", "F005")
+                               for f in findings),
+        "recovers_to_initial": not any(f.code == "F006"
+                                       for f in findings),
+        "fault_total": not any(f.code == "F007" for f in findings),
+        "typed_terminals": not any(f.code in ("F008", "F009", "F012")
+                                   for f in findings),
+        "epoch_monotone": not any(f.code == "F010" for f in findings),
+        "bit_conserving": not any(f.code == "F011" for f in findings),
+        "fully_reachable": not any(f.code in ("F002", "F004")
+                                   for f in findings),
+    }
+    stats = {
+        "spec": rel,
+        "initial": initial,
+        "states": len(live),
+        "steady": len(steady),
+        "transient": len(live) - len(steady),
+        "terminals": len(terminals),
+        "events": len(spec.events),
+        "fault_events": len(fault_events),
+        "transitions": len(spec.transitions),
+        "reachable_states": len(reachable & set(live)),
+        "reachable_terminals": len(reachable & set(terminals)),
+        "reachable_transitions": len(fired),
+        "simple_cycles": len(cycles),
+        "invariants": invariants,
+    }
+    return findings, stats, spec
+
+
+def check_fsm_impl(root: str, files: list[str]):
+    """F013: health mutations in the implementation must route through
+    the generated table (recoveryAdvance(...).to)."""
+    findings: list[Finding] = []
+    assign_re = re.compile(r"\bhealth_\s*=(?!=)")
+    for rel in files:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as f:
+            code_lines = strip_comments_and_strings(
+                f.read()).splitlines()
+        for idx, line in enumerate(code_lines):
+            if not assign_re.search(line):
+                continue
+            window = " ".join(code_lines[idx:idx + 3])
+            if "recoveryAdvance" in window or ".to" in window:
+                continue
+            findings.append(Finding(
+                "F013", rel, idx + 1,
+                "health_ assigned without recoveryAdvance(); the "
+                "spec in recovery_fsm.def is the single source of "
+                "truth"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Graphviz export
+# ---------------------------------------------------------------------
+
+
+def write_dot(spec: FsmSpec, path: str):
+    lines = [
+        "digraph recovery_fsm {",
+        "  rankdir=LR;",
+        "  node [fontname=\"Helvetica\"];",
+    ]
+    for name, (kind, _l) in spec.states.items():
+        style = ("shape=ellipse, style=bold" if kind == "Steady"
+                 else "shape=ellipse, style=dashed")
+        lines.append(f"  {name} [{style}];")
+    for name, (exc, _l) in spec.terminals.items():
+        lines.append(
+            f"  {name} [shape=doublecircle, color=red, "
+            f"label=\"{name}\\n({exc})\"];")
+    for frm, ev, to, delta, bits, _line in spec.transitions:
+        label = ev
+        if delta:
+            label += f"\\n+{delta} epoch"
+        if bits != "None":
+            label += f"\\n[{bits.lower()} bits]"
+        lines.append(f"  {frm} -> {to} [label=\"{label}\"];")
+    lines.append("}")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------
+# Self-test fixtures
+# ---------------------------------------------------------------------
+
+
+def run_self_test(fixtures_dir: str) -> int:
+    """Fixture mode: every .cc/.h file is wire-checked on its own
+    (declarations and call sites in one file), every .def file is
+    model-checked; ``// expect: CODE`` markers name the finding each
+    line must produce, and a file without markers must verify
+    clean."""
+    failures = 0
+    names = sorted(os.listdir(fixtures_dir))
+    if not names:
+        print(f"cable-verify: no fixtures in {fixtures_dir}",
+              file=sys.stderr)
+        return 2
+    for fn in names:
+        if fn.endswith((".cc", ".h", ".cpp")):
+            findings, _summary = check_wire(fixtures_dir, [fn])
+        elif fn.endswith(".def"):
+            findings, _stats, _spec = check_fsm(fixtures_dir, fn)
+        else:
+            continue
+        with open(os.path.join(fixtures_dir, fn),
+                  encoding="utf-8") as f:
+            raw = f.read().splitlines()
+        expected = set()
+        for idx, line in enumerate(raw):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((m.group(1), idx + 1))
+        got = {(f.code, f.line) for f in findings}
+        for miss in sorted(expected - got):
+            print(f"SELF-TEST FAIL {fn}:{miss[1]}: expected "
+                  f"{miss[0]} did not fire")
+            failures += 1
+        for extra in sorted(got - expected):
+            print(f"SELF-TEST FAIL {fn}:{extra[1]}: unexpected "
+                  f"{extra[0]}")
+            failures += 1
+        status = "ok" if expected == got else "FAIL"
+        print(f"self-test {fn}: {len(expected)} expected finding(s) "
+              f"[{status}]")
+    if failures:
+        print(f"cable-verify self-test: {failures} failure(s)")
+        return 1
+    print("cable-verify self-test: all fixtures behave")
+    return 0
+
+
+# ---------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="cable_verify.py",
+        description="CABLE protocol verifier: wire-format symmetry + "
+                    "recovery-FSM model check")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--report", default=None,
+                    help="write a cable-verify-v1 JSON report here")
+    ap.add_argument("--dot", default=None,
+                    help="write a Graphviz diagram of the FSM here")
+    ap.add_argument("--self-test", default=None, metavar="FIXTURES",
+                    help="run the fixture suite instead of verifying")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test(args.self_test)
+
+    root = os.path.abspath(args.root)
+    for rel in WIRE_FILES + [FSM_SPEC]:
+        if not os.path.exists(os.path.join(root, rel)):
+            print(f"cable-verify: missing {rel} (wrong --root?)",
+                  file=sys.stderr)
+            return 2
+
+    wire_findings, wire_summary = check_wire(root, WIRE_FILES)
+    fsm_findings, fsm_stats, spec = check_fsm(root, FSM_SPEC)
+    fsm_findings += check_fsm_impl(root, FSM_IMPL_FILES)
+    findings = wire_findings + fsm_findings
+
+    if args.dot:
+        write_dot(spec, args.dot)
+
+    if args.report:
+        doc = {
+            "schema": "cable-verify-v1",
+            "tool": "cable_verify",
+            "backend": "libclang" if HAVE_LIBCLANG else "tokenizer",
+            "ok": not findings,
+            "wire": {
+                "files": WIRE_FILES,
+                "records": wire_summary,
+                "findings": [vars(f) for f in wire_findings],
+            },
+            "fsm": dict(fsm_stats,
+                        findings=[vars(f) for f in fsm_findings]),
+        }
+        with open(args.report, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+
+    for f in findings:
+        print(f.render())
+    inv = fsm_stats["invariants"]
+    print(f"cable-verify: {len(wire_summary)} wire record(s), "
+          f"{fsm_stats['reachable_states']}/{fsm_stats['states']} "
+          f"reachable state(s), "
+          f"{fsm_stats['reachable_transitions']}/"
+          f"{fsm_stats['transitions']} reachable transition(s), "
+          f"{fsm_stats['simple_cycles']} cycle(s), "
+          f"{sum(1 for v in inv.values() if v)}/{len(inv)} "
+          f"invariant(s) hold, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

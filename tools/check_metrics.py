@@ -15,6 +15,8 @@ Dispatches on the document's "schema" field:
                         bottleneck-attribution reports
   cable-phases-v1       cable_sim --phase-out / phases.py
                         workload-phase reports
+  cable-verify-v1       cable_verify.py --report protocol-verifier
+                        reports
 
 Strict mode is the default: a top-level key (or stats-block key) the
 schema does not declare is an error, so a writer that grows a new
@@ -84,6 +86,9 @@ SCHEMA_KEYS = {
     "cable-phases-v1": {
         "schema", "tool", "command", "benchmark", "scheme", "ops",
         "seed", "interval", "metrics", "phases",
+    },
+    "cable-verify-v1": {
+        "schema", "tool", "backend", "ok", "wire", "fsm",
     },
 }
 
@@ -782,6 +787,156 @@ def check_phases_v1(m):
               f"{len(r['phases'])} phases)")
 
 
+VERIFY_ROLES = {"write", "read", "decl"}
+VERIFY_INVARIANTS = {
+    "deterministic", "no_dead_end", "recovers_to_initial",
+    "fault_total", "typed_terminals", "epoch_monotone",
+    "bit_conserving", "fully_reachable",
+}
+
+
+def check_verify_findings(findings, where):
+    """Shared shape check for the wire and fsm finding lists."""
+    if not isinstance(findings, list):
+        err(f"{where}: 'findings' must be a list")
+        return 0
+    import re as _re
+    for i, f in enumerate(findings):
+        fw = f"{where}.findings[{i}]"
+        if not isinstance(f, dict):
+            err(f"{fw}: not an object")
+            continue
+        code = f.get("code")
+        if not isinstance(code, str) \
+                or not _re.fullmatch(r"[WF]\d{3}", code):
+            err(f"{fw}: 'code' must be a W/F diagnostic: {code!r}")
+        if not isinstance(f.get("path"), str):
+            err(f"{fw}: 'path' missing or non-string")
+        line = f.get("line")
+        if not isinstance(line, int) or isinstance(line, bool) \
+                or line < 1:
+            err(f"{fw}: 'line' must be a positive integer: {line!r}")
+        if not isinstance(f.get("detail"), str):
+            err(f"{fw}: 'detail' missing or non-string")
+    return len(findings)
+
+
+def check_verify_v1(m):
+    for key in ("tool", "backend", "ok", "wire", "fsm"):
+        if key not in m:
+            err(f"missing top-level key '{key}'")
+    if errors:
+        return
+    if m["tool"] != "cable_verify":
+        err(f"'tool' must be 'cable_verify': {m['tool']!r}")
+    if m["backend"] not in ("tokenizer", "libclang"):
+        err(f"unknown backend: {m['backend']!r}")
+    if not isinstance(m["ok"], bool):
+        err(f"'ok' must be a boolean: {m['ok']!r}")
+
+    wire = m["wire"]
+    if not isinstance(wire, dict):
+        err("'wire' must be an object")
+        return
+    check_unknown_keys(wire, {"files", "records", "findings"}, "wire")
+    files = wire.get("files")
+    if not isinstance(files, list) or not files \
+            or not all(isinstance(p, str) for p in files):
+        err("wire.files must be a non-empty list of paths")
+    records = wire.get("records")
+    nfind = check_verify_findings(wire.get("findings"), "wire")
+    if not isinstance(records, dict) or not records:
+        err("wire.records must be a non-empty object")
+        return
+    for name, roles in records.items():
+        rw = f"wire.records['{name}']"
+        if not isinstance(roles, dict) or not roles:
+            err(f"{rw}: must map roles to field counts")
+            continue
+        bad_roles = set(roles) - VERIFY_ROLES
+        if bad_roles:
+            err(f"{rw}: unknown role(s) {sorted(bad_roles)}")
+        for role, count in roles.items():
+            if not isinstance(count, int) or isinstance(count, bool) \
+                    or count < 1:
+                err(f"{rw}.{role}: field count must be a positive "
+                    f"integer: {count!r}")
+        # A clean report has no one-sided records, and a writer/reader
+        # pair must agree on the field count (W005 otherwise, which
+        # would clear 'ok' — checked globally below).
+        if nfind == 0 and len(set(roles) & VERIFY_ROLES) < 2:
+            err(f"{rw}: single-role record in a clean report")
+        if nfind == 0 and "write" in roles and "read" in roles \
+                and roles["write"] != roles["read"]:
+            err(f"{rw}: clean report but writer has {roles['write']} "
+                f"field(s), reader {roles['read']}")
+
+    fsm = m["fsm"]
+    if not isinstance(fsm, dict):
+        err("'fsm' must be an object")
+        return
+    for key in ("spec", "initial", "states", "steady", "transient",
+                "terminals", "events", "fault_events", "transitions",
+                "reachable_states", "reachable_terminals",
+                "reachable_transitions", "simple_cycles",
+                "invariants", "findings"):
+        if key not in fsm:
+            err(f"fsm: missing key '{key}'")
+    if errors:
+        return
+    for key in ("states", "steady", "transient", "terminals",
+                "events", "fault_events", "transitions",
+                "reachable_states", "reachable_terminals",
+                "reachable_transitions", "simple_cycles"):
+        v = fsm[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            err(f"fsm.{key}: must be a non-negative integer: {v!r}")
+    if errors:
+        return
+    if fsm["steady"] + fsm["transient"] != fsm["states"]:
+        err(f"fsm: steady {fsm['steady']} + transient "
+            f"{fsm['transient']} != states {fsm['states']}")
+    for part, whole in (("reachable_states", "states"),
+                        ("reachable_terminals", "terminals"),
+                        ("reachable_transitions", "transitions")):
+        if fsm[part] > fsm[whole]:
+            err(f"fsm: {part} {fsm[part]} exceeds {whole} "
+                f"{fsm[whole]}")
+    inv = fsm["invariants"]
+    if not isinstance(inv, dict) or set(inv) != VERIFY_INVARIANTS:
+        err(f"fsm.invariants must carry exactly "
+            f"{sorted(VERIFY_INVARIANTS)}")
+        return
+    for name, v in inv.items():
+        if not isinstance(v, bool):
+            err(f"fsm.invariants.{name}: must be a boolean: {v!r}")
+    nfind += check_verify_findings(fsm["findings"], "fsm")
+
+    # 'ok' is not advisory: it must equal "no findings anywhere", and
+    # a clean report must have proved every invariant and reached the
+    # whole declared state space.
+    if m["ok"] != (nfind == 0):
+        err(f"'ok' is {m['ok']} but the report carries {nfind} "
+            f"finding(s)")
+    if m["ok"]:
+        for name, v in inv.items():
+            if v is not True:
+                err(f"clean report but invariant '{name}' is false")
+        if fsm["reachable_states"] != fsm["states"]:
+            err(f"clean report but only {fsm['reachable_states']}/"
+                f"{fsm['states']} states are reachable")
+        if fsm["reachable_terminals"] != fsm["terminals"]:
+            err(f"clean report but only "
+                f"{fsm['reachable_terminals']}/{fsm['terminals']} "
+                f"terminals are reachable")
+    if not errors:
+        print(f"check_metrics: OK (verify report, "
+              f"{len(records)} wire record(s), "
+              f"{fsm['reachable_states']}/{fsm['states']} states, "
+              f"{fsm['reachable_transitions']}/{fsm['transitions']} "
+              f"transitions, {nfind} finding(s))")
+
+
 def main():
     global strict
     ap = argparse.ArgumentParser(
@@ -816,6 +971,8 @@ def main():
         check_critpath_v1(m)
     elif schema == "cable-phases-v1":
         check_phases_v1(m)
+    elif schema == "cable-verify-v1":
+        check_verify_v1(m)
     else:
         err(f"unexpected schema: {schema!r}")
 
